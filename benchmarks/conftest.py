@@ -1,0 +1,17 @@
+"""Shared helpers for the table/figure regeneration benchmarks.
+
+Every module under ``benchmarks/`` regenerates one table or figure of
+the paper: the ``benchmark`` fixture times the regeneration, the
+rendered rows are emitted through :func:`emit` (visible with ``-s`` or
+in the captured output), and shape assertions encode the paper's
+qualitative claims.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print regenerated table/figure text (kept visible in -s runs)."""
+    sys.stdout.write("\n" + text + "\n")

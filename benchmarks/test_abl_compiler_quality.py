@@ -1,0 +1,97 @@
+"""Ablation: TPC compiler output vs hand-written TP-ISA kernels.
+
+The paper's program-specific processors presume someone writes the
+program; this ablation prices the convenience of writing it in a
+high-level language instead of assembly -- static size, dynamic
+instruction count, and full-system energy, on the same algorithms with
+the same inputs."""
+
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.eval.system import evaluate_system
+from repro.lang import compile_tpc
+from repro.programs import build_benchmark, intavg, thold
+from repro.sim import Machine
+
+
+def tpc_thold():
+    values, threshold = thold.default_inputs(8)
+    initializers = ", ".join(str(v) for v in values)
+    return compile_tpc(f"""
+        var arr[16] = {{{initializers}}}
+        var threshold = {threshold}
+        var count = 0
+        var i = 0
+        while i < 16 {{
+            if arr[i] >= threshold {{ count = count + 1 }}
+            i = i + 1
+        }}
+    """, name="tHold_tpc")
+
+
+def tpc_intavg():
+    values = intavg.default_inputs(8)
+    initializers = ", ".join(str(v) for v in values)
+    return compile_tpc(f"""
+        var arr[16] = {{{initializers}}}
+        var avg = 0
+        var i = 0
+        while i < 16 {{
+            avg = avg + arr[i]
+            i = i + 1
+        }}
+        avg = avg >> 4
+    """, name="intAvg_tpc")
+
+
+def run_comparison():
+    rows = []
+    for name, tpc_build in (("tHold", tpc_thold), ("intAvg", tpc_intavg)):
+        hand = build_benchmark(name, 8, 8)
+        compiled = tpc_build()
+
+        hand_machine = Machine(hand)
+        hand_machine.run()
+        tpc_machine = Machine(compiled)
+        tpc_machine.run()
+
+        hand_metrics = evaluate_system(hand, program_specific=True)
+        tpc_metrics = evaluate_system(compiled, program_specific=True)
+        rows.append((
+            name,
+            hand.static_size,
+            compiled.static_size,
+            hand_machine.stats.instructions,
+            tpc_machine.stats.instructions,
+            round(tpc_metrics.total_energy / hand_metrics.total_energy, 2),
+        ))
+        # Same answer, of course.
+        if name == "tHold":
+            assert tpc_machine.peek("count") == hand_machine.peek("count")
+        else:
+            assert tpc_machine.peek("avg") == hand_machine.peek("avg")
+    return rows
+
+
+def test_compiler_quality(benchmark):
+    rows = benchmark(run_comparison)
+    emit(render_table(
+        "Ablation: hand-written TP-ISA vs TPC-compiled (8-bit, PS systems)",
+        ("Kernel", "Hand size", "TPC size", "Hand dyn. instr",
+         "TPC dyn. instr", "TPC/hand energy"),
+        rows,
+    ))
+    by_name = {row[0]: row for row in rows}
+    # Like-for-like (both loops): the compiler's copy/temp discipline
+    # costs a small constant factor -- high-level firmware is
+    # affordable on printed hardware.
+    thold_row = by_name["tHold"]
+    assert thold_row[1] <= thold_row[2] < 4 * thold_row[1]
+    assert thold_row[5] < 5.0
+    # Structure mismatch: the hand kernel *unrolls* intAvg into
+    # straight-line adds (Table 7's zero-flag kernel) while TPC loops;
+    # the large gap is the measured value of unrolling, not compiler
+    # overhead -- and the reason program-specific codegen matters.
+    intavg_row = by_name["intAvg"]
+    assert intavg_row[5] > 5.0

@@ -1,0 +1,48 @@
+"""Ablation: multi-level-cell depth of the crosspoint instruction ROM.
+
+Sweeps 1/2/4-bit cells across program sizes, exposing the crossover
+the paper's Section 6 implies: MLC density only pays once the array is
+large enough to amortize the per-sub-block ADCs (Table 6: a 2-bit ADC
+costs 3.76 mm² -- 75 one-bit cells)."""
+
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.memory.rom import CrosspointRom
+from repro.units import to_mm2
+
+
+def run_sweep():
+    rows = []
+    for words in (16, 64, 256):
+        areas = {}
+        for depth in (1, 2, 4):
+            rom = CrosspointRom(words=words, bits_per_word=24, bits_per_cell=depth)
+            areas[depth] = rom.area
+        rows.append((
+            words,
+            to_mm2(areas[1]),
+            to_mm2(areas[2]),
+            to_mm2(areas[4]),
+            min(areas, key=areas.get),
+        ))
+    return rows
+
+
+def test_mlc_depth_ablation(benchmark):
+    rows = benchmark(run_sweep)
+    emit(render_table(
+        "Ablation: crosspoint ROM area vs MLC depth (24-bit words)",
+        ("Words", "1-bit mm2", "2-bit mm2", "4-bit mm2", "Best depth"),
+        rows,
+    ))
+    by_words = {row[0]: row for row in rows}
+    # Small programs: ADCs dominate, single-level wins.
+    assert by_words[16][4] == 1
+    # The paper's 256-word dTree: 2-bit wins (the dTree-ROMopt result).
+    assert by_words[256][4] == 2
+    # 2-bit beats 1-bit by ~30% at 256 words.
+    saving = 1 - by_words[256][2] / by_words[256][1]
+    assert 0.2 < saving < 0.35
+    # 4-bit never wins at these sizes: its ADC is ~7x the 2-bit one.
+    assert all(row[4] != 4 for row in rows)

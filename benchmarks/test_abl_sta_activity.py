@@ -1,0 +1,89 @@
+"""Ablations of two modeling choices DESIGN.md calls out.
+
+1. **Polarity-aware vs pessimistic STA** -- transistor-resistor logic
+   is so rise/fall asymmetric that propagating worst-edge delays
+   everywhere understates fmax badly; polarity-aware propagation is
+   what reproduces the paper's Figure 7 anchors.
+2. **Flat 0.88 activity vs measured toggles** -- the paper uses a flat
+   simulated activity factor; gate-level toggle counting on a real
+   kernel shows the flat factor is a conservative (upper-bound)
+   choice.
+"""
+
+from conftest import emit
+
+from repro.baselines.specs import BASELINE_SPECS
+from repro.coregen.config import CoreConfig
+from repro.coregen.cosim import CoSimHarness
+from repro.coregen.generator import generate_core
+from repro.eval.report import render_table
+from repro.netlist.power import measured_power_report, power_report
+from repro.netlist.sta import timing_report
+from repro.pdk import egfet_library
+from repro.programs import build_benchmark
+from repro.sim.machine import Machine
+
+
+def sta_ablation():
+    library = egfet_library()
+    rows = []
+    for width in (4, 8, 32):
+        netlist = generate_core(CoreConfig(datawidth=width))
+        aware = timing_report(netlist, library).fmax
+        pessimistic = timing_report(netlist, library, pessimistic=True).fmax
+        rows.append((f"p1_{width}_2", round(aware, 2), round(pessimistic, 2),
+                     round(aware / pessimistic, 2)))
+    return rows
+
+
+def test_abl_sta_model(benchmark):
+    rows = benchmark(sta_ablation)
+    emit(render_table(
+        "Ablation: polarity-aware vs pessimistic STA (EGFET fmax, Hz)",
+        ("Core", "Polarity-aware", "Pessimistic", "Ratio"),
+        rows,
+    ))
+    # Polarity-aware is consistently faster, by a meaningful factor.
+    assert all(row[3] > 1.1 for row in rows)
+    # And it is required to reproduce the paper's anchor: the fastest
+    # core must beat light8080 by >38%, which the pessimistic model
+    # misses.
+    light8080 = BASELINE_SPECS["light8080"].egfet.fmax
+    aware_4 = rows[0][1]
+    pessimistic_4 = rows[0][2]
+    assert aware_4 > 1.38 * light8080
+    assert pessimistic_4 < 1.38 * light8080
+
+
+def activity_ablation():
+    library = egfet_library()
+    program = build_benchmark("mult", 8, 8)
+    machine = Machine(program)
+    machine.run()
+
+    harness = CoSimHarness(program)
+    for _ in range(machine.stats.instructions):
+        harness.step()
+    measured = measured_power_report(
+        harness.netlist, library, harness.sim.toggle_counts(), harness.sim.cycles
+    )
+    flat = power_report(harness.netlist, library)
+    return flat, measured
+
+
+def test_abl_activity_factor(benchmark):
+    flat, measured = benchmark(activity_ablation)
+    emit(render_table(
+        "Ablation: flat 0.88 activity vs gate-level measured toggles (mult8)",
+        ("Model", "Activity", "Energy/cycle nJ"),
+        [
+            ("flat (paper)", flat.activity, flat.energy_per_cycle * 1e9),
+            ("measured", round(measured.activity, 3), measured.energy_per_cycle * 1e9),
+        ],
+    ))
+    # The flat factor is a conservative upper bound on real toggling.
+    assert 0.0 < measured.activity < flat.activity
+    assert measured.energy_per_cycle < flat.energy_per_cycle
+    # But within an order of magnitude -- the paper's numbers are not
+    # wildly pessimistic.
+    assert measured.energy_per_cycle > flat.energy_per_cycle / 12

@@ -1,0 +1,47 @@
+"""Extension study: benchmarks as functional print tests.
+
+Sub-cent printed systems cannot afford scan-chain test infrastructure;
+the economical post-print test is "run the application, check the
+output".  This campaign measures how much of the core each benchmark
+actually exercises -- the fault coverage of application-as-test."""
+
+from conftest import emit
+
+from repro.coregen.fault_test import run_fault_campaign
+from repro.eval.report import render_table
+from repro.programs import build_benchmark
+
+KERNELS = ("mult", "div", "tHold")
+
+
+def run_campaigns():
+    rows = []
+    for name in KERNELS:
+        program = build_benchmark(name, 8, 8)
+        campaign = run_fault_campaign(program, stride=24, max_faults=40)
+        rows.append((
+            name,
+            campaign.total,
+            campaign.detected,
+            f"{campaign.coverage:.0%}",
+        ))
+    return rows
+
+
+def test_fault_coverage_extension(benchmark):
+    # One round only: each campaign replays hundreds of gate-level
+    # kernel runs.
+    rows = benchmark.pedantic(run_campaigns, rounds=1, iterations=1)
+    emit(render_table(
+        "Extension: stuck-at fault coverage of application-as-test "
+        "(sampled sites, 8-bit core)",
+        ("Benchmark", "Faults injected", "Detected", "Coverage"),
+        rows,
+    ))
+    coverages = [int(row[3].rstrip("%")) for row in rows]
+    # Every kernel flushes out a substantial share of faults...
+    assert all(coverage >= 30 for coverage in coverages)
+    # ...but none reaches full coverage: a single application leaves
+    # parts of the core untested, so print-test programs should be
+    # chosen (or combined) deliberately.
+    assert all(coverage < 100 for coverage in coverages)

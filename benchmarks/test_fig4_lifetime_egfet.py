@@ -1,0 +1,31 @@
+"""Figure 4: lifetime vs duty cycle for EGFET legacy cores."""
+
+from conftest import emit
+
+from repro.eval.figures import fig4_lifetime
+from repro.eval.report import render_table
+
+
+def test_fig4(benchmark):
+    series = benchmark(fig4_lifetime)
+    rows = [
+        (s.core, s.battery, f"{s.points[0][1]:.2f}", f"{s.points[-1][1]:.0f}")
+        for s in series
+    ]
+    emit(render_table(
+        "Figure 4: EGFET lifetime hours (duty 1.0 -> duty 0.001)",
+        ("Core", "Battery", "Hours @ duty 1.0", "Hours @ duty 0.001"),
+        rows,
+    ))
+    assert len(series) == 16  # 4 cores x 4 batteries
+
+    for s in series:
+        hours = [h for _, h in s.points]
+        # Lifetime grows monotonically as duty shrinks...
+        assert hours == sorted(hours)
+        # ...and at full duty every pairing dies within a few hours.
+        assert hours[0] < 4.0
+    # The highest-power core (openMSP430) on the smallest battery
+    # lasts only minutes.
+    worst = min(s.points[0][1] for s in series)
+    assert worst < 0.25

@@ -1,0 +1,27 @@
+"""Figure 5: lifetime vs duty cycle for CNT-TFT legacy cores."""
+
+from conftest import emit
+
+from repro.eval.figures import fig4_lifetime, fig5_lifetime
+from repro.eval.report import render_table
+
+
+def test_fig5(benchmark):
+    series = benchmark(fig5_lifetime)
+    rows = [
+        (s.core, s.battery, f"{s.points[0][1]:.3f}", f"{s.points[-1][1]:.1f}")
+        for s in series
+    ]
+    emit(render_table(
+        "Figure 5: CNT-TFT lifetime hours (duty 1.0 -> duty 0.001)",
+        ("Core", "Battery", "Hours @ duty 1.0", "Hours @ duty 0.001"),
+        rows,
+    ))
+    assert len(series) == 16
+
+    # CNT cores burn watts: at full duty, every pairing dies within
+    # tens of minutes -- far faster than EGFET (Figure 4).
+    egfet = {(s.core, s.battery): s for s in fig4_lifetime()}
+    for s in series:
+        assert s.points[0][1] < 0.5
+        assert s.points[0][1] < egfet[(s.core, s.battery)].points[0][1]

@@ -1,0 +1,35 @@
+"""Figure 6: the TP-ISA instruction formats and encodings."""
+
+from conftest import emit
+
+from repro.eval.figures import fig6_isa_listing
+from repro.eval.report import render_table
+from repro.isa.encoding import INSTRUCTION_BITS, decode, encode
+from repro.isa.spec import Instruction, MemOperand, Mnemonic, OP_TABLE
+
+
+def test_fig6(benchmark):
+    rows = benchmark(fig6_isa_listing)
+    emit(render_table(
+        "Figure 6: TP-ISA instructions (control bits W C A B)",
+        ("Mnemonic", "Format", "WCAB"),
+        rows,
+    ))
+    assert len(rows) == 19  # the full Figure 6 roster
+
+    # Encoding facts from the figure.
+    assert INSTRUCTION_BITS == 24
+    add_family = [Mnemonic.ADD, Mnemonic.ADC, Mnemonic.SUB, Mnemonic.CMP, Mnemonic.SBB]
+    assert len({OP_TABLE[m].opcode for m in add_family}) == 1
+    assert all(OP_TABLE[m].b == 1 for m in (Mnemonic.BR, Mnemonic.BRN))
+
+    # Full round-trip over every M-type instruction at both BAR
+    # configurations.
+    for mnemonic, spec in OP_TABLE.items():
+        if spec.fmt != "M":
+            continue
+        for bars in (2, 4):
+            instruction = Instruction(
+                mnemonic, dst=MemOperand(5, bar=1), src=MemOperand(3, bar=0)
+            )
+            assert decode(encode(instruction, bars), bars) == instruction

@@ -1,0 +1,81 @@
+"""Figure 7: fmax/area/power of the 24 TP-ISA core configurations."""
+
+from conftest import emit
+
+from repro.baselines.specs import BASELINE_SPECS
+from repro.dse.pareto import pareto_front
+from repro.eval.figures import fig7_design_space
+from repro.eval.report import render_table
+from repro.units import to_cm2, to_mW
+
+
+def test_fig7_egfet(benchmark):
+    points = benchmark(fig7_design_space, "EGFET")
+    rows = [
+        (
+            p.name,
+            f"{p.fmax:.2f}",
+            to_cm2(p.area),
+            to_cm2(p.combinational_area),
+            to_cm2(p.sequential_area),
+            to_mW(p.power_at_fmax),
+            p.gate_count,
+            p.dff_count,
+        )
+        for p in points
+    ]
+    emit(render_table(
+        "Figure 7: TP-ISA design space (EGFET)",
+        ("Core", "Fmax Hz", "Area cm2", "Comb cm2", "Reg cm2",
+         "Power mW", "Gates", "DFFs"),
+        rows,
+    ))
+    assert len(points) == 24
+
+    light8080 = BASELINE_SPECS["light8080"].egfet
+
+    # Headline: the fastest TP core beats the fastest baseline by >38%.
+    fastest = max(points, key=lambda p: p.fmax)
+    assert fastest.fmax > 1.38 * light8080.fmax
+    # Even the slowest TP core beats the Z80 and openMSP430.
+    slowest = min(points, key=lambda p: p.fmax)
+    assert slowest.fmax > BASELINE_SPECS["Z80"].egfet.fmax
+    # The largest TP core is smaller than the smallest baseline.
+    assert max(p.area for p in points) < light8080.area
+    # The 8-bit single-cycle core burns under 7 mW (vs 41.7 mW).
+    best8 = min(
+        (p for p in points if p.config.datawidth == 8 and p.config.pipeline_stages == 1),
+        key=lambda p: p.power_at_fmax,
+    )
+    assert best8.power_at_fmax < 7e-3
+    assert best8.power_at_fmax < 0.2 * light8080.power
+    # Single-stage cores own the Pareto front at every datawidth.
+    for width in (4, 8, 16, 32):
+        group = [p for p in points if p.config.datawidth == width]
+        front = pareto_front(group, lambda p: (p.area, p.power_at_fmax, 1 / p.fmax))
+        assert all(p.config.pipeline_stages == 1 for p in front)
+
+
+def test_fig7_cnt(benchmark):
+    """The CNT-TFT half of Figure 7: same shape, kHz clocks, sub-cm^2
+    areas, watt-class power at nominal frequency."""
+    points = benchmark(fig7_design_space, "CNT-TFT")
+    emit(render_table(
+        "Figure 7: TP-ISA design space (CNT-TFT)",
+        ("Core", "Fmax Hz", "Area cm2", "Power mW"),
+        [(p.name, f"{p.fmax:.0f}", to_cm2(p.area), to_mW(p.power_at_fmax))
+         for p in points],
+    ))
+    assert len(points) == 24
+    # kHz-class clocks (Table 4's baselines run 15-57 kHz there).
+    assert all(p.fmax > 1000 for p in points)
+    # Every core beats the CNT baselines in area by a wide margin.
+    smallest_baseline = min(
+        s.cnt.area for s in BASELINE_SPECS.values()
+    )
+    assert max(p.area for p in points) < smallest_baseline
+    # Single-stage still owns the frontier.
+    for width in (4, 8, 16, 32):
+        group = [p for p in points if p.config.datawidth == width]
+        front = pareto_front(group, lambda p: (p.area, p.power_at_fmax, 1 / p.fmax))
+        assert all(p.config.pipeline_stages == 1 for p in front)

@@ -1,0 +1,63 @@
+"""Section 6: crosspoint ROM vs RAM and vs the prior-art WORM."""
+
+import pytest
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.memory import CrosspointRom, SramArray, WormMemory
+from repro.units import to_mm2
+
+
+def build_comparison():
+    rom = CrosspointRom(words=16, bits_per_word=9)
+    worm = WormMemory(16, 9)
+    ram_bit = SramArray(words=1, bits_per_word=1)
+    rom_bit = CrosspointRom(words=1, bits_per_word=1)
+    return rom, worm, ram_bit, rom_bit
+
+
+def test_sec6_rom_architecture(benchmark):
+    rom, worm, ram_bit, rom_bit = benchmark(build_comparison)
+    emit(render_table(
+        "Section 6: 16x9 instruction memory comparison",
+        ("Design", "Transistors", "Area mm2"),
+        [
+            ("Crosspoint ROM (ours)", rom.transistors, to_mm2(rom.area)),
+            ("+ pull-up resistors", rom.pullup_resistors, ""),
+            ("WORM (Myny et al.)", worm.transistors, to_mm2(worm.area)),
+        ],
+    ))
+    # Published example: 220 transistors + 52 pull-ups in 20.42 mm^2,
+    # under half the WORM's 62.1 mm^2 / 815 transistors.
+    assert rom.transistors == pytest.approx(220, abs=5)
+    assert to_mm2(rom.area) == pytest.approx(20.42, rel=0.02)
+    assert worm.transistors == 815
+    assert to_mm2(worm.area) == pytest.approx(62.1, rel=0.01)
+    assert rom.area < worm.area / 2
+
+
+def test_sec6_rom_beats_ram(benchmark):
+    def ratios():
+        from repro.memory.devices import EGFET_MEMORY_DEVICES
+
+        ram = EGFET_MEMORY_DEVICES["ram_bit"]
+        rom = EGFET_MEMORY_DEVICES["rom_bit"]
+        return (
+            ram.active_power / rom.active_power,
+            ram.area / rom.area,
+            ram.delay / rom.delay,
+        )
+
+    power_ratio, area_ratio, delay_ratio = benchmark(ratios)
+    emit(render_table(
+        "Section 6: crosspoint ROM advantage over RAM-based memory",
+        ("Metric", "ROM advantage", "Paper"),
+        [
+            ("power", round(power_ratio, 2), 5.77),
+            ("area", round(area_ratio, 2), 16.8),
+            ("delay", round(delay_ratio, 2), 2.42),
+        ],
+    ))
+    assert power_ratio == pytest.approx(5.77, rel=0.01)
+    assert area_ratio == pytest.approx(16.8, rel=0.01)
+    assert delay_ratio == pytest.approx(2.42, rel=0.01)

@@ -1,0 +1,64 @@
+"""Section 7 / abstract: program-specific ISA core power and area gains
+("up to 4.18x power and 1.93x area")."""
+
+from conftest import emit
+
+from repro.coregen.config import CoreConfig, program_specific_config
+from repro.dse.sweep import evaluate_design
+from repro.eval.report import render_table
+from repro.isa.analysis import analyze_program
+from repro.programs import BENCHMARKS, build_benchmark
+
+
+def core_level_gains(technology="EGFET"):
+    """Standard vs program-specific *core* power/area per benchmark."""
+    gains = []
+    for name in BENCHMARKS:
+        program = build_benchmark(name, 8, 8)
+        base_config = CoreConfig(datawidth=8)
+        ps_config = program_specific_config(base_config, analyze_program(program))
+        base = evaluate_design(base_config, technology)
+        specific = evaluate_design(ps_config, technology)
+        gains.append((
+            name,
+            base.power_at_fmax / specific.power_at_fmax,
+            base.area / specific.area,
+            specific.fmax / base.fmax,
+        ))
+    return gains
+
+
+def test_sec7_core_gains(benchmark):
+    gains = benchmark(core_level_gains)
+    emit(render_table(
+        "Section 7: program-specific core gains (8-bit benchmarks, EGFET)",
+        ("Benchmark", "Power gain", "Area gain", "Fmax ratio"),
+        [(n, round(p, 2), round(a, 2), round(f, 2)) for n, p, a, f in gains],
+    ))
+    power_gains = [p for _, p, _, _ in gains]
+    area_gains = [a for _, _, a, _ in gains]
+    fmax_ratios = [f for _, _, _, f in gains]
+
+    # Every benchmark benefits on both axes...
+    assert min(power_gains) > 1.0
+    assert min(area_gains) > 1.0
+    # ...with peak gains in the paper's "up to 4.18x / 1.93x" regime.
+    assert 1.5 < max(power_gains) < 6.0
+    assert 1.3 < max(area_gains) < 3.0
+    # fmax varies only mildly ("minor variation in fmax").
+    assert all(0.7 < f < 2.5 for f in fmax_ratios)
+
+
+def test_sec7_cnt_benefits_more(benchmark):
+    """Section 8: CNT cores gain more from PS-ISA than EGFET ones,
+    because CNT registers are costlier relative to logic."""
+    def both():
+        egfet = core_level_gains("EGFET")
+        cnt = core_level_gains("CNT-TFT")
+        return egfet, cnt
+
+    egfet, cnt = benchmark(both)
+    egfet_mean_area = sum(a for _, _, a, _ in egfet) / len(egfet)
+    cnt_mean_area = sum(a for _, _, a, _ in cnt) / len(cnt)
+    emit(f"mean PS area gain: EGFET {egfet_mean_area:.2f}x, CNT {cnt_mean_area:.2f}x\n")
+    assert cnt_mean_area > egfet_mean_area

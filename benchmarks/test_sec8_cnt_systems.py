@@ -1,0 +1,66 @@
+"""Section 8's CNT-TFT observations (benchmark-level results the paper
+describes but does not plot)."""
+
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.eval.system import evaluate_system
+from repro.dse.sweep import evaluate_design
+from repro.coregen.config import CoreConfig
+from repro.power.battery import PRINTED_BATTERIES
+from repro.programs import build_benchmark
+from repro.units import to_mW
+
+
+def run_cnt_study():
+    rows = []
+    for name in ("mult", "div", "tHold", "crc8"):
+        program = build_benchmark(name, 8, 8)
+        egfet = evaluate_system(program, technology="EGFET")
+        cnt = evaluate_system(program, technology="CNT-TFT")
+        rows.append((
+            name,
+            f"{egfet.total_time:.2f}",
+            f"{cnt.total_time * 1e3:.1f}",
+            round(egfet.total_time / cnt.total_time, 1),
+            f"{cnt.imem_time / cnt.total_time:.0%}",
+            round(egfet.total_energy / cnt.total_energy, 2),
+        ))
+    return rows
+
+
+def test_sec8_cnt_benchmarks(benchmark):
+    rows = benchmark(run_cnt_study)
+    emit(render_table(
+        "Section 8: CNT-TFT benchmark-level results",
+        ("Benchmark", "EGFET time s", "CNT time ms", "Speedup",
+         "CNT time in IM", "Energy ratio"),
+        rows,
+    ))
+    for row in rows:
+        # Orders-of-magnitude better performance...
+        assert row[3] > 20
+        # ...but dominated by the 302 us ROM access latency.
+        assert int(row[4].rstrip("%")) > 50
+
+
+def test_sec8_cnt_power_exceeds_batteries(benchmark):
+    """Section 8: 'CNT-TFT power consumption at nominal frequency
+    exceeds the output of currently available printed batteries'."""
+    def nominal_powers():
+        return [
+            evaluate_design(CoreConfig(datawidth=w), "CNT-TFT").power_at_fmax
+            for w in (8, 16, 32)
+        ]
+
+    powers = benchmark(nominal_powers)
+    emit(render_table(
+        "CNT cores at nominal frequency vs printed battery limits",
+        ("Core width", "Power mW", "Largest battery limit mW"),
+        [
+            (w, to_mW(p), to_mW(max(b.max_power for b in PRINTED_BATTERIES)))
+            for w, p in zip((8, 16, 32), powers)
+        ],
+    ))
+    limit = max(battery.max_power for battery in PRINTED_BATTERIES)
+    assert all(power > limit for power in powers)

@@ -1,0 +1,48 @@
+"""Section 8: benchmark-level infeasibility of the legacy cores in
+inkjet-printed EGFET."""
+
+from conftest import emit
+
+from repro.baselines.kernels import run_baseline
+from repro.eval.report import render_table
+from repro.eval.system import evaluate_system
+from repro.power.battery import REFERENCE_BUDGET_J
+from repro.programs import build_benchmark
+
+
+def legacy_rows():
+    rows = []
+    for core in ("light8080", "Z80", "ZPU_small", "openMSP430"):
+        for bench in ("mult", "inSort16"):
+            run = run_baseline(core, bench)
+            rows.append((
+                core, bench,
+                f"{run.time_seconds:.1f}",
+                f"{run.core_energy_joules:.2f}",
+                "yes" if run.core_energy_joules > REFERENCE_BUDGET_J else "no",
+            ))
+    return rows
+
+
+def test_sec8_legacy_infeasible(benchmark):
+    rows = benchmark(legacy_rows)
+    emit(render_table(
+        "Section 8: legacy cores at benchmark level (EGFET)",
+        ("Core", "Benchmark", "Time s", "Core energy J", "Exceeds 30 mAh budget"),
+        rows,
+    ))
+
+    mult = run_baseline("light8080", "mult")
+    # Paper: 44.6 s / 3.66 J for light8080 8-bit multiply -- an order
+    # of magnitude worse than the best TP-ISA core.
+    tp = evaluate_system(build_benchmark("mult", 8, 8))
+    assert mult.time_seconds > 5 * tp.total_time
+    assert mult.core_energy_joules > 10 * tp.total_energy
+
+    # Paper: 16-bit insertion sort exceeds 1000 s on all three 8-bit-
+    # datapath machines; Z80 and ZPU blow the battery's 108 J.
+    for core in ("light8080", "Z80", "ZPU_small"):
+        run = run_baseline(core, "inSort16")
+        assert run.time_seconds > 1000
+    assert run_baseline("Z80", "inSort16").core_energy_joules > REFERENCE_BUDGET_J
+    assert run_baseline("ZPU_small", "inSort16").core_energy_joules > REFERENCE_BUDGET_J

@@ -1,0 +1,20 @@
+"""Table 1: printed/flexible electronics technology comparison."""
+
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.eval.tables import table1_technologies
+
+
+def test_table1(benchmark):
+    headers, rows = benchmark(table1_technologies)
+    emit(render_table("Table 1: printed technology comparison", headers, rows))
+    # The low-voltage technologies the paper builds on stand out:
+    # EGFET pairs sub-1V operation with the highest mobility.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["EGFET"][2] == "<1"
+    assert by_name["EGFET"][3] == max(row[3] for row in rows)
+    assert by_name["Carbon Nanotube"][2] == "1-2"
+    # Organic TFTs need tens of volts -- unusable on printed batteries.
+    otft_voltages = [row for row in rows if row[0].startswith("OTFT")]
+    assert len(otft_voltages) >= 4

@@ -1,0 +1,23 @@
+"""Table 2: standard-cell characteristics for EGFET and CNT-TFT."""
+
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.eval.tables import table2_standard_cells
+from repro.pdk import cnt_tft_library, egfet_library
+
+
+def test_table2(benchmark):
+    headers, rows = benchmark(table2_standard_cells)
+    emit(render_table("Table 2: standard cell characteristics", headers, rows))
+    assert len(rows) == 11
+
+    egfet = egfet_library()
+    cnt = cnt_tft_library()
+    # The architectural driver: sequential cells dwarf combinational.
+    assert egfet.cell("DFFX1").area > 5 * egfet.cell("NAND2X1").area
+    assert egfet.cell("DFFX1").energy > 100 * egfet.cell("NAND2X1").energy
+    # CNT cells are orders of magnitude smaller and faster.
+    for name in egfet.cells:
+        assert cnt.cell(name).area < egfet.cell(name).area
+        assert cnt.cell(name).worst_delay < egfet.cell(name).worst_delay

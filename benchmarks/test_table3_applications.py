@@ -1,0 +1,19 @@
+"""Table 3: example applications and their requirements."""
+
+from conftest import emit
+
+from repro.apps.requirements import APPLICATIONS
+from repro.eval.report import render_table
+from repro.eval.tables import table3_applications
+
+
+def test_table3(benchmark):
+    headers, rows = benchmark(table3_applications)
+    emit(render_table("Table 3: application requirements", headers, rows))
+    assert len(rows) == 17
+    # The motivating envelope: modest sample rates and precisions --
+    # every application fits a <=100 Hz, <=16-bit profile, which is
+    # what makes few-Hz printed cores viable at low duty cycles.
+    assert max(a.sample_rate_hz for a in APPLICATIONS) <= 100
+    assert max(a.precision_bits for a in APPLICATIONS) <= 16
+    assert any(a.precision_bits == 1 for a in APPLICATIONS)

@@ -1,0 +1,32 @@
+"""Table 4: characterization of the four pre-existing cores."""
+
+from conftest import emit
+
+from repro.baselines.model import structural_report
+from repro.baselines.specs import BASELINE_SPECS
+from repro.eval.report import render_table
+from repro.eval.tables import table4_baseline_cores
+from repro.pdk import cnt_tft_library, egfet_library
+
+
+def test_table4(benchmark):
+    headers, rows = benchmark(table4_baseline_cores)
+    emit(render_table("Table 4: pre-existing CPU characterization", headers, rows))
+    assert len(rows) == 4
+
+    # Structural cross-check: area derived from gate count + cell
+    # library lands within ~40% of the published synthesis area for
+    # every core in both technologies.
+    for spec in BASELINE_SPECS.values():
+        for library in (egfet_library(), cnt_tft_library()):
+            report = structural_report(spec, library)
+            assert 0.6 < report.area_ratio < 1.6, (spec.name, library.name)
+
+    # The paper's framing facts.
+    light8080 = BASELINE_SPECS["light8080"]
+    assert light8080.egfet.gate_count == min(
+        s.egfet.gate_count for s in BASELINE_SPECS.values()
+    )
+    assert BASELINE_SPECS["openMSP430"].egfet.fmax == min(
+        s.egfet.fmax for s in BASELINE_SPECS.values()
+    )

@@ -1,0 +1,25 @@
+"""Table 6: EGFET memory device characteristics."""
+
+import pytest
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.eval.tables import table6_memory_devices
+from repro.memory.devices import EGFET_MEMORY_DEVICES
+
+
+def test_table6(benchmark):
+    headers, rows = benchmark(table6_memory_devices)
+    emit(render_table("Table 6: EGFET memory devices", headers, rows))
+    assert len(rows) == 6
+
+    ram = EGFET_MEMORY_DEVICES["ram_bit"]
+    rom = EGFET_MEMORY_DEVICES["rom_bit"]
+    # Headline ratios (Section 6 / abstract): 5.77x / 16.8x / 2.42x.
+    assert ram.active_power / rom.active_power == pytest.approx(5.77, rel=0.01)
+    assert ram.area / rom.area == pytest.approx(16.8, rel=0.01)
+    assert ram.delay / rom.delay == pytest.approx(2.42, rel=0.01)
+    # MLC cells are denser per bit but slower to read.
+    mlc2 = EGFET_MEMORY_DEVICES["rom_mlc2"]
+    assert mlc2.area / 2 < rom.area
+    assert mlc2.delay > rom.delay

@@ -1,0 +1,28 @@
+"""Table 7: program-specific ISA variants per benchmark."""
+
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.eval.tables import table7_program_specific
+
+
+def test_table7(benchmark):
+    headers, rows = benchmark(table7_program_specific)
+    emit(render_table("Table 7: program-specific TP-ISA variants", headers, rows))
+    by_name = {row[0]: row for row in rows}
+
+    # dTree uses all 256 instruction words -> full 8-bit PC and the
+    # full 24-bit instruction (paper: exactly this row).
+    assert by_name["dTree"][1] == 8
+    assert by_name["dTree"][5] == "24 bits"
+    # Straight-line kernels shed all their BARs...
+    for name in ("mult", "div", "intAvg", "dTree"):
+        assert by_name[name][3] == 0
+        assert by_name[name][2] == "N/A"
+    # ...while the dynamic-indexing loops keep exactly one settable BAR.
+    for name in ("inSort", "tHold"):
+        assert by_name[name][3] == 1
+    # intAvg consumes no flags (pure rotate/mask division).
+    assert by_name["intAvg"][4] == 0
+    # Every instruction shrinks to at most the standard 24 bits.
+    assert all(int(row[5].split()[0]) <= 24 for row in rows)

@@ -1,0 +1,33 @@
+"""Table 8: maximum benchmark iterations on a 1 V, 30 mAh battery."""
+
+from conftest import emit
+
+from repro.eval.report import render_table
+from repro.eval.tables import table8_battery_iterations
+
+
+def test_table8(benchmark):
+    headers, rows = benchmark(table8_battery_iterations)
+    emit(render_table(
+        "Table 8: iterations on a 30 mAh battery (STD vs PS cores)",
+        headers, rows,
+    ))
+    by_name = {row[0]: row for row in rows}
+
+    for name, row in by_name.items():
+        for std_col, ps_col in ((1, 2), (3, 4), (5, 6)):
+            std, ps = row[std_col], row[ps_col]
+            if std == "" or ps == "":
+                continue
+            # Program-specific cores always extend battery life...
+            assert ps > std, (name, std_col)
+            # ...within the paper's 1.16x-2.59x gain band (widened).
+            assert 1.0 < ps / std < 3.5, (name, ps / std)
+        # Wider data versions always cost iterations.
+        numeric = [row[i] for i in (1, 3, 5) if row[i] != ""]
+        assert numeric == sorted(numeric, reverse=True), name
+
+    # Ordering claims visible in the published table.
+    assert by_name["dTree"][1] == max(row[1] for row in rows if row[1] != "")
+    assert by_name["inSort"][1] == min(row[1] for row in rows if row[1] != "")
+    assert by_name["crc8"][3] == ""  # crc8 exists at 8 bits only

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Design-space exploration: regenerate the paper's Figure 7 study.
+
+Sweeps the 24 TP-ISA core configurations (datawidth x pipeline depth x
+BAR count) through synthesis-style analysis in both printed
+technologies, prints the measurements, extracts the Pareto frontier,
+and compares the winners against the four pre-existing cores.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.baselines.specs import BASELINE_SPECS
+from repro.dse import pareto_front, sweep_design_space
+from repro.units import to_cm2, to_mW
+
+
+def main() -> None:
+    for technology in ("EGFET", "CNT-TFT"):
+        points = sweep_design_space(technology)
+        print(f"\n=== {technology} design space (24 cores) ===")
+        print(f"{'core':<10} {'fmax':>12} {'area cm2':>10} {'power mW':>10} "
+              f"{'gates':>6} {'DFFs':>5}")
+        for point in points:
+            print(f"{point.name:<10} {point.fmax:>12.2f} "
+                  f"{to_cm2(point.area):>10.3f} "
+                  f"{to_mW(point.power_at_fmax):>10.3f} "
+                  f"{point.gate_count:>6} {point.dff_count:>5}")
+
+        front = pareto_front(
+            points, lambda p: (p.area, p.power_at_fmax, 1.0 / p.fmax)
+        )
+        print(f"\nPareto-optimal cores: {', '.join(p.name for p in front)}")
+        stages = {p.config.pipeline_stages for p in front}
+        print(f"pipeline depths on the frontier: {sorted(stages)} "
+              "(the paper's conclusion: single-stage wins)")
+
+    print("\n=== versus the pre-existing cores (EGFET) ===")
+    egfet = sweep_design_space("EGFET")
+    best8 = min(
+        (p for p in egfet if p.config.datawidth == 8), key=lambda p: p.area
+    )
+    light = BASELINE_SPECS["light8080"].egfet
+    print(f"best 8-bit TP-ISA core: {best8.name}  "
+          f"{to_cm2(best8.area):.2f} cm^2, "
+          f"{to_mW(best8.power_at_fmax):.2f} mW, {best8.fmax:.1f} Hz")
+    print(f"light8080 (smallest baseline): {to_cm2(light.area):.2f} cm^2, "
+          f"{to_mW(light.power):.1f} mW, {light.fmax:.2f} Hz")
+    print(f"advantage: {light.area / best8.area:.1f}x area, "
+          f"{light.power / best8.power_at_fmax:.1f}x power")
+
+
+if __name__ == "__main__":
+    main()

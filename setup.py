@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+legacy `pip install -e .` in offline environments whose setuptools
+cannot build PEP 517 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Reproduction of "Printed Microprocessors" (ISCA 2020).
+
+A full-system Python implementation of the paper's printed-electronics
+microprocessor study: standard-cell libraries for the EGFET and
+CNT-TFT printing technologies, a gate-level synthesis/timing/power
+substrate, the TP-ISA instruction set with toolchain and simulators, a
+parametric core generator verified by gate-level co-simulation,
+printed memory and battery models, the four baseline microprocessors,
+and harnesses regenerating every table and figure.
+
+Most users start from:
+
+* :func:`repro.isa.assemble` / :class:`repro.sim.Machine` -- write and
+  run TP-ISA programs;
+* :class:`repro.coregen.CoreConfig` /
+  :func:`repro.coregen.generate_core` -- elaborate printable cores;
+* :func:`repro.eval.evaluate_system` -- full-system PPA of a program
+  on a core with right-sized memories;
+* :mod:`repro.eval.tables` / :mod:`repro.eval.figures` -- regenerate
+  the paper's results (or ``python -m repro table8`` from a shell).
+"""
+
+from repro.isa import assemble, Program
+from repro.sim import Machine
+from repro.coregen import CoreConfig, generate_core
+from repro.eval import evaluate_system
+from repro.pdk import egfet_library, cnt_tft_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "Program",
+    "Machine",
+    "CoreConfig",
+    "generate_core",
+    "evaluate_system",
+    "egfet_library",
+    "cnt_tft_library",
+    "__version__",
+]

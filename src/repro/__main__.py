@@ -1,0 +1,152 @@
+"""Command-line regeneration of the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                # what can be regenerated
+    python -m repro table2             # one table
+    python -m repro table8 fig7        # several at once
+    python -m repro all                # everything (takes ~a minute)
+    python -m repro export [DIR]       # write release artifacts
+                                       # (.lib, .v, .hex, dot maps)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.eval import figures, tables
+from repro.eval.report import render_table
+from repro.units import to_cm2, to_mW
+
+
+def _print_fig4(technology: str) -> None:
+    series = figures.fig4_lifetime(technology)
+    rows = [
+        (s.core, s.battery, f"{s.points[0][1]:.2f}", f"{s.points[-1][1]:.0f}")
+        for s in series
+    ]
+    print(render_table(
+        f"Lifetime hours in {technology} (duty 1.0 -> 0.001)",
+        ("Core", "Battery", "Full duty", "Duty 0.001"),
+        rows,
+    ))
+
+
+def _print_fig7(technology: str) -> None:
+    points = figures.fig7_design_space(technology)
+    rows = [
+        (p.name, f"{p.fmax:.2f}", to_cm2(p.area), to_mW(p.power_at_fmax),
+         p.gate_count, p.dff_count)
+        for p in points
+    ]
+    print(render_table(
+        f"Figure 7: design space in {technology}",
+        ("Core", "Fmax Hz", "Area cm2", "Power mW", "Gates", "DFFs"),
+        rows,
+    ))
+
+
+def _print_fig8() -> None:
+    for name, width in (("mult", 8), ("dTree", 8)):
+        results = figures.fig8_benchmark(name, width)
+        rows = [
+            (m.core_name, to_cm2(m.total_area), m.total_energy * 1e3,
+             f"{m.total_time:.2f}")
+            for m in results
+        ]
+        print(render_table(
+            f"Figure 8: {name}{width} (EGFET)",
+            ("Core", "Area cm2", "Energy mJ", "Time s"),
+            rows,
+        ))
+
+
+def export_artifacts(directory: str = "build") -> list[str]:
+    """Write the open-source release artifacts to ``directory``.
+
+    Produces the deliverables the paper open-sourced (or that a
+    physical flow consumes): Liberty cell libraries, structural
+    Verilog for every sweep core, and per-benchmark ROM images as
+    Intel HEX plus crosspoint dot-map statistics.
+    """
+    from repro.coregen.config import CoreConfig, standard_sweep
+    from repro.coregen.generator import generate_core
+    from repro.coregen.isa_map import encode_program_for_core
+    from repro.isa.hexfile import dump_hex
+    from repro.memory.romimage import dot_map
+    from repro.netlist.verilog import dump_verilog
+    from repro.pdk import cnt_tft_library, dump_liberty, egfet_library
+    from repro.programs import BENCHMARKS, build_benchmark
+
+    root = Path(directory)
+    written: list[str] = []
+
+    def write(path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        written.append(str(path))
+
+    for library in (egfet_library(), cnt_tft_library()):
+        write(root / "lib" / f"{library.name}.lib", dump_liberty(library))
+
+    for config in standard_sweep():
+        write(
+            root / "rtl" / f"{config.name}.v",
+            dump_verilog(generate_core(config)),
+        )
+
+    config = CoreConfig(datawidth=8)
+    dot_stats = ["benchmark words dots density"]
+    for name in BENCHMARKS:
+        program = build_benchmark(name, 8, 8)
+        words = encode_program_for_core(program, config)
+        write(root / "rom" / f"{name}8.hex", dump_hex(words))
+        image = dot_map(words, bits_per_word=24)
+        dot_stats.append(
+            f"{name} {len(words)} {image.printed_dots} {image.dot_density:.3f}"
+        )
+    write(root / "rom" / "dotmap_stats.txt", "\n".join(dot_stats) + "\n")
+    return written
+
+
+TARGETS = {
+    "table1": lambda: print(render_table("Table 1", *tables.table1_technologies())),
+    "table2": lambda: print(render_table("Table 2", *tables.table2_standard_cells())),
+    "table3": lambda: print(render_table("Table 3", *tables.table3_applications())),
+    "table4": lambda: print(render_table("Table 4", *tables.table4_baseline_cores())),
+    "table5": lambda: print(render_table("Table 5", *tables.table5_imem_overhead())),
+    "table6": lambda: print(render_table("Table 6", *tables.table6_memory_devices())),
+    "table7": lambda: print(render_table("Table 7", *tables.table7_program_specific())),
+    "table8": lambda: print(render_table("Table 8", *tables.table8_battery_iterations())),
+    "fig4": lambda: _print_fig4("EGFET"),
+    "fig5": lambda: _print_fig4("CNT-TFT"),
+    "fig7": lambda: _print_fig7("EGFET"),
+    "fig8": _print_fig8,
+}
+
+
+def main(argv: list[str]) -> int:
+    requests = argv or ["list"]
+    if requests == ["list"]:
+        print("regenerable results:", " ".join(TARGETS), "all export")
+        return 0
+    if requests[0] == "export":
+        directory = requests[1] if len(requests) > 1 else "build"
+        written = export_artifacts(directory)
+        print(f"wrote {len(written)} artifacts under {directory}/")
+        return 0
+    if requests == ["all"]:
+        requests = list(TARGETS)
+    unknown = [r for r in requests if r not in TARGETS]
+    if unknown:
+        print(f"unknown target(s): {' '.join(unknown)}", file=sys.stderr)
+        print("regenerable results:", " ".join(TARGETS), "all", file=sys.stderr)
+        return 2
+    for request in requests:
+        TARGETS[request]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

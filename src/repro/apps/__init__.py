@@ -1,0 +1,13 @@
+"""Printed-application catalogue and core-feasibility matching."""
+
+from repro.apps.requirements import APPLICATIONS, Application, DutyCycle
+from repro.apps.feasibility import FeasibilityVerdict, assess, feasible_applications
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "DutyCycle",
+    "FeasibilityVerdict",
+    "assess",
+    "feasible_applications",
+]

@@ -1,0 +1,92 @@
+"""Application requirements catalogue (Table 3).
+
+The seventeen example applications the paper targets, with their sample
+rates, precision needs, and duty-cycle classes.  These drive the
+feasibility arguments of Section 4 (which applications an EGFET core's
+few-Hz fmax can serve) and motivate the datawidth axis of the design
+space (many applications need only 8 or 16 bits).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DutyCycle(enum.Enum):
+    """Coarse duty-cycle classes used in Table 3."""
+
+    CONTINUOUS = "continuous"
+    SECONDS = "seconds"
+    MINUTES = "minutes"
+    HOURS = "hours"
+    SINGLE_USE = "single use"
+
+    @property
+    def typical_fraction(self) -> float:
+        """Representative active-time fraction for lifetime estimates.
+
+        Assumes a one-second active window per activation period.
+        """
+        return {
+            DutyCycle.CONTINUOUS: 1.0,
+            DutyCycle.SECONDS: 1.0 / 10.0,
+            DutyCycle.MINUTES: 1.0 / 60.0,
+            DutyCycle.HOURS: 1.0 / 3600.0,
+            DutyCycle.SINGLE_USE: 1.0,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Application:
+    """One Table 3 row.
+
+    Attributes:
+        name: Application name.
+        sample_rate_hz: Maximum sensor sample rate in Hz.
+        precision_bits: Data precision the computation needs.
+        duty_cycle: Coarse activation-period class.
+        ops_per_sample: Assumed instructions of processing per sample
+            (a modest fixed estimate used for throughput feasibility).
+    """
+
+    name: str
+    sample_rate_hz: float
+    precision_bits: int
+    duty_cycle: DutyCycle
+    ops_per_sample: int = 10
+
+    @property
+    def required_ips(self) -> float:
+        """Instructions per second the application needs while active."""
+        return self.sample_rate_hz * self.ops_per_sample
+
+
+#: Table 3 verbatim (rates are the table's upper bounds).
+APPLICATIONS: tuple[Application, ...] = (
+    Application("Blood Pressure Sensor", 100, 8, DutyCycle.HOURS),
+    Application("Odor Sensor", 25, 8, DutyCycle.MINUTES),
+    Application("Heart Beat Sensor", 4, 1, DutyCycle.SECONDS),
+    Application("Pressure Sensor", 5.5, 12, DutyCycle.CONTINUOUS),
+    Application("Light Level Sensor", 1, 16, DutyCycle.CONTINUOUS),
+    Application("Trace Metal Sensor", 25, 16, DutyCycle.MINUTES),
+    Application("Food Temp. Sensor", 1, 16, DutyCycle.MINUTES),
+    Application("Alcohol Sensor", 1, 8, DutyCycle.SINGLE_USE),
+    Application("Humidity Sensor", 10, 16, DutyCycle.CONTINUOUS),
+    Application("Body Temperature Sensor", 1, 8, DutyCycle.MINUTES),
+    Application("Smart Bandage", 0.01, 8, DutyCycle.CONTINUOUS),
+    Application("Tremor Sensor", 25, 16, DutyCycle.SECONDS),
+    Application("Oral-Nasal Airflow", 25, 8, DutyCycle.SECONDS),
+    Application("Perspiration Sensor", 25, 16, DutyCycle.MINUTES),
+    Application("Pedometer", 25, 1, DutyCycle.SECONDS),
+    Application("Timer", 1, 1, DutyCycle.SINGLE_USE),
+    Application("POS Computation", 100, 8, DutyCycle.SINGLE_USE),
+)
+
+
+def application_by_name(name: str) -> Application:
+    """Look up a catalogue application by (partial) name."""
+    for application in APPLICATIONS:
+        if name.lower() in application.name.lower():
+            return application
+    raise KeyError(f"no application matching {name!r}")

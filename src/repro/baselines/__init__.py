@@ -1,0 +1,29 @@
+"""Baseline microprocessor models (Section 4).
+
+The paper characterizes four pre-existing ultra-low-power cores --
+openMSP430, Z80, light8080, and ZPU -- as the yardstick TP-ISA must
+beat.  This package provides:
+
+* :mod:`repro.baselines.specs` -- the published Table 4
+  characterization (gate counts, fmax, area, power per technology),
+  treated as inputs;
+* :mod:`repro.baselines.model` -- a structural cross-check deriving
+  area/power from gate counts through the same cell-library math used
+  for TP-ISA cores;
+* functional instruction-set simulators with cycle-accurate timing and
+  code builders for each baseline ISA (:mod:`repro.baselines.i8080`,
+  :mod:`repro.baselines.zpu`, :mod:`repro.baselines.msp430`);
+* :mod:`repro.baselines.kernels` -- the seven paper benchmarks written
+  for each baseline ISA, supplying Table 5's static code sizes and
+  Section 8's execution-time/energy comparisons.
+"""
+
+from repro.baselines.specs import BASELINE_SPECS, BaselineSpec
+from repro.baselines.model import structural_report, StructuralReport
+
+__all__ = [
+    "BASELINE_SPECS",
+    "BaselineSpec",
+    "structural_report",
+    "StructuralReport",
+]

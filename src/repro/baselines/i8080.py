@@ -1,0 +1,531 @@
+"""Intel 8080 / Zilog Z80 functional simulator and code builder.
+
+Models the two accumulator-machine baselines (light8080 is a low gate
+count 8080 implementation; the Z80 executes an enhanced 8080 ISA).
+The simulator is cycle-accurate at the T-state level using the
+documented instruction timings, which is what turns our hand-written
+benchmark kernels into the Section 8 execution-time and energy numbers
+(a microcoded core spends one synthesized clock per T-state, matching
+the published CPI ranges of 5-30 for light8080 and 3-23 for Z80).
+
+Only the instruction subset the benchmark kernels need is implemented;
+unknown opcodes raise, so coverage gaps are loud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError, SimulationError
+
+# Register codes (8080 encoding order).
+B, C, D, E, H, L, M, A = range(8)
+REG_NAMES = "B C D E H L M A".split()
+
+# Register-pair codes.
+BC, DE, HL, SP = range(4)
+
+# Flag bit positions (8080 PSW layout).
+FLAG_S = 0x80
+FLAG_Z = 0x40
+FLAG_P = 0x04
+FLAG_CY = 0x01
+
+
+@dataclass
+class CpuStats:
+    """Dynamic execution statistics."""
+
+    instructions: int = 0
+    t_states: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+
+class I8080:
+    """Functional 8080 simulator with T-state accounting.
+
+    Args:
+        code: Program bytes, loaded at address 0.
+        memory_size: Total address space to model.
+        z80_timing: Use Z80 machine-cycle counts (and enable the Z80
+            extension opcodes DJNZ / JR).
+    """
+
+    def __init__(self, code: bytes, memory_size: int = 4096, z80_timing: bool = False) -> None:
+        if len(code) > memory_size:
+            raise SimulationError("program does not fit in memory")
+        self.memory = bytearray(memory_size)
+        self.memory[: len(code)] = code
+        self.code_size = len(code)
+        self.z80 = z80_timing
+        self.regs = [0] * 8  # index M unused
+        self.pc = 0
+        self.sp = memory_size - 2
+        self.flags = 0
+        self.halted = False
+        self.stats = CpuStats()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _read(self, address: int) -> int:
+        self.stats.memory_reads += 1
+        return self.memory[address & 0xFFFF]
+
+    def _write(self, address: int, value: int) -> None:
+        self.stats.memory_writes += 1
+        self.memory[address & 0xFFFF] = value & 0xFF
+
+    def reg_get(self, code: int) -> int:
+        if code == M:
+            return self._read(self.hl)
+        return self.regs[code]
+
+    def reg_set(self, code: int, value: int) -> None:
+        if code == M:
+            self._write(self.hl, value)
+        else:
+            self.regs[code] = value & 0xFF
+
+    @property
+    def hl(self) -> int:
+        return (self.regs[H] << 8) | self.regs[L]
+
+    def pair_get(self, pair: int) -> int:
+        if pair == BC:
+            return (self.regs[B] << 8) | self.regs[C]
+        if pair == DE:
+            return (self.regs[D] << 8) | self.regs[E]
+        if pair == HL:
+            return self.hl
+        return self.sp
+
+    def pair_set(self, pair: int, value: int) -> None:
+        value &= 0xFFFF
+        if pair == BC:
+            self.regs[B], self.regs[C] = value >> 8, value & 0xFF
+        elif pair == DE:
+            self.regs[D], self.regs[E] = value >> 8, value & 0xFF
+        elif pair == HL:
+            self.regs[H], self.regs[L] = value >> 8, value & 0xFF
+        else:
+            self.sp = value
+
+    def _set_zsp(self, value: int) -> None:
+        self.flags &= ~(FLAG_S | FLAG_Z | FLAG_P)
+        if value & 0x80:
+            self.flags |= FLAG_S
+        if value == 0:
+            self.flags |= FLAG_Z
+        if bin(value).count("1") % 2 == 0:
+            self.flags |= FLAG_P
+
+    def _arith(self, operand: int, subtract: bool, with_carry: bool, store: bool = True) -> None:
+        carry_in = (self.flags & FLAG_CY) if with_carry else 0
+        if subtract:
+            total = self.regs[A] - operand - carry_in
+            carry_out = total < 0
+        else:
+            total = self.regs[A] + operand + carry_in
+            carry_out = total > 0xFF
+        result = total & 0xFF
+        self._set_zsp(result)
+        self.flags = (self.flags | FLAG_CY) if carry_out else (self.flags & ~FLAG_CY)
+        if store:
+            self.regs[A] = result
+
+    def _logic(self, operand: int, op: str) -> None:
+        if op == "and":
+            self.regs[A] &= operand
+        elif op == "or":
+            self.regs[A] |= operand
+        else:
+            self.regs[A] ^= operand
+        self._set_zsp(self.regs[A])
+        self.flags &= ~FLAG_CY
+
+    def _condition(self, code: int) -> bool:
+        flag, wanted = [
+            (FLAG_Z, 0), (FLAG_Z, 1), (FLAG_CY, 0), (FLAG_CY, 1),
+            (FLAG_P, 0), (FLAG_P, 1), (FLAG_S, 0), (FLAG_S, 1),
+        ][code]
+        return bool(self.flags & flag) == bool(wanted)
+
+    def _fetch(self) -> int:
+        value = self.memory[self.pc]
+        self.pc = (self.pc + 1) & 0xFFFF
+        return value
+
+    def _fetch16(self) -> int:
+        low = self._fetch()
+        return low | (self._fetch() << 8)
+
+    def _t(self, i8080_states: int, z80_states: int | None = None) -> None:
+        self.stats.t_states += (
+            z80_states if (self.z80 and z80_states is not None) else i8080_states
+        )
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> None:  # noqa: C901 - opcode dispatch is a big switch
+        if self.halted:
+            return
+        self.stats.instructions += 1
+        opcode = self._fetch()
+
+        if opcode == 0x76:  # HLT
+            self.halted = True
+            self._t(7, 4)
+        elif opcode & 0xC0 == 0x40:  # MOV r,r
+            dst, src = (opcode >> 3) & 7, opcode & 7
+            self.reg_set(dst, self.reg_get(src))
+            self._t(7 if M in (dst, src) else 5, 7 if M in (dst, src) else 4)
+        elif opcode & 0xC7 == 0x06:  # MVI r,imm
+            dst = (opcode >> 3) & 7
+            self.reg_set(dst, self._fetch())
+            self._t(10 if dst == M else 7)
+        elif opcode & 0xCF == 0x01:  # LXI rp,imm16
+            self.pair_set((opcode >> 4) & 3, self._fetch16())
+            self._t(10)
+        elif opcode == 0x3A:  # LDA a16
+            self.regs[A] = self._read(self._fetch16())
+            self._t(13)
+        elif opcode == 0x32:  # STA a16
+            self._write(self._fetch16(), self.regs[A])
+            self._t(13)
+        elif opcode in (0x0A, 0x1A):  # LDAX B/D
+            self.regs[A] = self._read(self.pair_get((opcode >> 4) & 3))
+            self._t(7)
+        elif opcode in (0x02, 0x12):  # STAX B/D
+            self._write(self.pair_get((opcode >> 4) & 3), self.regs[A])
+            self._t(7)
+        elif opcode & 0xC7 == 0x04:  # INR r
+            dst = (opcode >> 3) & 7
+            value = (self.reg_get(dst) + 1) & 0xFF
+            self.reg_set(dst, value)
+            self._set_zsp(value)
+            self._t(10 if dst == M else 5, 11 if dst == M else 4)
+        elif opcode & 0xC7 == 0x05:  # DCR r
+            dst = (opcode >> 3) & 7
+            value = (self.reg_get(dst) - 1) & 0xFF
+            self.reg_set(dst, value)
+            self._set_zsp(value)
+            self._t(10 if dst == M else 5, 11 if dst == M else 4)
+        elif opcode & 0xCF == 0x03:  # INX rp
+            pair = (opcode >> 4) & 3
+            self.pair_set(pair, self.pair_get(pair) + 1)
+            self._t(5, 6)
+        elif opcode & 0xCF == 0x0B:  # DCX rp
+            pair = (opcode >> 4) & 3
+            self.pair_set(pair, self.pair_get(pair) - 1)
+            self._t(5, 6)
+        elif opcode & 0xCF == 0x09:  # DAD rp
+            total = self.hl + self.pair_get((opcode >> 4) & 3)
+            self.flags = (self.flags | FLAG_CY) if total > 0xFFFF else (self.flags & ~FLAG_CY)
+            self.pair_set(HL, total)
+            self._t(10, 11)
+        elif opcode & 0xC0 == 0x80:  # arithmetic/logic on register
+            src = opcode & 7
+            operand = self.reg_get(src)
+            group = (opcode >> 3) & 7
+            self._dispatch_alu(group, operand)
+            self._t(7 if src == M else 4)
+        elif opcode & 0xC7 == 0xC6:  # immediate arithmetic/logic
+            self._dispatch_alu((opcode >> 3) & 7, self._fetch())
+            self._t(7)
+        elif opcode == 0x07:  # RLC
+            a = self.regs[A]
+            carry = a >> 7
+            self.regs[A] = ((a << 1) | carry) & 0xFF
+            self.flags = (self.flags | FLAG_CY) if carry else (self.flags & ~FLAG_CY)
+            self._t(4)
+        elif opcode == 0x0F:  # RRC
+            a = self.regs[A]
+            carry = a & 1
+            self.regs[A] = (a >> 1) | (carry << 7)
+            self.flags = (self.flags | FLAG_CY) if carry else (self.flags & ~FLAG_CY)
+            self._t(4)
+        elif opcode == 0x17:  # RAL
+            a = self.regs[A]
+            carry_in = self.flags & FLAG_CY
+            carry = a >> 7
+            self.regs[A] = ((a << 1) | carry_in) & 0xFF
+            self.flags = (self.flags | FLAG_CY) if carry else (self.flags & ~FLAG_CY)
+            self._t(4)
+        elif opcode == 0x1F:  # RAR
+            a = self.regs[A]
+            carry_in = (self.flags & FLAG_CY) << 7
+            carry = a & 1
+            self.regs[A] = (a >> 1) | carry_in
+            self.flags = (self.flags | FLAG_CY) if carry else (self.flags & ~FLAG_CY)
+            self._t(4)
+        elif opcode == 0xC3:  # JMP
+            self.pc = self._fetch16()
+            self._t(10)
+        elif opcode & 0xC7 == 0xC2:  # conditional jump
+            target = self._fetch16()
+            if self._condition((opcode >> 3) & 7):
+                self.pc = target
+            self._t(10)
+        elif opcode == 0xCD:  # CALL
+            target = self._fetch16()
+            self._push16(self.pc)
+            self.pc = target
+            self._t(17)
+        elif opcode == 0xC9:  # RET
+            self.pc = self._pop16()
+            self._t(10)
+        elif opcode & 0xCF == 0xC5:  # PUSH rp (PSW unsupported)
+            self._push16(self.pair_get((opcode >> 4) & 3))
+            self._t(11)
+        elif opcode & 0xCF == 0xC1:  # POP rp
+            self.pair_set((opcode >> 4) & 3, self._pop16())
+            self._t(10)
+        elif opcode == 0xEB:  # XCHG
+            de, hl = self.pair_get(DE), self.pair_get(HL)
+            self.pair_set(DE, hl)
+            self.pair_set(HL, de)
+            self._t(5, 4)
+        elif opcode == 0x10 and self.z80:  # DJNZ rel
+            offset = self._fetch()
+            self.regs[B] = (self.regs[B] - 1) & 0xFF
+            if self.regs[B]:
+                self.pc = (self.pc + _signed(offset)) & 0xFFFF
+                self._t(13)
+            else:
+                self._t(8)
+        elif opcode == 0x18 and self.z80:  # JR rel
+            offset = self._fetch()
+            self.pc = (self.pc + _signed(offset)) & 0xFFFF
+            self._t(12)
+        elif opcode & 0xE7 == 0x20 and self.z80:  # JR cc,rel
+            offset = self._fetch()
+            if self._condition((opcode >> 3) & 3):
+                self.pc = (self.pc + _signed(offset)) & 0xFFFF
+                self._t(12)
+            else:
+                self._t(7)
+        elif opcode == 0x00:  # NOP
+            self._t(4)
+        else:
+            raise SimulationError(f"unimplemented opcode {opcode:#04x} at {self.pc - 1:#06x}")
+
+    def _dispatch_alu(self, group: int, operand: int) -> None:
+        if group == 0:
+            self._arith(operand, subtract=False, with_carry=False)
+        elif group == 1:
+            self._arith(operand, subtract=False, with_carry=True)
+        elif group == 2:
+            self._arith(operand, subtract=True, with_carry=False)
+        elif group == 3:
+            self._arith(operand, subtract=True, with_carry=True)
+        elif group == 4:
+            self._logic(operand, "and")
+        elif group == 5:
+            self._logic(operand, "xor")
+        elif group == 6:
+            self._logic(operand, "or")
+        else:  # CMP
+            self._arith(operand, subtract=True, with_carry=False, store=False)
+
+    def _push16(self, value: int) -> None:
+        self.sp = (self.sp - 2) & 0xFFFF
+        self._write(self.sp, value & 0xFF)
+        self._write(self.sp + 1, value >> 8)
+
+    def _pop16(self) -> int:
+        low = self._read(self.sp)
+        high = self._read(self.sp + 1)
+        self.sp = (self.sp + 2) & 0xFFFF
+        return low | (high << 8)
+
+    def run(self, max_steps: int = 2_000_000) -> CpuStats:
+        """Run until HLT; raises on runaway."""
+        for _ in range(max_steps):
+            if self.halted:
+                return self.stats
+            self.step()
+        raise SimulationError("8080 program did not halt")
+
+
+def _signed(byte: int) -> int:
+    return byte - 256 if byte & 0x80 else byte
+
+
+# -- code builder ---------------------------------------------------------------
+
+
+class Asm8080:
+    """Tiny 8080/Z80 code builder with label fixups.
+
+    Emits raw bytes; data lives at fixed absolute addresses chosen by
+    the kernel (above the code, below the stack).
+    """
+
+    def __init__(self, z80: bool = False) -> None:
+        self.code = bytearray()
+        self.z80 = z80
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []      # absolute 16-bit
+        self._rel_fixups: list[tuple[int, str]] = []  # Z80 relative
+
+    # labels ------------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self.code)
+
+    def _abs(self, target: str) -> None:
+        self._fixups.append((len(self.code), target))
+        self.code += b"\x00\x00"
+
+    # data movement ------------------------------------------------------------
+
+    def mvi(self, reg: int, value: int) -> None:
+        self.code += bytes([0x06 | (reg << 3), value & 0xFF])
+
+    def mov(self, dst: int, src: int) -> None:
+        self.code.append(0x40 | (dst << 3) | src)
+
+    def lxi(self, pair: int, value: int) -> None:
+        self.code += bytes([0x01 | (pair << 4), value & 0xFF, value >> 8])
+
+    def lda(self, address: int) -> None:
+        self.code += bytes([0x3A, address & 0xFF, address >> 8])
+
+    def sta(self, address: int) -> None:
+        self.code += bytes([0x32, address & 0xFF, address >> 8])
+
+    def ldax(self, pair: int) -> None:
+        self.code.append(0x0A | (pair << 4))
+
+    def stax(self, pair: int) -> None:
+        self.code.append(0x02 | (pair << 4))
+
+    def xchg(self) -> None:
+        self.code.append(0xEB)
+
+    # arithmetic ------------------------------------------------------------------
+
+    def inr(self, reg: int) -> None:
+        self.code.append(0x04 | (reg << 3))
+
+    def dcr(self, reg: int) -> None:
+        self.code.append(0x05 | (reg << 3))
+
+    def inx(self, pair: int) -> None:
+        self.code.append(0x03 | (pair << 4))
+
+    def dcx(self, pair: int) -> None:
+        self.code.append(0x0B | (pair << 4))
+
+    def dad(self, pair: int) -> None:
+        self.code.append(0x09 | (pair << 4))
+
+    def alu(self, group: int, reg: int) -> None:
+        self.code.append(0x80 | (group << 3) | reg)
+
+    def add(self, reg: int) -> None:
+        self.alu(0, reg)
+
+    def adc(self, reg: int) -> None:
+        self.alu(1, reg)
+
+    def sub(self, reg: int) -> None:
+        self.alu(2, reg)
+
+    def sbb(self, reg: int) -> None:
+        self.alu(3, reg)
+
+    def ana(self, reg: int) -> None:
+        self.alu(4, reg)
+
+    def xra(self, reg: int) -> None:
+        self.alu(5, reg)
+
+    def ora(self, reg: int) -> None:
+        self.alu(6, reg)
+
+    def cmp(self, reg: int) -> None:
+        self.alu(7, reg)
+
+    def alu_imm(self, group: int, value: int) -> None:
+        self.code += bytes([0xC6 | (group << 3), value & 0xFF])
+
+    def adi(self, value: int) -> None:
+        self.alu_imm(0, value)
+
+    def sui(self, value: int) -> None:
+        self.alu_imm(2, value)
+
+    def ani(self, value: int) -> None:
+        self.alu_imm(4, value)
+
+    def xri(self, value: int) -> None:
+        self.alu_imm(5, value)
+
+    def cpi(self, value: int) -> None:
+        self.alu_imm(7, value)
+
+    def rlc(self) -> None:
+        self.code.append(0x07)
+
+    def rrc(self) -> None:
+        self.code.append(0x0F)
+
+    def ral(self) -> None:
+        self.code.append(0x17)
+
+    def rar(self) -> None:
+        self.code.append(0x1F)
+
+    # control flow ------------------------------------------------------------------
+
+    def jmp(self, target: str) -> None:
+        self.code.append(0xC3)
+        self._abs(target)
+
+    def jcond(self, condition: int, target: str) -> None:
+        self.code.append(0xC2 | (condition << 3))
+        self._abs(target)
+
+    def jnz(self, target: str) -> None:
+        self.jcond(0, target)
+
+    def jz(self, target: str) -> None:
+        self.jcond(1, target)
+
+    def jnc(self, target: str) -> None:
+        self.jcond(2, target)
+
+    def jc(self, target: str) -> None:
+        self.jcond(3, target)
+
+    def djnz(self, target: str) -> None:
+        if not self.z80:
+            raise AssemblerError("DJNZ is a Z80 instruction")
+        self.code.append(0x10)
+        self._rel_fixups.append((len(self.code), target))
+        self.code.append(0)
+
+    def hlt(self) -> None:
+        self.code.append(0x76)
+
+    # finalize ----------------------------------------------------------------------
+
+    def assemble(self) -> bytes:
+        for position, target in self._fixups:
+            if target not in self._labels:
+                raise AssemblerError(f"undefined label {target!r}")
+            address = self._labels[target]
+            self.code[position] = address & 0xFF
+            self.code[position + 1] = address >> 8
+        for position, target in self._rel_fixups:
+            if target not in self._labels:
+                raise AssemblerError(f"undefined label {target!r}")
+            offset = self._labels[target] - (position + 1)
+            if not -128 <= offset <= 127:
+                raise AssemblerError(f"relative jump to {target!r} out of range")
+            self.code[position] = offset & 0xFF
+        return bytes(self.code)

@@ -1,0 +1,109 @@
+"""Uniform access to every (baseline core, benchmark) pairing.
+
+Combines the per-ISA kernel builders with the published Table 4
+characterization to produce the application-level quantities Section 8
+compares against TP-ISA: static code size (instruction-memory demand,
+Table 5), execution time (``cycles / fmax``), and core energy
+(``power x time``) in either printed technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.kernels_i8080 import I8080_KERNELS
+from repro.baselines.kernels_msp430 import MSP430_KERNELS
+from repro.baselines.kernels_zpu import ZPU_KERNELS
+from repro.baselines.specs import BASELINE_SPECS
+from repro.errors import ConfigError
+
+#: Baseline core names (Table 4 order).
+BASELINE_CORES = ("openMSP430", "Z80", "light8080", "ZPU_small")
+
+#: Benchmark names shared with the TP-ISA suite (``inSort16`` is the
+#: 16-bit-data variant behind Section 8's >1000 s observation).
+BENCHMARK_NAMES = (
+    "mult", "div", "inSort", "inSort16", "intAvg", "tHold", "crc8", "dTree"
+)
+
+
+@dataclass(frozen=True)
+class BaselineRun:
+    """Result of running one benchmark on one baseline core."""
+
+    core: str
+    benchmark: str
+    technology: str
+    size_bytes: int
+    instructions: int
+    cycles: int
+    time_seconds: float
+    core_energy_joules: float
+    result: dict
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+
+def build_kernel(core: str, benchmark: str, **kwargs):
+    """Build (assemble) one benchmark for one baseline core."""
+    if core == "light8080":
+        builder = I8080_KERNELS.get(benchmark)
+        return builder(z80=False, **kwargs) if builder else _missing(core, benchmark)
+    if core == "Z80":
+        builder = I8080_KERNELS.get(benchmark)
+        return builder(z80=True, **kwargs) if builder else _missing(core, benchmark)
+    if core == "ZPU_small":
+        builder = ZPU_KERNELS.get(benchmark)
+        return builder(**kwargs) if builder else _missing(core, benchmark)
+    if core == "openMSP430":
+        builder = MSP430_KERNELS.get(benchmark)
+        return builder(**kwargs) if builder else _missing(core, benchmark)
+    raise ConfigError(f"unknown baseline core {core!r}")
+
+
+def _missing(core: str, benchmark: str):
+    raise ConfigError(f"benchmark {benchmark!r} not implemented for {core!r}")
+
+
+def _cycles(core: str, stats) -> int:
+    """Synthesized-clock cycles for a run.
+
+    The microcoded 8080-family cores spend one clock per T-state; the
+    ZPU and MSP430 simulators report cycles directly.
+    """
+    if core in ("light8080", "Z80"):
+        return stats.t_states
+    return stats.cycles
+
+
+def run_baseline(
+    core: str, benchmark: str, technology: str = "EGFET", **kwargs
+) -> BaselineRun:
+    """Assemble, execute, and time one benchmark on one baseline.
+
+    Args:
+        core: One of :data:`BASELINE_CORES`.
+        benchmark: One of :data:`BENCHMARK_NAMES`.
+        technology: ``"EGFET"`` or ``"CNT-TFT"`` (selects fmax/power
+            from Table 4).
+        **kwargs: Forwarded to the kernel builder (custom inputs).
+    """
+    kernel = build_kernel(core, benchmark, **kwargs)
+    stats, result = kernel.execute()
+    spec = BASELINE_SPECS[core]
+    point = spec.point(technology)
+    cycles = _cycles(core, stats)
+    time_seconds = cycles / point.fmax
+    return BaselineRun(
+        core=core,
+        benchmark=benchmark,
+        technology=technology,
+        size_bytes=kernel.size_bytes,
+        instructions=stats.instructions,
+        cycles=cycles,
+        time_seconds=time_seconds,
+        core_energy_joules=point.power * time_seconds,
+        result=result,
+    )

@@ -1,0 +1,315 @@
+"""The seven paper benchmarks for the openMSP430.
+
+Register-machine code using the real addressing modes: loop kernels
+walk arrays through auto-increment pointers, the decision tree compares
+against immediate thresholds.  Word counts and cycle counts follow the
+MSP430 cost model in :mod:`repro.baselines.msp430`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.msp430 import (
+    AsmMsp430, Msp430, MspStats,
+    R4, R5, R6, R7, R8, R9,
+    absolute, imm, indexed, indirect, reg,
+)
+from repro.programs import crc8 as crc8_kernel
+from repro.programs import dtree as dtree_kernel
+from repro.programs.common import ARRAY_ELEMENTS, deterministic_values
+
+#: Word addresses of benchmark data (word aligned).
+DATA = 0x0400
+ARR = 0x0420
+
+
+@dataclass
+class MspKernel:
+    """One built openMSP430 benchmark."""
+
+    name: str
+    program: list
+    labels: dict[str, int]
+    size_bytes: int
+    loader: Callable[[Msp430], None]
+    reader: Callable[[Msp430], dict]
+
+    def execute(self, max_steps: int = 2_000_000) -> tuple[MspStats, dict]:
+        cpu = Msp430(self.program, self.labels, memory_size=8192)
+        self.loader(cpu)
+        stats = cpu.run(max_steps)
+        return stats, self.reader(cpu)
+
+
+def _kernel(name, asm, loader, reader) -> MspKernel:
+    program, labels = asm.finish()
+    return MspKernel(
+        name=name,
+        program=program,
+        labels=labels,
+        size_bytes=asm.size_bytes,
+        loader=loader,
+        reader=reader,
+    )
+
+
+def _poke_words(cpu: Msp430, address: int, values) -> None:
+    for index, value in enumerate(values):
+        cpu.write_word(address + 2 * index, value)
+
+
+def mult16(a_value: int | None = None, b_value: int | None = None) -> MspKernel:
+    """16-bit shift-add multiply; product at DATA+4."""
+    inputs = deterministic_values(seed=0xA8, count=2, bits=8)
+    a_value = inputs[0] if a_value is None else a_value
+    b_value = inputs[1] if b_value is None else b_value
+
+    asm = AsmMsp430()
+    asm.mov(absolute(DATA), reg(R4))        # multiplicand
+    asm.mov(absolute(DATA + 2), reg(R5))    # multiplier
+    asm.mov(imm(0), reg(R6))                # product
+    asm.mov(imm(16), reg(R7))               # count
+    asm.label("loop")
+    asm.mov(reg(R5), reg(R8))
+    asm.and_(imm(1), reg(R8))
+    asm.jz("skip")
+    asm.add(reg(R4), reg(R6))
+    asm.label("skip")
+    asm.add(reg(R4), reg(R4))               # multiplicand <<= 1
+    asm.rra(reg(R5))                        # multiplier >>= 1
+    asm.sub(imm(1), reg(R7))
+    asm.jnz("loop")
+    asm.mov(reg(R6), absolute(DATA + 4))
+    asm.halt()
+
+    return _kernel(
+        "mult", asm,
+        loader=lambda cpu: _poke_words(cpu, DATA, [a_value, b_value]),
+        reader=lambda cpu: {"product": cpu.read_word(DATA + 4)},
+    )
+
+
+def div16(dividend: int | None = None, divisor: int | None = None) -> MspKernel:
+    """16-bit restoring division (branch-based carry propagation)."""
+    dividend = 199 if dividend is None else dividend
+    divisor = 13 if divisor is None else divisor
+
+    asm = AsmMsp430()
+    asm.mov(absolute(DATA), reg(R4))        # dividend (shifts left)
+    asm.mov(absolute(DATA + 2), reg(R5))    # divisor
+    asm.mov(imm(0), reg(R6))                # quotient
+    asm.mov(imm(0), reg(R7))                # remainder
+    asm.mov(imm(16), reg(R8))
+    asm.label("loop")
+    asm.add(reg(R6), reg(R6))               # quotient <<= 1
+    asm.add(reg(R4), reg(R4))               # dividend <<= 1, C = old MSB
+    asm.addc(reg(R7), reg(R7))              # remainder = rem*2 + C
+    asm.cmp(reg(R5), reg(R7))               # remainder - divisor
+    asm.jnc("next")                         # C clear: remainder < divisor
+    asm.sub(reg(R5), reg(R7))
+    asm.bis(imm(1), reg(R6))                # quotient |= 1
+    asm.label("next")
+    asm.sub(imm(1), reg(R8))
+    asm.jnz("loop")
+    asm.mov(reg(R6), absolute(DATA + 4))
+    asm.mov(reg(R7), absolute(DATA + 6))
+    asm.halt()
+
+    return _kernel(
+        "div", asm,
+        loader=lambda cpu: _poke_words(cpu, DATA, [dividend, divisor]),
+        reader=lambda cpu: {
+            "quotient": cpu.read_word(DATA + 4),
+            "remainder": cpu.read_word(DATA + 6),
+        },
+    )
+
+
+def insort16(values: list[int] | None = None) -> MspKernel:
+    """Insertion sort of 16 words at ARR."""
+    values = (
+        deterministic_values(seed=0x58, count=ARRAY_ELEMENTS, bits=8)
+        if values is None
+        else values
+    )
+
+    asm = AsmMsp430()
+    asm.mov(imm(ARR + 2), reg(R4))          # &arr[i]
+    asm.mov(imm(ARRAY_ELEMENTS - 1), reg(R5))
+    asm.label("outer")
+    asm.mov(reg(R4), reg(R6))               # &arr[j]
+    asm.label("inner")
+    asm.mov(indirect(R6), reg(R7))          # arr[j]
+    asm.mov(reg(R6), reg(R9))
+    asm.sub(imm(2), reg(R9))                # &arr[j-1]
+    asm.mov(indirect(R9), reg(R8))          # arr[j-1]
+    asm.cmp(reg(R7), reg(R8))               # arr[j-1] - arr[j]
+    asm.jnc("placed")                       # no borrow+? C clear: arr[j-1] < arr[j]
+    asm.jz("placed")
+    asm.mov(reg(R8), indexed(R6, 0))        # arr[j] = old arr[j-1]
+    asm.mov(reg(R7), indexed(R9, 0))        # arr[j-1] = old arr[j]
+    asm.sub(imm(2), reg(R6))
+    asm.cmp(imm(ARR), reg(R6))
+    asm.jnz("inner")
+    asm.label("placed")
+    asm.add(imm(2), reg(R4))
+    asm.sub(imm(1), reg(R5))
+    asm.jnz("outer")
+    asm.halt()
+
+    return _kernel(
+        "inSort", asm,
+        loader=lambda cpu: _poke_words(cpu, ARR, values),
+        reader=lambda cpu: {
+            "sorted": [cpu.read_word(ARR + 2 * k) for k in range(ARRAY_ELEMENTS)]
+        },
+    )
+
+
+def intavg16(values: list[int] | None = None) -> MspKernel:
+    """Average of 16 words; result at DATA."""
+    values = (
+        deterministic_values(seed=0xA9, count=ARRAY_ELEMENTS, bits=8)
+        if values is None
+        else values
+    )
+
+    asm = AsmMsp430()
+    asm.mov(imm(ARR), reg(R4))
+    asm.mov(imm(0), reg(R5))
+    asm.mov(imm(ARRAY_ELEMENTS), reg(R6))
+    asm.label("loop")
+    asm.add(indirect(R4, autoincrement=True), reg(R5))
+    asm.sub(imm(1), reg(R6))
+    asm.jnz("loop")
+    for _ in range(4):
+        asm.rra(reg(R5))
+    asm.mov(reg(R5), absolute(DATA))
+    asm.halt()
+
+    return _kernel(
+        "intAvg", asm,
+        loader=lambda cpu: _poke_words(cpu, ARR, values),
+        reader=lambda cpu: {"avg": cpu.read_word(DATA)},
+    )
+
+
+def thold16(values: list[int] | None = None, threshold: int | None = None) -> MspKernel:
+    """Count of words >= threshold; count at DATA+2."""
+    values = (
+        deterministic_values(seed=0x78, count=ARRAY_ELEMENTS, bits=8)
+        if values is None
+        else values
+    )
+    threshold = 0x80 if threshold is None else threshold
+
+    asm = AsmMsp430()
+    asm.mov(absolute(DATA), reg(R7))        # threshold
+    asm.mov(imm(ARR), reg(R4))
+    asm.mov(imm(0), reg(R5))
+    asm.mov(imm(ARRAY_ELEMENTS), reg(R6))
+    asm.label("loop")
+    asm.mov(indirect(R4, autoincrement=True), reg(R8))
+    asm.cmp(reg(R7), reg(R8))               # element - threshold
+    asm.jnc("skip")                         # C clear: element < threshold
+    asm.add(imm(1), reg(R5))
+    asm.label("skip")
+    asm.sub(imm(1), reg(R6))
+    asm.jnz("loop")
+    asm.mov(reg(R5), absolute(DATA + 2))
+    asm.halt()
+
+    return _kernel(
+        "tHold", asm,
+        loader=lambda cpu: (
+            _poke_words(cpu, DATA, [threshold]),
+            _poke_words(cpu, ARR, values),
+        ),
+        reader=lambda cpu: {"count": cpu.read_word(DATA + 2)},
+    )
+
+
+def crc8_16(stream: list[int] | None = None) -> MspKernel:
+    """CRC-8/ATM over 16 byte-valued words; crc at DATA."""
+    stream = crc8_kernel.default_inputs() if stream is None else stream
+
+    asm = AsmMsp430()
+    asm.mov(imm(ARR), reg(R4))
+    asm.mov(imm(0), reg(R5))                # crc (9-bit intermediate)
+    asm.mov(imm(len(stream)), reg(R6))
+    asm.label("byte")
+    asm.xor(indirect(R4, autoincrement=True), reg(R5))
+    asm.mov(imm(8), reg(R7))
+    asm.label("bit")
+    asm.add(reg(R5), reg(R5))               # crc <<= 1
+    asm.mov(reg(R5), reg(R8))
+    asm.and_(imm(0x100), reg(R8))
+    asm.jz("no_poly")
+    asm.xor(imm(crc8_kernel.POLYNOMIAL | 0x100), reg(R5))
+    asm.label("no_poly")
+    asm.sub(imm(1), reg(R7))
+    asm.jnz("bit")
+    asm.sub(imm(1), reg(R6))
+    asm.jnz("byte")
+    asm.mov(reg(R5), absolute(DATA))
+    asm.halt()
+
+    return _kernel(
+        "crc8", asm,
+        loader=lambda cpu: _poke_words(cpu, ARR, stream),
+        reader=lambda cpu: {"crc": cpu.read_word(DATA) & 0xFF},
+    )
+
+
+def dtree16(inputs: list[int] | None = None) -> MspKernel:
+    """The deterministic 50-node decision tree; class at DATA."""
+    inputs = dtree_kernel.default_inputs(8) if inputs is None else inputs
+    tree = dtree_kernel._build_tree(dtree_kernel.INTERNAL_NODES)
+
+    asm = AsmMsp430()
+
+    def emit(node) -> None:
+        if node.is_leaf:
+            asm.mov(imm(node.leaf_class), absolute(DATA))
+            asm.jmp("end")
+            return
+        asm.cmp(imm(node.threshold), absolute(ARR + 2 * node.feature))
+        asm.jc(f"right_{node.index}")       # input >= threshold
+        emit(node.left)
+        asm.label(f"right_{node.index}")
+        emit(node.right)
+
+    emit(tree)
+    asm.label("end")
+    asm.halt()
+
+    return _kernel(
+        "dTree", asm,
+        loader=lambda cpu: _poke_words(cpu, ARR, inputs),
+        reader=lambda cpu: {"result": cpu.read_word(DATA)},
+    )
+
+
+def insort16_data(values: list[int] | None = None) -> MspKernel:
+    """16-bit-data insertion sort (native word width; inputs change)."""
+    values = (
+        deterministic_values(seed=0x59, count=ARRAY_ELEMENTS, bits=16)
+        if values is None
+        else values
+    )
+    return insort16(values)
+
+
+#: Builder registry for the aggregation layer.
+MSP430_KERNELS: dict[str, Callable[..., MspKernel]] = {
+    "mult": mult16,
+    "div": div16,
+    "inSort": insort16,
+    "inSort16": insort16_data,
+    "intAvg": intavg16,
+    "tHold": thold16,
+    "crc8": crc8_16,
+    "dTree": dtree16,
+}

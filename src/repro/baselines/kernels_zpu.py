@@ -1,0 +1,472 @@
+"""The seven paper benchmarks for the ZPU stack machine.
+
+Everything flows through the in-memory stack: each variable access is
+an ``IM addr / LOAD`` (or ``.. / STORE``) sequence, which is why ZPU
+code is compact per instruction but extremely memory-traffic-heavy --
+the property that makes stack ISAs a poor fit for printed RAM.
+
+Variables live at fixed word addresses; arrays hold one value per
+32-bit word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.zpu import AsmZpu, Zpu, ZpuStats
+from repro.programs import crc8 as crc8_kernel
+from repro.programs import dtree as dtree_kernel
+from repro.programs.common import ARRAY_ELEMENTS, deterministic_values
+
+#: Word addresses of benchmark data.
+VAR0 = 0x0400            # scalar block (word-aligned)
+ARR = 0x0440             # 16-word array
+
+
+@dataclass
+class ZpuKernel:
+    """One assembled ZPU benchmark."""
+
+    name: str
+    code: bytes
+    loader: Callable[[Zpu], None]
+    reader: Callable[[Zpu], dict]
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.code)
+
+    def execute(self, max_steps: int = 2_000_000) -> tuple[ZpuStats, dict]:
+        cpu = Zpu(self.code, memory_size=16384)
+        self.loader(cpu)
+        stats = cpu.run(max_steps)
+        return stats, self.reader(cpu)
+
+
+class _Z(AsmZpu):
+    """AsmZpu plus variable-access conveniences."""
+
+    def push_var(self, address: int) -> None:
+        self.im(address)
+        self.load()
+
+    def pop_var(self, address: int) -> None:
+        """Store top-of-stack to a variable (value already pushed)."""
+        self.im(address)
+        self.store()
+
+    def set_const(self, address: int, value: int) -> None:
+        self.im(value)
+        self.pop_var(address)
+
+
+def _poke_words(cpu: Zpu, address: int, values) -> None:
+    for index, value in enumerate(values):
+        cpu._store_word(address + 4 * index, value)
+
+
+def _read_word(cpu: Zpu, address: int) -> int:
+    return int.from_bytes(cpu.memory[address : address + 4], "big")
+
+
+def mult8(a_value: int | None = None, b_value: int | None = None) -> ZpuKernel:
+    """Shift-add multiply; product word at VAR0+8."""
+    inputs = deterministic_values(seed=0xA8, count=2, bits=8)
+    a_value = inputs[0] if a_value is None else a_value
+    b_value = inputs[1] if b_value is None else b_value
+    v_and, v_ier, v_prod, v_cnt = VAR0, VAR0 + 4, VAR0 + 8, VAR0 + 12
+
+    z = _Z()
+    z.set_const(v_prod, 0)
+    z.set_const(v_cnt, 8)
+    z.label("loop")
+    z.push_var(v_ier)
+    z.im(1)
+    z.and_()
+    z.neqbranch("do_add")
+    z.branch("shift")
+    z.label("do_add")
+    z.push_var(v_prod)
+    z.push_var(v_and)
+    z.add()
+    z.im(0xFF)
+    z.and_()
+    z.pop_var(v_prod)
+    z.label("shift")
+    z.push_var(v_ier)           # multiplier >>= 1
+    z.im(1)
+    z.lshiftright()
+    z.pop_var(v_ier)
+    z.push_var(v_and)           # multiplicand <<= 1 (mod 256)
+    z.push_var(v_and)
+    z.add()
+    z.im(0xFF)
+    z.and_()
+    z.pop_var(v_and)
+    z.push_var(v_cnt)           # count -= 1; loop while nonzero
+    z.im(1)
+    z.sub()
+    z.pop_var(v_cnt)
+    z.push_var(v_cnt)
+    z.neqbranch("loop")
+    z.halt()
+
+    return ZpuKernel(
+        name="mult",
+        code=z.assemble(),
+        loader=lambda cpu: _poke_words(cpu, VAR0, [a_value, b_value]),
+        reader=lambda cpu: {"product": _read_word(cpu, v_prod)},
+    )
+
+
+def div8(dividend: int | None = None, divisor: int | None = None) -> ZpuKernel:
+    """Restoring division; quotient at VAR0+8, remainder at VAR0+12."""
+    dividend = 199 if dividend is None else dividend
+    divisor = 13 if divisor is None else divisor
+    v_dvd, v_dvs, v_q, v_r, v_cnt = VAR0, VAR0 + 4, VAR0 + 8, VAR0 + 12, VAR0 + 16
+
+    z = _Z()
+    z.set_const(v_q, 0)
+    z.set_const(v_r, 0)
+    z.set_const(v_cnt, 8)
+    z.label("loop")
+    # r = (r << 1) | ((dvd >> 7) & 1)
+    z.push_var(v_r)
+    z.push_var(v_r)
+    z.add()
+    z.push_var(v_dvd)
+    z.im(7)
+    z.lshiftright()
+    z.im(1)
+    z.and_()
+    z.add()
+    z.pop_var(v_r)
+    # dvd = (dvd << 1) & 0xFF
+    z.push_var(v_dvd)
+    z.push_var(v_dvd)
+    z.add()
+    z.im(0xFF)
+    z.and_()
+    z.pop_var(v_dvd)
+    # q <<= 1
+    z.push_var(v_q)
+    z.push_var(v_q)
+    z.add()
+    z.pop_var(v_q)
+    # if not (r < dvs): r -= dvs; q += 1
+    z.push_var(v_r)
+    z.push_var(v_dvs)
+    z.ulessthan()
+    z.neqbranch("next")
+    z.push_var(v_r)
+    z.push_var(v_dvs)
+    z.sub()
+    z.pop_var(v_r)
+    z.push_var(v_q)
+    z.im(1)
+    z.add()
+    z.pop_var(v_q)
+    z.label("next")
+    z.push_var(v_cnt)
+    z.im(1)
+    z.sub()
+    z.pop_var(v_cnt)
+    z.push_var(v_cnt)
+    z.neqbranch("loop")
+    z.halt()
+
+    return ZpuKernel(
+        name="div",
+        code=z.assemble(),
+        loader=lambda cpu: _poke_words(cpu, VAR0, [dividend, divisor]),
+        reader=lambda cpu: {
+            "quotient": _read_word(cpu, v_q),
+            "remainder": _read_word(cpu, v_r),
+        },
+    )
+
+
+def insort(values: list[int] | None = None) -> ZpuKernel:
+    """Insertion sort of 16 words at ARR (32-bit elements)."""
+    values = (
+        deterministic_values(seed=0x58, count=ARRAY_ELEMENTS, bits=8)
+        if values is None
+        else values
+    )
+    v_i, v_ptr = VAR0, VAR0 + 4  # ptr = byte address of arr[j]
+
+    z = _Z()
+    z.set_const(v_i, 1)
+    z.label("outer")
+    # ptr = ARR + 4*i
+    z.push_var(v_i)
+    z.push_var(v_i)
+    z.add()
+    z.push_var(v_i)
+    z.push_var(v_i)
+    z.add()
+    z.add()                      # 4*i
+    z.im(ARR)
+    z.add()
+    z.pop_var(v_ptr)
+    z.label("inner")
+    # if arr[j] >= arr[j-1]: placed
+    z.push_var(v_ptr)            # &arr[j]
+    z.load()
+    z.push_var(v_ptr)
+    z.im(4)
+    z.sub()
+    z.load()                     # arr[j-1]
+    z.ulessthan()                # arr[j] < arr[j-1] ?
+    z.neqbranch("swap")
+    z.branch("placed")
+    z.label("swap")
+    # tmp = arr[j]; arr[j] = arr[j-1]; arr[j-1] = tmp
+    z.push_var(v_ptr)
+    z.load()                     # stack: arr[j]
+    z.push_var(v_ptr)
+    z.im(4)
+    z.sub()
+    z.load()                     # stack: arr[j], arr[j-1]
+    z.push_var(v_ptr)
+    z.store()                    # arr[j] = arr[j-1]; stack: arr[j]
+    z.push_var(v_ptr)
+    z.im(4)
+    z.sub()
+    z.store()                    # arr[j-1] = old arr[j]
+    # ptr -= 4; continue while ptr > ARR
+    z.push_var(v_ptr)
+    z.im(4)
+    z.sub()
+    z.pop_var(v_ptr)
+    z.push_var(v_ptr)
+    z.im(ARR)
+    z.sub()
+    z.neqbranch("inner")
+    z.label("placed")
+    z.push_var(v_i)
+    z.im(1)
+    z.add()
+    z.pop_var(v_i)
+    z.push_var(v_i)
+    z.im(ARRAY_ELEMENTS)
+    z.ulessthan()
+    z.neqbranch("outer")
+    z.halt()
+
+    return ZpuKernel(
+        name="inSort",
+        code=z.assemble(),
+        loader=lambda cpu: _poke_words(cpu, ARR, values),
+        reader=lambda cpu: {
+            "sorted": [_read_word(cpu, ARR + 4 * k) for k in range(ARRAY_ELEMENTS)]
+        },
+    )
+
+
+def intavg(values: list[int] | None = None) -> ZpuKernel:
+    """Average of 16 words; result at VAR0+4."""
+    values = (
+        deterministic_values(seed=0xA9, count=ARRAY_ELEMENTS, bits=8)
+        if values is None
+        else values
+    )
+    v_ptr, v_avg, v_cnt = VAR0, VAR0 + 4, VAR0 + 8
+
+    z = _Z()
+    z.set_const(v_avg, 0)
+    z.set_const(v_ptr, ARR)
+    z.set_const(v_cnt, ARRAY_ELEMENTS)
+    z.label("loop")
+    z.push_var(v_avg)
+    z.push_var(v_ptr)
+    z.load()
+    z.add()
+    z.pop_var(v_avg)
+    z.push_var(v_ptr)
+    z.im(4)
+    z.add()
+    z.pop_var(v_ptr)
+    z.push_var(v_cnt)
+    z.im(1)
+    z.sub()
+    z.pop_var(v_cnt)
+    z.push_var(v_cnt)
+    z.neqbranch("loop")
+    z.push_var(v_avg)
+    z.im(4)
+    z.lshiftright()
+    z.pop_var(v_avg)
+    z.halt()
+
+    return ZpuKernel(
+        name="intAvg",
+        code=z.assemble(),
+        loader=lambda cpu: _poke_words(cpu, ARR, values),
+        reader=lambda cpu: {"avg": _read_word(cpu, v_avg)},
+    )
+
+
+def thold(values: list[int] | None = None, threshold: int | None = None) -> ZpuKernel:
+    """Count of words >= threshold; count at VAR0+8."""
+    values = (
+        deterministic_values(seed=0x78, count=ARRAY_ELEMENTS, bits=8)
+        if values is None
+        else values
+    )
+    threshold = 0x80 if threshold is None else threshold
+    v_thr, v_ptr, v_count, v_left = VAR0, VAR0 + 4, VAR0 + 8, VAR0 + 12
+
+    z = _Z()
+    z.set_const(v_count, 0)
+    z.set_const(v_ptr, ARR)
+    z.set_const(v_left, ARRAY_ELEMENTS)
+    z.label("loop")
+    z.push_var(v_ptr)
+    z.load()
+    z.push_var(v_thr)
+    z.ulessthan()                # element < threshold ?
+    z.neqbranch("skip")
+    z.push_var(v_count)
+    z.im(1)
+    z.add()
+    z.pop_var(v_count)
+    z.label("skip")
+    z.push_var(v_ptr)
+    z.im(4)
+    z.add()
+    z.pop_var(v_ptr)
+    z.push_var(v_left)
+    z.im(1)
+    z.sub()
+    z.pop_var(v_left)
+    z.push_var(v_left)
+    z.neqbranch("loop")
+    z.halt()
+
+    return ZpuKernel(
+        name="tHold",
+        code=z.assemble(),
+        loader=lambda cpu: (
+            _poke_words(cpu, v_thr, [threshold]),
+            _poke_words(cpu, ARR, values),
+        ),
+        reader=lambda cpu: {"count": _read_word(cpu, v_count)},
+    )
+
+
+def crc8_16(stream: list[int] | None = None) -> ZpuKernel:
+    """CRC-8/ATM over 16 byte-valued words; crc at VAR0."""
+    stream = crc8_kernel.default_inputs() if stream is None else stream
+    v_crc, v_ptr, v_left, v_bits = VAR0, VAR0 + 4, VAR0 + 8, VAR0 + 12
+
+    z = _Z()
+    z.set_const(v_crc, 0)
+    z.set_const(v_ptr, ARR)
+    z.set_const(v_left, len(stream))
+    z.label("byte")
+    z.push_var(v_crc)
+    z.push_var(v_ptr)
+    z.load()
+    z.xor()
+    z.pop_var(v_crc)
+    z.set_const(v_bits, 8)
+    z.label("bit")
+    # crc <<= 1 (9-bit intermediate), xor poly if bit 8 set
+    z.push_var(v_crc)
+    z.push_var(v_crc)
+    z.add()
+    z.pop_var(v_crc)
+    z.push_var(v_crc)
+    z.im(0x100)
+    z.and_()
+    z.neqbranch("poly")
+    z.branch("no_poly")
+    z.label("poly")
+    z.push_var(v_crc)
+    z.im(crc8_kernel.POLYNOMIAL | 0x100)
+    z.xor()
+    z.pop_var(v_crc)
+    z.label("no_poly")
+    z.push_var(v_bits)
+    z.im(1)
+    z.sub()
+    z.pop_var(v_bits)
+    z.push_var(v_bits)
+    z.neqbranch("bit")
+    z.push_var(v_ptr)
+    z.im(4)
+    z.add()
+    z.pop_var(v_ptr)
+    z.push_var(v_left)
+    z.im(1)
+    z.sub()
+    z.pop_var(v_left)
+    z.push_var(v_left)
+    z.neqbranch("byte")
+    z.halt()
+
+    return ZpuKernel(
+        name="crc8",
+        code=z.assemble(),
+        loader=lambda cpu: _poke_words(cpu, ARR, stream),
+        reader=lambda cpu: {"crc": _read_word(cpu, v_crc) & 0xFF},
+    )
+
+
+def dtree(inputs: list[int] | None = None) -> ZpuKernel:
+    """The deterministic 50-node decision tree; class at VAR0."""
+    inputs = dtree_kernel.default_inputs(8) if inputs is None else inputs
+    tree = dtree_kernel._build_tree(dtree_kernel.INTERNAL_NODES)
+    v_result = VAR0
+
+    z = _Z()
+
+    def emit(node) -> None:
+        if node.is_leaf:
+            z.set_const(v_result, node.leaf_class)
+            z.branch("end")
+            return
+        z.push_var(ARR + 4 * node.feature)
+        z.im(node.threshold)
+        z.ulessthan()            # input < threshold ?
+        z.neqbranch(f"left_{node.index}")
+        emit(node.right)
+        z.label(f"left_{node.index}")
+        emit(node.left)
+
+    emit(tree)
+    z.label("end")
+    z.halt()
+
+    return ZpuKernel(
+        name="dTree",
+        code=z.assemble(),
+        loader=lambda cpu: _poke_words(cpu, ARR, inputs),
+        reader=lambda cpu: {"result": _read_word(cpu, v_result)},
+    )
+
+
+def insort16(values: list[int] | None = None) -> ZpuKernel:
+    """16-bit-data insertion sort: the ZPU's 32-bit word loop handles
+    any element magnitude at identical cost; only the inputs change."""
+    values = (
+        deterministic_values(seed=0x59, count=ARRAY_ELEMENTS, bits=16)
+        if values is None
+        else values
+    )
+    return insort(values)
+
+
+#: Builder registry for the aggregation layer.
+ZPU_KERNELS: dict[str, Callable[..., ZpuKernel]] = {
+    "mult": mult8,
+    "div": div8,
+    "inSort": insort,
+    "inSort16": insort16,
+    "intAvg": intavg,
+    "tHold": thold,
+    "crc8": crc8_16,
+    "dTree": dtree,
+}

@@ -1,0 +1,430 @@
+"""openMSP430 functional simulator and code builder.
+
+Models the paper's 16-bit register-machine baseline at the
+architectural level: 16 registers, the standard dual-operand /
+single-operand / jump formats, MSP430 addressing modes (register,
+indexed, absolute, indirect, auto-increment, immediate, with the
+constant generator), and the documented per-mode word counts and cycle
+counts -- so benchmark code sizes (Table 5) and cycle totals
+(Section 8) follow the real ISA's cost model.
+
+Instructions are interpreted as structured objects rather than binary
+words; ``words`` on each instruction gives the encoded size, and the
+program image size is ``2 x sum(words)`` bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError, SimulationError
+
+#: Register aliases.
+PC, SP, SR, CG = 0, 1, 2, 3
+R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14, R15 = range(4, 16)
+
+#: Immediates the constant generator provides for free.
+CONSTANT_GENERATOR = {0, 1, 2, 4, 8, 0xFFFF}
+
+MASK16 = 0xFFFF
+
+# Status-register flag bits.
+FLAG_C = 0x0001
+FLAG_Z = 0x0002
+FLAG_N = 0x0004
+FLAG_V = 0x0100
+
+
+class Mode(enum.Enum):
+    """Addressing modes."""
+
+    REG = "Rn"
+    IDX = "x(Rn)"
+    ABS = "&addr"
+    IND = "@Rn"
+    IND_AI = "@Rn+"
+    IMM = "#imm"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One MSP430 operand."""
+
+    mode: Mode
+    reg: int = 0
+    value: int = 0
+
+    @property
+    def extension_words(self) -> int:
+        """Extra instruction words this operand occupies."""
+        if self.mode in (Mode.IDX, Mode.ABS):
+            return 1
+        if self.mode is Mode.IMM:
+            return 0 if (self.value & MASK16) in CONSTANT_GENERATOR else 1
+        return 0
+
+
+def reg(n: int) -> Operand:
+    """Register-direct operand."""
+    return Operand(Mode.REG, reg=n)
+
+
+def imm(value: int) -> Operand:
+    """Immediate operand (constant generator aware)."""
+    return Operand(Mode.IMM, value=value & MASK16)
+
+
+def absolute(address: int) -> Operand:
+    """Absolute-address operand (&addr)."""
+    return Operand(Mode.ABS, value=address)
+
+
+def indexed(base: int, offset: int) -> Operand:
+    """Indexed operand x(Rn)."""
+    return Operand(Mode.IDX, reg=base, value=offset)
+
+
+def indirect(base: int, autoincrement: bool = False) -> Operand:
+    """Indirect @Rn (optionally auto-increment @Rn+)."""
+    return Operand(Mode.IND_AI if autoincrement else Mode.IND, reg=base)
+
+
+TWO_OPERAND = {"MOV", "ADD", "ADDC", "SUB", "SUBC", "CMP", "AND", "XOR", "BIS", "BIC", "BIT"}
+ONE_OPERAND = {"RRA", "RRC", "SWPB", "SXT", "PUSH"}
+JUMPS = {"JMP", "JNZ", "JZ", "JNC", "JC", "JN", "JGE", "JL"}
+
+
+@dataclass
+class Instr:
+    """One instruction (two-operand, one-operand, or jump)."""
+
+    op: str
+    src: Operand | None = None
+    dst: Operand | None = None
+    target: str | None = None
+
+    @property
+    def words(self) -> int:
+        if self.op in JUMPS:
+            return 1
+        words = 1
+        if self.src is not None:
+            words += self.src.extension_words
+        if self.dst is not None and self.op in TWO_OPERAND:
+            words += self.dst.extension_words
+        return words
+
+    @property
+    def cycles(self) -> int:
+        """MSP430 user's-guide cycle counts (word operations)."""
+        if self.op == "HALT":
+            return 2  # stands in for the final idle-loop jump
+        if self.op in JUMPS:
+            return 2
+        if self.op in ONE_OPERAND:
+            base = {"PUSH": 3}.get(self.op, 1)
+            if self.dst.mode is not Mode.REG:
+                base += 3
+            return base
+        src_cost = {
+            Mode.REG: 0,
+            Mode.IMM: 0 if (self.src.value in CONSTANT_GENERATOR) else 1,
+            Mode.IND: 1,
+            Mode.IND_AI: 1,
+            Mode.IDX: 2,
+            Mode.ABS: 2,
+        }[self.src.mode]
+        dst_cost = {
+            Mode.REG: 0,
+            Mode.IDX: 3,
+            Mode.ABS: 3,
+        }.get(self.dst.mode)
+        if dst_cost is None:
+            raise SimulationError(f"{self.op}: invalid destination mode {self.dst.mode}")
+        return 1 + src_cost + dst_cost
+
+
+@dataclass
+class MspStats:
+    instructions: int = 0
+    cycles: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+
+class Msp430:
+    """openMSP430-subset interpreter over structured instructions."""
+
+    def __init__(self, program: list[Instr], labels: dict[str, int], memory_size: int = 4096) -> None:
+        self.program = program
+        self.labels = labels
+        self.memory = bytearray(memory_size)
+        self.regs = [0] * 16
+        self.regs[SP] = memory_size - 2
+        self.flags = 0
+        self.index = 0  # instruction index (architectural PC abstracted)
+        self.halted = False
+        self.stats = MspStats()
+
+    # -- memory --------------------------------------------------------------
+
+    def read_word(self, address: int) -> int:
+        self.stats.memory_reads += 1
+        address &= ~1
+        return self.memory[address] | (self.memory[address + 1] << 8)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.stats.memory_writes += 1
+        address &= ~1
+        self.memory[address] = value & 0xFF
+        self.memory[address + 1] = (value >> 8) & 0xFF
+
+    # -- operands ------------------------------------------------------------
+
+    def _load(self, operand: Operand) -> int:
+        if operand.mode is Mode.REG:
+            return self.regs[operand.reg]
+        if operand.mode is Mode.IMM:
+            return operand.value
+        if operand.mode is Mode.ABS:
+            return self.read_word(operand.value)
+        if operand.mode is Mode.IDX:
+            return self.read_word(self.regs[operand.reg] + operand.value)
+        value = self.read_word(self.regs[operand.reg])
+        if operand.mode is Mode.IND_AI:
+            self.regs[operand.reg] = (self.regs[operand.reg] + 2) & MASK16
+        return value
+
+    def _store(self, operand: Operand, value: int) -> None:
+        value &= MASK16
+        if operand.mode is Mode.REG:
+            self.regs[operand.reg] = value
+        elif operand.mode is Mode.ABS:
+            self.write_word(operand.value, value)
+        elif operand.mode is Mode.IDX:
+            self.write_word(self.regs[operand.reg] + operand.value, value)
+        else:
+            raise SimulationError(f"invalid store mode {operand.mode}")
+
+    # -- flags ----------------------------------------------------------------
+
+    def _set_nz(self, value: int) -> None:
+        self.flags &= ~(FLAG_N | FLAG_Z)
+        if value & 0x8000:
+            self.flags |= FLAG_N
+        if value == 0:
+            self.flags |= FLAG_Z
+
+    def _set_c(self, condition: bool) -> None:
+        self.flags = (self.flags | FLAG_C) if condition else (self.flags & ~FLAG_C)
+
+    def _set_v(self, condition: bool) -> None:
+        self.flags = (self.flags | FLAG_V) if condition else (self.flags & ~FLAG_V)
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> None:  # noqa: C901 - instruction dispatch
+        if self.halted:
+            return
+        if self.index >= len(self.program):
+            self.halted = True
+            return
+        instr = self.program[self.index]
+        self.stats.instructions += 1
+        self.stats.cycles += instr.cycles
+        next_index = self.index + 1
+        op = instr.op
+
+        if op in JUMPS:
+            if self._jump_taken(op):
+                next_index = self.labels[instr.target]
+        elif op in ONE_OPERAND:
+            self._one_operand(op, instr.dst)
+        elif op in TWO_OPERAND:
+            self._two_operand(op, instr.src, instr.dst)
+        elif op == "HALT":
+            self.halted = True
+        else:
+            raise SimulationError(f"unimplemented MSP430 op {op}")
+        self.index = next_index
+
+    def _jump_taken(self, op: str) -> bool:
+        c = bool(self.flags & FLAG_C)
+        z = bool(self.flags & FLAG_Z)
+        n = bool(self.flags & FLAG_N)
+        v = bool(self.flags & FLAG_V)
+        return {
+            "JMP": True,
+            "JZ": z,
+            "JNZ": not z,
+            "JC": c,
+            "JNC": not c,
+            "JN": n,
+            "JGE": n == v,
+            "JL": n != v,
+        }[op]
+
+    def _two_operand(self, op: str, src: Operand, dst: Operand) -> None:
+        a = self._load(src)
+        if op == "MOV":
+            self._store(dst, a)
+            return
+        b = self._load(dst)
+        if op in ("ADD", "ADDC"):
+            carry = (self.flags & FLAG_C) if op == "ADDC" else 0
+            total = b + a + (1 if carry else 0)
+            result = total & MASK16
+            self._set_nz(result)
+            self._set_c(total > MASK16)
+            self._set_v(bool((~(a ^ b)) & (a ^ result) & 0x8000))
+            self._store(dst, result)
+        elif op in ("SUB", "SUBC", "CMP"):
+            carry_in = 1 if (op != "SUBC" or self.flags & FLAG_C) else 0
+            total = b + ((~a) & MASK16) + carry_in
+            result = total & MASK16
+            self._set_nz(result)
+            self._set_c(total > MASK16)
+            self._set_v(bool((a ^ b) & (b ^ result) & 0x8000))
+            if op != "CMP":
+                self._store(dst, result)
+        elif op in ("AND", "BIT"):
+            result = a & b
+            self._set_nz(result)
+            self._set_c(result != 0)
+            self._set_v(False)
+            if op == "AND":
+                self._store(dst, result)
+        elif op == "XOR":
+            result = a ^ b
+            self._set_nz(result)
+            self._set_c(result != 0)
+            self._store(dst, result)
+        elif op == "BIS":
+            self._store(dst, a | b)
+        elif op == "BIC":
+            self._store(dst, b & ~a & MASK16)
+
+    def _one_operand(self, op: str, dst: Operand) -> None:
+        value = self._load(dst)
+        if op == "RRA":
+            self._set_c(bool(value & 1))
+            result = (value >> 1) | (value & 0x8000)
+            self._set_nz(result)
+            self._store(dst, result)
+        elif op == "RRC":
+            carry_in = 0x8000 if self.flags & FLAG_C else 0
+            self._set_c(bool(value & 1))
+            result = (value >> 1) | carry_in
+            self._set_nz(result)
+            self._store(dst, result)
+        elif op == "SWPB":
+            self._store(dst, ((value << 8) | (value >> 8)) & MASK16)
+        elif op == "SXT":
+            result = value | (0xFF00 if value & 0x80 else 0)
+            result &= MASK16
+            self._set_nz(result)
+            self._store(dst, result)
+        elif op == "PUSH":
+            self.regs[SP] = (self.regs[SP] - 2) & MASK16
+            self.write_word(self.regs[SP], value)
+
+    def run(self, max_steps: int = 2_000_000) -> MspStats:
+        for _ in range(max_steps):
+            if self.halted:
+                return self.stats
+            self.step()
+        raise SimulationError("MSP430 program did not halt")
+
+
+# -- code builder -------------------------------------------------------------------
+
+
+class AsmMsp430:
+    """MSP430 instruction-list builder with labels."""
+
+    def __init__(self) -> None:
+        self.program: list[Instr] = []
+        self.labels: dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        if name in self.labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.program)
+
+    def emit(self, op: str, src: Operand | None = None, dst: Operand | None = None, target: str | None = None) -> None:
+        self.program.append(Instr(op, src=src, dst=dst, target=target))
+
+    def two(self, op: str, src: Operand, dst: Operand) -> None:
+        self.emit(op, src=src, dst=dst)
+
+    def mov(self, src: Operand, dst: Operand) -> None:
+        self.two("MOV", src, dst)
+
+    def add(self, src: Operand, dst: Operand) -> None:
+        self.two("ADD", src, dst)
+
+    def addc(self, src: Operand, dst: Operand) -> None:
+        self.two("ADDC", src, dst)
+
+    def sub(self, src: Operand, dst: Operand) -> None:
+        self.two("SUB", src, dst)
+
+    def cmp(self, src: Operand, dst: Operand) -> None:
+        self.two("CMP", src, dst)
+
+    def and_(self, src: Operand, dst: Operand) -> None:
+        self.two("AND", src, dst)
+
+    def xor(self, src: Operand, dst: Operand) -> None:
+        self.two("XOR", src, dst)
+
+    def bis(self, src: Operand, dst: Operand) -> None:
+        self.two("BIS", src, dst)
+
+    def one(self, op: str, dst: Operand) -> None:
+        self.emit(op, dst=dst)
+
+    def rra(self, dst: Operand) -> None:
+        self.one("RRA", dst)
+
+    def rrc(self, dst: Operand) -> None:
+        self.one("RRC", dst)
+
+    def jump(self, op: str, target: str) -> None:
+        self.emit(op, target=target)
+
+    def jmp(self, target: str) -> None:
+        self.jump("JMP", target)
+
+    def jnz(self, target: str) -> None:
+        self.jump("JNZ", target)
+
+    def jz(self, target: str) -> None:
+        self.jump("JZ", target)
+
+    def jc(self, target: str) -> None:
+        self.jump("JC", target)
+
+    def jnc(self, target: str) -> None:
+        self.jump("JNC", target)
+
+    def halt(self) -> None:
+        self.emit("HALT")
+
+    def finish(self) -> tuple[list[Instr], dict[str, int]]:
+        for instr in self.program:
+            if instr.target is not None and instr.target not in self.labels:
+                raise AssemblerError(f"undefined label {instr.target!r}")
+        return self.program, dict(self.labels)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded program size (2 bytes per instruction word).
+
+        HALT stands in for the idle-loop jump the real firmware ends
+        with and is counted as one word.
+        """
+        return 2 * sum(
+            1 if instr.op == "HALT" else instr.words for instr in self.program
+        )

@@ -1,0 +1,109 @@
+"""Published Table 4 characterization of the baseline cores.
+
+These numbers are the paper's synthesis results in the two printed
+technologies and are treated as *inputs* to the reproduction (we have
+no Design Compiler and no access to the exact RTL revisions).  The
+structural model in :mod:`repro.baselines.model` cross-checks them
+against the cell libraries; everything application-level (Table 5,
+Figures 4-5, Section 8) combines them with dynamic counts from our own
+instruction-set simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import cm2, mW
+
+
+@dataclass(frozen=True)
+class TechnologyPoint:
+    """One core's synthesis result in one technology."""
+
+    fmax: float
+    gate_count: int
+    area: float
+    power: float
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """One Table 4 row.
+
+    Attributes:
+        name: Core name.
+        datawidth: Architectural data width in bits.
+        alu_width: Physical ALU width in bits.
+        isa: ISA family description.
+        cpi_min / cpi_max: Published cycles-per-instruction range.
+        egfet / cnt: Per-technology synthesis results.
+        dff_fraction: Estimated sequential-cell fraction of the gate
+            count (register inventory / microcode state; documented
+            estimate used by the structural cross-check).
+    """
+
+    name: str
+    datawidth: int
+    alu_width: int
+    isa: str
+    cpi_min: int
+    cpi_max: int
+    egfet: TechnologyPoint
+    cnt: TechnologyPoint
+    dff_fraction: float
+
+    def point(self, technology: str) -> TechnologyPoint:
+        if technology == "EGFET":
+            return self.egfet
+        if technology in ("CNT", "CNT-TFT"):
+            return self.cnt
+        raise KeyError(f"unknown technology {technology!r}")
+
+
+#: Table 4 verbatim.
+BASELINE_SPECS: dict[str, BaselineSpec] = {
+    "openMSP430": BaselineSpec(
+        name="openMSP430",
+        datawidth=16,
+        alu_width=16,
+        isa="Register based",
+        cpi_min=1,
+        cpi_max=6,
+        egfet=TechnologyPoint(4.07, 12101, cm2(56.38), mW(124.4)),
+        cnt=TechnologyPoint(15074, 14098, cm2(0.69), mW(1335.8)),
+        dff_fraction=0.13,
+    ),
+    "Z80": BaselineSpec(
+        name="Z80",
+        datawidth=8,
+        alu_width=8,
+        isa="Enhanced Intel8080",
+        cpi_min=3,
+        cpi_max=23,
+        egfet=TechnologyPoint(7.18, 5263, cm2(25.28), mW(76.25)),
+        cnt=TechnologyPoint(26064, 7226, cm2(0.34), mW(1204)),
+        dff_fraction=0.12,
+    ),
+    "light8080": BaselineSpec(
+        name="light8080",
+        datawidth=8,
+        alu_width=8,
+        isa="Intel8080",
+        cpi_min=5,
+        cpi_max=30,
+        egfet=TechnologyPoint(17.39, 1948, cm2(11.15), mW(41.7)),
+        cnt=TechnologyPoint(57238, 3020, cm2(0.17), mW(1517)),
+        dff_fraction=0.13,
+    ),
+    "ZPU_small": BaselineSpec(
+        name="ZPU_small",
+        datawidth=32,
+        alu_width=8,
+        isa="Stack-based",
+        cpi_min=4,
+        cpi_max=4,
+        egfet=TechnologyPoint(25.45, 2984, cm2(15.82), mW(66.06)),
+        cnt=TechnologyPoint(43442, 3782, cm2(0.21), mW(1596)),
+        dff_fraction=0.14,
+    ),
+}

@@ -1,0 +1,336 @@
+"""Zylin ZPU (zpu_small) functional simulator and code builder.
+
+The ZPU is the paper's stack-machine baseline: 32-bit data, 1-byte
+instructions, everything through an in-memory stack -- which is exactly
+why the paper rejects stack ISAs for printed cores (the stack forces a
+RAM-based implementation, and RAM is 16.8x bigger than ROM per bit).
+
+zpu_small executes at a flat CPI of 4 (Table 4), so cycle accounting
+is ``4 x dynamic instructions``.  The hardware opcodes are implemented
+directly; the EMULATE group (compare, subtract, shifts, conditional
+branch) is executed natively but *charged* an emulation factor, since
+the real zpu_small traps to a software microcode sequence -- the
+factor defaults to the documented ~34-instruction average trap cost.
+
+Word size is 32 bits; memory is byte-addressed with word-aligned
+LOAD/STORE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError, SimulationError
+
+#: Published CPI of zpu_small (Table 4).
+CPI = 4
+
+#: Average dynamic instruction cost of one EMULATE trap (microcode
+#: entry, operation, and return), per the zpu_small emulation ROM.
+EMULATE_COST = 34
+
+# Hardware opcodes.
+OP_PUSHSP = 0x02
+OP_POPPC = 0x04
+OP_ADD = 0x05
+OP_AND = 0x06
+OP_OR = 0x07
+OP_LOAD = 0x08
+OP_NOT = 0x09
+OP_FLIP = 0x0A
+OP_NOP = 0x0B
+OP_STORE = 0x0C
+OP_POPSP = 0x0D
+
+# EMULATE vectors (opcode byte = vector number, ZPU ISA numbering).
+OP_LESSTHAN = 36
+OP_ULESSTHAN = 38
+OP_LSHIFTRIGHT = 42
+OP_EQ = 46
+OP_SUB = 49
+OP_XOR = 50
+OP_NEQBRANCH = 56
+
+_EMULATE_RANGE = range(32, 64)
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class ZpuStats:
+    """Dynamic statistics: fetched instructions include trap costs."""
+
+    instructions: int = 0
+    emulated: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+    @property
+    def effective_instructions(self) -> int:
+        """Instruction stream length including emulation traps."""
+        return self.instructions + self.emulated * (EMULATE_COST - 1)
+
+    @property
+    def cycles(self) -> int:
+        return self.effective_instructions * CPI
+
+
+class Zpu:
+    """Functional ZPU simulator.
+
+    Args:
+        code: Program bytes at address 0.
+        memory_size: Byte-addressable memory size (word aligned).
+    """
+
+    def __init__(self, code: bytes, memory_size: int = 8192) -> None:
+        if len(code) > memory_size:
+            raise SimulationError("program does not fit in memory")
+        self.memory = bytearray(memory_size)
+        self.memory[: len(code)] = code
+        self.pc = 0
+        self.sp = memory_size - 8
+        self.halted = False
+        self.stats = ZpuStats()
+        self._im_pending = False
+
+    # -- stack/memory ------------------------------------------------------
+
+    def _load_word(self, address: int) -> int:
+        address &= ~3
+        self.stats.memory_reads += 1
+        return int.from_bytes(self.memory[address : address + 4], "big")
+
+    def _store_word(self, address: int, value: int) -> None:
+        address &= ~3
+        self.stats.memory_writes += 1
+        self.memory[address : address + 4] = (value & MASK32).to_bytes(4, "big")
+
+    def push(self, value: int) -> None:
+        self.sp -= 4
+        self._store_word(self.sp, value)
+
+    def pop(self) -> int:
+        value = self._load_word(self.sp)
+        self.sp += 4
+        return value
+
+    @property
+    def tos(self) -> int:
+        return self._load_word(self.sp)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> None:  # noqa: C901 - opcode dispatch
+        if self.halted:
+            return
+        opcode = self.memory[self.pc]
+        self.stats.instructions += 1
+        next_pc = self.pc + 1
+        im_this = False
+
+        if opcode & 0x80:  # IM
+            value = opcode & 0x7F
+            if self._im_pending:
+                self.push(((self.pop() << 7) | value) & MASK32)
+            else:
+                if value & 0x40:  # sign extend first IM
+                    value |= ~0x7F & MASK32
+                self.push(value)
+            im_this = True
+        elif opcode == 0:  # BREAKPOINT: used as HALT
+            self.halted = True
+        elif opcode == OP_NOP:
+            pass
+        elif opcode == OP_PUSHSP:
+            self.push(self.sp)
+        elif opcode == OP_POPSP:
+            self.sp = self.pop()
+        elif opcode == OP_POPPC:
+            next_pc = self.pop()
+        elif opcode == OP_ADD:
+            self.push((self.pop() + self.pop()) & MASK32)
+        elif opcode == OP_AND:
+            self.push(self.pop() & self.pop())
+        elif opcode == OP_OR:
+            self.push(self.pop() | self.pop())
+        elif opcode == OP_NOT:
+            self.push(~self.pop() & MASK32)
+        elif opcode == OP_FLIP:
+            self.push(int(f"{self.pop() & MASK32:032b}"[::-1], 2))
+        elif opcode == OP_LOAD:
+            self.push(self._load_word(self.pop()))
+        elif opcode == OP_STORE:
+            address = self.pop()
+            self._store_word(address, self.pop())
+        elif 0x10 <= opcode <= 0x1F:  # ADDSP x
+            offset = (opcode & 0x0F) * 4
+            self.push((self.pop() + self._load_word(self.sp + offset - 4)) & MASK32)
+        elif 0x60 <= opcode <= 0x7F:  # LOADSP x
+            offset = (opcode & 0x1F) * 4
+            self.push(self._load_word(self.sp + offset))
+        elif 0x40 <= opcode <= 0x5F:  # STORESP x
+            offset = (opcode & 0x1F) * 4
+            value = self.pop()
+            self._store_word(self.sp + offset - 4, value)
+        elif opcode in _EMULATE_RANGE:
+            self.stats.emulated += 1
+            next_pc = self._emulate(opcode, next_pc)
+        else:
+            raise SimulationError(f"unimplemented ZPU opcode {opcode:#04x}")
+
+        self._im_pending = im_this
+        self.pc = next_pc
+
+    def _emulate(self, opcode: int, next_pc: int) -> int:
+        if opcode == OP_SUB:
+            b, a = self.pop(), self.pop()
+            self.push((a - b) & MASK32)
+        elif opcode == OP_XOR:
+            self.push(self.pop() ^ self.pop())
+        elif opcode == OP_EQ:
+            self.push(1 if self.pop() == self.pop() else 0)
+        elif opcode == OP_LESSTHAN:
+            b, a = _signed32(self.pop()), _signed32(self.pop())
+            self.push(1 if a < b else 0)
+        elif opcode == OP_ULESSTHAN:
+            b, a = self.pop(), self.pop()
+            self.push(1 if a < b else 0)
+        elif opcode == OP_LSHIFTRIGHT:
+            b, a = self.pop(), self.pop()
+            self.push((a >> (b & 31)) & MASK32)
+        elif opcode == OP_NEQBRANCH:
+            offset, condition = self.pop(), self.pop()
+            if condition != 0:
+                return (self.pc + _signed32(offset)) & MASK32
+        else:
+            raise SimulationError(f"unimplemented EMULATE vector {opcode}")
+        return next_pc
+
+    def run(self, max_steps: int = 2_000_000) -> ZpuStats:
+        """Run until BREAKPOINT; raises on runaway."""
+        for _ in range(max_steps):
+            if self.halted:
+                return self.stats
+            self.step()
+        raise SimulationError("ZPU program did not halt")
+
+
+def _signed32(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+# -- code builder ---------------------------------------------------------------
+
+
+class AsmZpu:
+    """ZPU code builder: IM chaining, label fixups for NEQBRANCH/POPPC."""
+
+    def __init__(self) -> None:
+        self.code = bytearray()
+        self._labels: dict[str, int] = {}
+        self._branch_fixups: list[tuple[int, str]] = []
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._labels[name] = len(self.code)
+
+    def _break_im_chain(self) -> None:
+        """Insert a NOP when the previous byte is an IM, so a new IM
+        sequence starts a fresh push instead of chaining."""
+        if self.code and self.code[-1] & 0x80:
+            self.nop()
+
+    def im(self, value: int) -> None:
+        """Push a constant via chained IM bytes."""
+        self._break_im_chain()
+        value &= MASK32
+        signed = value - (1 << 32) if value & 0x80000000 else value
+        chunks = []
+        while True:
+            chunks.append(signed & 0x7F)
+            signed >>= 7
+            if signed in (0, -1) and (
+                (signed == 0 and not chunks[-1] & 0x40)
+                or (signed == -1 and chunks[-1] & 0x40)
+            ):
+                break
+        for chunk in reversed(chunks):
+            self.code.append(0x80 | chunk)
+        # Break IM chaining for a following constant.
+
+    def op(self, opcode: int) -> None:
+        self.code.append(opcode)
+
+    def nop(self) -> None:
+        self.op(OP_NOP)
+
+    def load(self) -> None:
+        self.op(OP_LOAD)
+
+    def store(self) -> None:
+        self.op(OP_STORE)
+
+    def add(self) -> None:
+        self.op(OP_ADD)
+
+    def sub(self) -> None:
+        self.op(OP_SUB)
+
+    def and_(self) -> None:
+        self.op(OP_AND)
+
+    def or_(self) -> None:
+        self.op(OP_OR)
+
+    def xor(self) -> None:
+        self.op(OP_XOR)
+
+    def not_(self) -> None:
+        self.op(OP_NOT)
+
+    def eq(self) -> None:
+        self.op(OP_EQ)
+
+    def ulessthan(self) -> None:
+        self.op(OP_ULESSTHAN)
+
+    def lshiftright(self) -> None:
+        self.op(OP_LSHIFTRIGHT)
+
+    def loadsp(self, slot: int) -> None:
+        self.op(0x60 | slot)
+
+    def storesp(self, slot: int) -> None:
+        self.op(0x40 | slot)
+
+    def halt(self) -> None:
+        self.op(0x00)
+
+    def neqbranch(self, target: str) -> None:
+        """Pop condition; branch to ``target`` when nonzero.
+
+        Emitted as ``IM <offset> NEQBRANCH`` with a 2-byte IM
+        reservation patched at assembly time.
+        """
+        self._break_im_chain()
+        self._branch_fixups.append((len(self.code), target))
+        self.code += bytes([0x80, 0x80, OP_NEQBRANCH])
+
+    def branch(self, target: str) -> None:
+        """Unconditional branch: push 1, then NEQBRANCH."""
+        self.im(1)
+        self.neqbranch(target)
+
+    def assemble(self) -> bytes:
+        for position, target in self._branch_fixups:
+            if target not in self._labels:
+                raise AssemblerError(f"undefined label {target!r}")
+            # Offset is relative to the NEQBRANCH instruction itself.
+            offset = self._labels[target] - (position + 2)
+            if not -8192 <= offset < 8192:
+                raise AssemblerError(f"branch to {target!r} out of IM2 range")
+            self.code[position] = 0x80 | ((offset >> 7) & 0x7F)
+            self.code[position + 1] = 0x80 | (offset & 0x7F)
+        return bytes(self.code)

@@ -1,0 +1,27 @@
+"""Parametric gate-level TP-ISA core generator.
+
+Stands in for the paper's Verilog RTL + Design Compiler flow: a
+:class:`~repro.coregen.config.CoreConfig` (datawidth x pipeline depth x
+BAR count, Section 5.2) is elaborated into a real technology-mapped
+netlist whose area, timing, and power are then measured by the
+:mod:`repro.netlist` analyses.  Program-specific cores (Section 7)
+reuse the same generator with shrunken parameters derived from
+:func:`repro.isa.analysis.analyze_program`.
+
+Single-stage cores are functionally verified by lock-step
+co-simulation against the instruction-set simulator
+(:mod:`repro.coregen.cosim`); multi-stage variants add their pipeline
+registers and stall/flush control structurally, which is what the
+Figure 7 PPA sweep measures.
+"""
+
+from repro.coregen.config import CoreConfig, program_specific_config
+from repro.coregen.generator import generate_core
+from repro.coregen.cosim import CoSimHarness
+
+__all__ = [
+    "CoreConfig",
+    "program_specific_config",
+    "generate_core",
+    "CoSimHarness",
+]

@@ -1,0 +1,149 @@
+"""Core configuration: the design-space axes plus PS-ISA shrinking.
+
+The paper's Figure 7 sweep is the cross product of datawidth
+{4, 8, 16, 32}, pipeline depth {1, 2, 3}, and BAR count {2, 4}; cores
+are named ``pP_D_B`` after it.  A program-specific core (Section 7)
+additionally narrows the PC, BARs, flag register, and instruction
+operand fields to what one program actually uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.isa.analysis import ProgramSpecificIsa
+from repro.isa.spec import Flag
+
+#: All four architectural flags, in mask-bit order (bit 0 first).
+ALL_FLAGS = (Flag.V, Flag.C, Flag.Z, Flag.S)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Parameters of one TP-ISA core instance.
+
+    Attributes:
+        datawidth: ALU/data word width in bits.
+        pipeline_stages: 1 (single cycle), 2 (IF|EX) or 3 (IF|RD|EX).
+        num_bars: Base-address registers including the hardwired
+            BAR[0] (2 or 4 in the standard sweep; 1 means no settable
+            BARs at all -- a PS-ISA outcome).
+        pc_bits: Program-counter width (8 for the standard ISA).
+        bar_bits: Width of each settable BAR (8 standard).
+        flags: The architectural flags implemented.
+        operand1_bits / operand2_bits: Instruction operand field
+            widths (8 standard; shrunken in PS-ISA cores).
+        address_bits: Data-memory address width presented to the RAM.
+    """
+
+    datawidth: int = 8
+    pipeline_stages: int = 1
+    num_bars: int = 2
+    pc_bits: int = 8
+    bar_bits: int = 8
+    flags: tuple[Flag, ...] = ALL_FLAGS
+    operand1_bits: int = 8
+    operand2_bits: int = 8
+    address_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.datawidth not in (4, 8, 16, 32):
+            raise ConfigError(f"unsupported datawidth {self.datawidth}")
+        if self.pipeline_stages not in (1, 2, 3):
+            raise ConfigError(f"unsupported pipeline depth {self.pipeline_stages}")
+        if self.num_bars not in (1, 2, 4):
+            raise ConfigError(f"unsupported BAR count {self.num_bars}")
+        if not 0 <= self.pc_bits <= 8:
+            raise ConfigError(f"pc_bits {self.pc_bits} out of range")
+        if not 0 <= self.bar_bits <= 8:
+            raise ConfigError(f"bar_bits {self.bar_bits} out of range")
+        if self.num_bars > 1 and self.bar_bits == 0:
+            raise ConfigError("settable BARs need a nonzero width")
+        seen = set()
+        for flag in self.flags:
+            if flag in seen:
+                raise ConfigError(f"duplicate flag {flag}")
+            seen.add(flag)
+        if self.operand1_bits < 1 or self.operand2_bits < 1:
+            raise ConfigError("operand fields need at least one bit")
+        if self.bar_select_bits + 1 > self.operand1_bits:
+            raise ConfigError("operand1 field too narrow for its BAR select")
+
+    # -- derived layout --------------------------------------------------------
+
+    @property
+    def bar_select_bits(self) -> int:
+        """Bits of each memory operand that select a BAR."""
+        return (self.num_bars - 1).bit_length()
+
+    @property
+    def offset1_bits(self) -> int:
+        return self.operand1_bits - self.bar_select_bits
+
+    @property
+    def offset2_bits(self) -> int:
+        return self.operand2_bits - self.bar_select_bits
+
+    @property
+    def instruction_bits(self) -> int:
+        """Total instruction word width (opcode + control + operands)."""
+        return 8 + self.operand1_bits + self.operand2_bits
+
+    @property
+    def flag_count(self) -> int:
+        return len(self.flags)
+
+    @property
+    def name(self) -> str:
+        """The paper's ``pP_D_B`` naming."""
+        return f"p{self.pipeline_stages}_{self.datawidth}_{self.num_bars}"
+
+    def flag_mask_bit(self, flag: Flag) -> int:
+        """Position of ``flag`` within the branch-mask field."""
+        return int(math.log2(int(flag)))
+
+    def data_memory_words(self) -> int:
+        return 1 << self.address_bits
+
+
+def standard_sweep() -> list[CoreConfig]:
+    """The 24 configurations of the paper's Figure 7 sweep."""
+    return [
+        CoreConfig(datawidth=width, pipeline_stages=stages, num_bars=bars)
+        for width in (4, 8, 16, 32)
+        for stages in (1, 2, 3)
+        for bars in (2, 4)
+    ]
+
+
+def program_specific_config(
+    base: CoreConfig, analysis: ProgramSpecificIsa
+) -> CoreConfig:
+    """Shrink ``base`` to a program-specific core (Section 7).
+
+    The datawidth and pipeline depth are preserved; the PC, BARs, flag
+    register, and operand fields shrink to the analyzed program's
+    needs.  Address bits shrink to the program's data footprint so the
+    attached RAM can be exactly sized.
+    """
+    if analysis.num_bars == 0:
+        num_bars = 1
+        bar_bits = 0
+    else:
+        num_bars = 1 << (analysis.num_bars).bit_length() if analysis.num_bars > 1 else 2
+        bar_bits = max(1, analysis.bar_bits or 1)
+    address_bits = max(1, math.ceil(math.log2(max(2, analysis.data_words))))
+    flags = tuple(f for f in ALL_FLAGS if f in analysis.flags_used)
+    bar_select = (num_bars - 1).bit_length() if num_bars > 1 else 0
+    return replace(
+        base,
+        num_bars=num_bars,
+        pc_bits=max(1, analysis.pc_bits),
+        bar_bits=min(8, bar_bits if num_bars > 1 else 0),
+        flags=flags,
+        operand1_bits=max(analysis.operand1_bits, bar_select + 1, 1),
+        operand2_bits=max(analysis.operand2_bits, bar_select + 1, 1),
+        address_bits=min(8, address_bits),
+    )

@@ -1,0 +1,96 @@
+"""Configuration-aware instruction encoding.
+
+The standard TP-ISA word is 24 bits, but a program-specific core
+(Section 7) fetches *shrunken* words: narrower operand fields and a
+compacted flag mask holding only the flags the core implements.  This
+module encodes :class:`~repro.isa.spec.Instruction` objects for an
+arbitrary :class:`~repro.coregen.config.CoreConfig`, which is what the
+co-simulation harness and the instruction-ROM sizing both consume.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+from repro.isa.program import Program
+from repro.isa.spec import Instruction, MemOperand, Mnemonic
+from repro.coregen.config import CoreConfig
+
+
+def _encode_memory_operand(
+    operand: MemOperand, config: CoreConfig, offset_bits: int
+) -> int:
+    if operand.bar >= config.num_bars:
+        raise IsaError(
+            f"operand BAR {operand.bar} exceeds the core's {config.num_bars} BARs"
+        )
+    if operand.offset >= (1 << offset_bits):
+        raise IsaError(
+            f"offset {operand.offset} does not fit {offset_bits} offset bits"
+        )
+    return (operand.bar << offset_bits) | operand.offset
+
+
+def encode_mask(mask: int, config: CoreConfig) -> int:
+    """Compact an architectural flag mask onto the core's flag order.
+
+    Bit ``i`` of the result selects ``config.flags[i]``.  Raises if the
+    mask names a flag the core does not implement.
+    """
+    compacted = 0
+    remaining = mask
+    for position, flag in enumerate(config.flags):
+        if mask & int(flag):
+            compacted |= 1 << position
+            remaining &= ~int(flag)
+    if remaining:
+        raise IsaError(
+            f"mask {mask:#x} uses flags the core lacks (has {config.flags})"
+        )
+    return compacted
+
+
+def encode_for_core(instruction: Instruction, config: CoreConfig) -> int:
+    """Encode ``instruction`` into the core's fetch-word format.
+
+    Field layout (MSB first): opcode (4) | W C A B (4) |
+    operand1 (``config.operand1_bits``) | operand2
+    (``config.operand2_bits``).
+    """
+    spec = instruction.spec
+    o1_bits = config.operand1_bits
+    o2_bits = config.operand2_bits
+
+    if spec.fmt == "M":
+        op1 = _encode_memory_operand(instruction.dst, config, config.offset1_bits)
+        op2 = _encode_memory_operand(instruction.src, config, config.offset2_bits)
+    elif instruction.mnemonic is Mnemonic.STORE:
+        op1 = _encode_memory_operand(instruction.dst, config, config.offset1_bits)
+        op2 = instruction.imm
+    elif instruction.mnemonic is Mnemonic.SETBAR:
+        # The pointer resolves through the regular operand-1 path, so
+        # it must fit the offset field (kernels keep pointers low).
+        op1 = _encode_memory_operand(instruction.src, config, config.offset1_bits)
+        op2 = instruction.bar_index
+    else:  # branch
+        if instruction.target >= (1 << max(1, config.pc_bits)):
+            raise IsaError(
+                f"branch target {instruction.target} exceeds the core's "
+                f"{config.pc_bits}-bit PC"
+            )
+        op1 = instruction.target
+        op2 = encode_mask(instruction.mask, config)
+
+    for value, bits, label in ((op1, o1_bits, "operand1"), (op2, o2_bits, "operand2")):
+        if value >= (1 << bits):
+            raise IsaError(f"{label} value {value} does not fit {bits} bits")
+
+    word = spec.opcode
+    word = (word << 4) | spec.control_bits
+    word = (word << o1_bits) | op1
+    word = (word << o2_bits) | op2
+    return word
+
+
+def encode_program_for_core(program: Program, config: CoreConfig) -> list[int]:
+    """Encode a whole program as the core's instruction-ROM image."""
+    return [encode_for_core(i, config) for i in program.instructions]

@@ -1,0 +1,6 @@
+"""Design-space exploration over TP-ISA core parameters (Section 5.2)."""
+
+from repro.dse.sweep import DesignPoint, sweep_design_space
+from repro.dse.pareto import pareto_front
+
+__all__ = ["DesignPoint", "sweep_design_space", "pareto_front"]

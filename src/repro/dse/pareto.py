@@ -1,0 +1,33 @@
+"""Pareto-frontier utilities for design-space results.
+
+The paper's guidance ("the best cores are single-stage") falls out of
+which configurations survive on the area/power/performance frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when cost vector ``a`` is no worse everywhere and better
+    somewhere (minimization)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(
+    items: Sequence[T], costs: Callable[[T], Sequence[float]]
+) -> list[T]:
+    """The non-dominated subset of ``items`` under ``costs``."""
+    front = []
+    vectors = [tuple(costs(item)) for item in items]
+    for index, item in enumerate(items):
+        if not any(
+            dominates(other, vectors[index])
+            for j, other in enumerate(vectors)
+            if j != index
+        ):
+            front.append(item)
+    return front

@@ -1,0 +1,76 @@
+"""The Figure 7 sweep: datawidth x pipeline depth x BAR count.
+
+Each of the 24 configurations is elaborated to a netlist and measured
+(area with its combinational/register split, fmax, power at fmax) in
+either printed technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.coregen.config import CoreConfig, standard_sweep
+from repro.coregen.generator import generate_core
+from repro.errors import ConfigError
+from repro.netlist.power import power_report
+from repro.netlist.sta import timing_report
+from repro.netlist.stats import area_report
+from repro.pdk import cnt_tft_library, egfet_library
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One measured sweep configuration (Figure 7 bar group)."""
+
+    config: CoreConfig
+    technology: str
+    fmax: float
+    area: float
+    combinational_area: float
+    sequential_area: float
+    power_at_fmax: float
+    combinational_power: float
+    sequential_power: float
+    gate_count: int
+    dff_count: int
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+
+def _library(technology: str):
+    if technology == "EGFET":
+        return egfet_library()
+    if technology in ("CNT", "CNT-TFT"):
+        return cnt_tft_library()
+    raise ConfigError(f"unknown technology {technology!r}")
+
+
+@lru_cache(maxsize=64)
+def evaluate_design(config: CoreConfig, technology: str = "EGFET") -> DesignPoint:
+    """Elaborate and measure one configuration."""
+    library = _library(technology)
+    netlist = generate_core(config)
+    area = area_report(netlist, library)
+    power = power_report(netlist, library)
+    timing = timing_report(netlist, library)
+    return DesignPoint(
+        config=config,
+        technology=technology,
+        fmax=timing.fmax,
+        area=area.total,
+        combinational_area=area.combinational,
+        sequential_area=area.sequential,
+        power_at_fmax=power.power_at(timing.fmax),
+        combinational_power=power.combinational_energy * timing.fmax,
+        sequential_power=power.sequential_energy * timing.fmax,
+        gate_count=area.gate_count,
+        dff_count=area.dff_count,
+    )
+
+
+def sweep_design_space(technology: str = "EGFET") -> list[DesignPoint]:
+    """Measure all 24 Figure 7 configurations."""
+    return [evaluate_design(config, technology) for config in standard_sweep()]

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the printed-microprocessors reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing assembly errors from simulation errors, etc.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class PDKError(ReproError):
+    """A standard-cell library or compact-model query failed."""
+
+
+class UnknownCellError(PDKError):
+    """A cell name was requested that the library does not provide."""
+
+    def __init__(self, name: str, library: str) -> None:
+        super().__init__(f"cell {name!r} is not in library {library!r}")
+        self.name = name
+        self.library = library
+
+
+class NetlistError(ReproError):
+    """A netlist was constructed or queried inconsistently."""
+
+
+class MappingError(NetlistError):
+    """Technology mapping failed (unknown logic op or bad arity)."""
+
+
+class TimingError(NetlistError):
+    """Static timing analysis failed (e.g. combinational loop)."""
+
+
+class SimulationError(ReproError):
+    """Gate-level or instruction-level simulation failed."""
+
+
+class IsaError(ReproError):
+    """An instruction could not be encoded, decoded, or validated."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source was malformed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class ProgramError(ReproError):
+    """A program image violated a machine constraint (size, width...)."""
+
+
+class MemoryModelError(ReproError):
+    """A memory-array model was configured inconsistently."""
+
+
+class ConfigError(ReproError):
+    """A core or system configuration was invalid."""

@@ -1,0 +1,6 @@
+"""System-level evaluation: core + ROM + RAM composition and the
+regeneration of every table and figure in the paper."""
+
+from repro.eval.system import SystemMetrics, evaluate_system
+
+__all__ = ["SystemMetrics", "evaluate_system"]

@@ -1,0 +1,137 @@
+"""Extension studies beyond the paper's headline results.
+
+* :func:`evaluate_with_icache` -- the Section 8 future-work direction:
+  attach a printed loop cache to hide the CNT ROM latency.
+* :func:`throttled_operating_point` -- the paper's other suggestion:
+  derate the clock so average power fits a printed battery's maximum
+  output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coregen.config import CoreConfig
+from repro.eval.system import SystemMetrics, evaluate_system
+from repro.isa.program import Program
+from repro.memory.icache import icache_cost, simulate_icache
+from repro.pdk import cnt_tft_library, egfet_library
+from repro.power.battery import PrintedBattery
+from repro.sim.machine import Machine
+from repro.sim.trace import FetchTrace
+
+
+@dataclass(frozen=True)
+class ICacheStudy:
+    """Baseline vs cached system for one benchmark/technology."""
+
+    baseline: SystemMetrics
+    cache_words: int
+    hit_rate: float
+    cached_imem_time: float
+    cached_total_time: float
+    cached_total_area: float
+    cached_total_energy: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.total_time / self.cached_total_time
+
+    @property
+    def area_overhead(self) -> float:
+        return self.cached_total_area / self.baseline.total_area - 1.0
+
+
+def evaluate_with_icache(
+    program: Program,
+    cache_words: int = 32,
+    technology: str = "CNT-TFT",
+    config: CoreConfig | None = None,
+) -> ICacheStudy:
+    """Attach a loop cache in front of the instruction ROM.
+
+    Hits are served at the cache lookup delay; misses pay the full ROM
+    latency (plus the lookup) and fill the line.
+    """
+    baseline = evaluate_system(program, config=config, technology=technology)
+
+    trace = FetchTrace()
+    machine = Machine(program, fetch_trace=trace)
+    machine.run()
+    sim = simulate_icache(trace, cache_words)
+
+    library = cnt_tft_library() if technology in ("CNT", "CNT-TFT") else egfet_library()
+    rom_delay = baseline.imem_time / max(1, machine.stats.fetches)
+    rom_energy = 0.0
+    if machine.stats.fetches:
+        rom_energy = baseline.imem_energy / machine.stats.fetches
+    cost = icache_cost(
+        library, cache_words, instruction_bits=24, pc_bits=8
+    )
+
+    cached_imem_time = (
+        sim.hits * cost.hit_delay + sim.misses * (rom_delay + cost.hit_delay)
+    )
+    cached_total_time = baseline.core_time + cached_imem_time + baseline.dmem_time
+    cached_energy = (
+        baseline.total_energy
+        - baseline.imem_energy
+        + sim.misses * rom_energy
+        + sim.accesses * cost.hit_energy
+        + machine.stats.fetches * cost.idle_energy_per_cycle
+    )
+    return ICacheStudy(
+        baseline=baseline,
+        cache_words=cache_words,
+        hit_rate=sim.hit_rate,
+        cached_imem_time=cached_imem_time,
+        cached_total_time=cached_total_time,
+        cached_total_area=baseline.total_area + cost.area,
+        cached_total_energy=cached_energy,
+    )
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A battery-compatible clocking of one system."""
+
+    nominal_power: float
+    battery_limit: float
+    frequency_scale: float
+    throttled_time_per_iteration: float
+
+    @property
+    def throttled(self) -> bool:
+        return self.frequency_scale < 1.0
+
+
+def throttle_power(
+    nominal_power: float, time_per_iteration: float, battery: PrintedBattery
+) -> OperatingPoint:
+    """Derate the clock so power fits the battery's maximum output.
+
+    Printed batteries top out near 10-45 mW; CNT cores at nominal
+    frequency draw watts (Section 8: "CNT-TFT power consumption at
+    nominal frequency exceeds the output of currently available
+    printed batteries"), so they must run well below fmax -- e.g.
+    matched to the instruction-ROM latency as the paper suggests.
+    Dynamic power scales with frequency, so runtime stretches by the
+    inverse of the derate.
+    """
+    if nominal_power <= battery.max_power:
+        scale = 1.0
+    else:
+        scale = battery.max_power / nominal_power
+    return OperatingPoint(
+        nominal_power=nominal_power,
+        battery_limit=battery.max_power,
+        frequency_scale=scale,
+        throttled_time_per_iteration=time_per_iteration / scale,
+    )
+
+
+def throttled_operating_point(
+    metrics: SystemMetrics, battery: PrintedBattery
+) -> OperatingPoint:
+    """Battery-compatible clocking of a full system evaluation."""
+    return throttle_power(metrics.average_power, metrics.total_time, battery)

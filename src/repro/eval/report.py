@@ -1,0 +1,44 @@
+"""Plain-text rendering of tables and series.
+
+Every benchmark harness prints through these helpers so the regenerated
+tables read like the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width table with a title rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells)) if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_series(title: str, points: Sequence[tuple], labels: tuple[str, str]) -> str:
+    """Two-column (x, y) series rendering for figure data."""
+    return render_table(title, labels, points)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,205 @@
+"""Full-system evaluation: TP-ISA core + crosspoint ROM + SRAM.
+
+This is Section 8's methodology: the instruction memory is a crosspoint
+ROM "just large enough to store exactly as many static instructions as
+exist in the program", the data memory an SRAM with "exactly as many
+entries as are required by the application", and the core a generated
+single-stage netlist.  Dynamic counts come from the instruction-set
+simulator; physical characteristics from the netlist analyses and the
+memory models.
+
+Timing composition (one memory-memory instruction per cycle):
+
+* core time      = cycles x critical-path delay,
+* IM time        = fetches x ROM read latency,
+* DM time        = (parallel-read phases + write phases) x RAM latency,
+
+and total execution time is their sum -- matching Figure 8's stacked
+execution-time bars.  Energy composes the same way, with memory static
+power integrated over the total runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.coregen.config import CoreConfig, program_specific_config
+from repro.coregen.generator import generate_core
+from repro.errors import ConfigError
+from repro.isa.analysis import analyze_program
+from repro.isa.program import Program
+from repro.memory.ram import SramArray
+from repro.memory.rom import CrosspointRom
+from repro.netlist.power import power_report
+from repro.netlist.sta import timing_report
+from repro.netlist.stats import area_report
+from repro.pdk import cnt_tft_library, egfet_library
+from repro.sim.machine import Machine
+from repro.sim.pipeline import cycles_for
+
+
+@dataclass(frozen=True)
+class SystemMetrics:
+    """Everything Figure 8 / Table 8 report for one (program, core).
+
+    Areas in m^2, energies in J, times in seconds, power in W.
+    """
+
+    program: str
+    core_name: str
+    technology: str
+    program_specific: bool
+    # Static instruction/data footprint.
+    static_instructions: int
+    data_words: int
+    # Area breakdown (Figure 8 top).
+    core_combinational_area: float
+    core_sequential_area: float
+    imem_area: float
+    dmem_area: float
+    # Per-iteration energy breakdown (Figure 8 middle).
+    core_combinational_energy: float
+    core_sequential_energy: float
+    imem_energy: float
+    dmem_energy: float
+    # Per-iteration execution-time breakdown (Figure 8 bottom).
+    core_time: float
+    imem_time: float
+    dmem_time: float
+    # Dynamics.
+    cycles: int
+    core_fmax: float
+
+    @property
+    def total_area(self) -> float:
+        return (
+            self.core_combinational_area
+            + self.core_sequential_area
+            + self.imem_area
+            + self.dmem_area
+        )
+
+    @property
+    def core_area(self) -> float:
+        return self.core_combinational_area + self.core_sequential_area
+
+    @property
+    def total_energy(self) -> float:
+        return (
+            self.core_combinational_energy
+            + self.core_sequential_energy
+            + self.imem_energy
+            + self.dmem_energy
+        )
+
+    @property
+    def total_time(self) -> float:
+        return self.core_time + self.imem_time + self.dmem_time
+
+    @property
+    def average_power(self) -> float:
+        return self.total_energy / self.total_time if self.total_time else 0.0
+
+
+def _library(technology: str):
+    if technology == "EGFET":
+        return egfet_library()
+    if technology in ("CNT", "CNT-TFT"):
+        return cnt_tft_library()
+    raise ConfigError(f"unknown technology {technology!r}")
+
+
+@lru_cache(maxsize=256)
+def _core_reports(config: CoreConfig, technology: str):
+    netlist = generate_core(config)
+    library = _library(technology)
+    return (
+        area_report(netlist, library),
+        power_report(netlist, library),
+        timing_report(netlist, library),
+    )
+
+
+def evaluate_system(
+    program: Program,
+    config: CoreConfig | None = None,
+    technology: str = "EGFET",
+    program_specific: bool = False,
+    rom_bits_per_cell: int = 1,
+) -> SystemMetrics:
+    """Evaluate one benchmark on one core with right-sized memories.
+
+    Args:
+        program: The benchmark image (must halt under the ISS).
+        config: Core configuration; defaults to a standard single-stage
+            core at the program's datawidth/BAR count.
+        technology: ``"EGFET"`` or ``"CNT-TFT"``.
+        program_specific: Shrink the core and memories per the
+            Section 7 static analysis before evaluating.
+        rom_bits_per_cell: Multi-level-cell depth of the instruction
+            ROM (the dTree-ROMopt configuration uses 2).
+    """
+    if config is None:
+        config = CoreConfig(
+            datawidth=program.datawidth,
+            pipeline_stages=1,
+            num_bars=max(2, program.num_bars),
+        )
+
+    # Dynamic behaviour (independent of technology).
+    machine = Machine(program, num_bars=config.num_bars)
+    machine.run()
+    stats = machine.stats
+
+    if program_specific:
+        analysis = analyze_program(program, data_words=stats.data_words_used())
+        config = program_specific_config(config, analysis)
+        instruction_bits = analysis.instruction_bits
+    else:
+        instruction_bits = config.instruction_bits
+
+    area, power, timing = _core_reports(config, technology)
+
+    data_words = max(1, stats.data_words_used())
+    rom = CrosspointRom(
+        words=max(1, program.static_size),
+        bits_per_word=instruction_bits,
+        bits_per_cell=rom_bits_per_cell,
+        technology=technology,
+    )
+    ram = SramArray(
+        words=data_words, bits_per_word=config.datawidth, technology=technology
+    )
+
+    cycles = cycles_for(stats, config.pipeline_stages)
+    core_time = cycles * timing.critical_path_delay
+    imem_time = stats.fetches * rom.read_delay
+    dmem_time = (stats.read_phases + stats.write_phases) * ram.access_delay
+    total_time = core_time + imem_time + dmem_time
+
+    scale = cycles  # core energy scales with clocked cycles
+    return SystemMetrics(
+        program=program.name,
+        core_name=config.name + ("_ps" if program_specific else ""),
+        technology=technology,
+        program_specific=program_specific,
+        static_instructions=program.static_size,
+        data_words=data_words,
+        core_combinational_area=area.combinational,
+        core_sequential_area=area.sequential,
+        imem_area=rom.area,
+        dmem_area=ram.area,
+        core_combinational_energy=scale * power.combinational_energy,
+        core_sequential_energy=scale * power.sequential_energy,
+        imem_energy=stats.fetches * rom.read_energy + rom.static_power * total_time,
+        dmem_energy=(
+            (stats.memory_reads + stats.memory_writes) * ram.access_energy
+            + ram.static_power * total_time
+        ),
+        core_time=core_time,
+        imem_time=imem_time,
+        dmem_time=dmem_time,
+        cycles=cycles,
+        core_fmax=timing.fmax,
+    )

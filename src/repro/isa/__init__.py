@@ -1,0 +1,45 @@
+"""TP-ISA: the paper's Tiny Printed instruction set architecture.
+
+TP-ISA (Section 5.1, Figure 6) is a two-operand, memory-memory ISA
+designed for printed microprocessors: no general-purpose registers
+(DFFs are prohibitively expensive in printed technologies), 24-bit
+fixed-width instructions, up to 256 words of data memory addressed
+through base-address registers (BARs), and a 4-bit flag register
+(S, Z, C, V).
+
+This package provides the specification (:mod:`repro.isa.spec`),
+binary encoding/decoding (:mod:`repro.isa.encoding`), a two-pass text
+assembler (:mod:`repro.isa.assembler`), a disassembler, program
+containers, and the static analysis that derives program-specific ISA
+variants (Section 7, Table 7).
+"""
+
+from repro.isa.spec import (
+    Flag,
+    Mnemonic,
+    Instruction,
+    MemOperand,
+    ISA_DESCRIPTION,
+)
+from repro.isa.program import Program
+from repro.isa.encoding import encode, decode, INSTRUCTION_BITS
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.analysis import ProgramSpecificIsa, analyze_program
+
+__all__ = [
+    "Flag",
+    "Mnemonic",
+    "Instruction",
+    "MemOperand",
+    "ISA_DESCRIPTION",
+    "Program",
+    "encode",
+    "decode",
+    "INSTRUCTION_BITS",
+    "assemble",
+    "disassemble",
+    "disassemble_program",
+    "ProgramSpecificIsa",
+    "analyze_program",
+]

@@ -1,0 +1,179 @@
+"""Static program analysis for program-specific ISA variants (Section 7).
+
+Printing hardware on demand makes *program-specific* processors
+economical: since the static program is known at print time, the
+architectural state and instruction encoding can be shrunk to exactly
+what the program uses.  This module performs the analyses the paper
+describes:
+
+* **PC width** -- ``ceil(log2 N)`` bits for ``N`` static instructions.
+* **BAR inventory** -- BARs that are never selected (or only ever hold
+  zero, like the hardwired ``BAR[0]``) are removed; surviving BARs
+  shrink to ``ceil(log2 D)`` bits for ``D`` data words used.
+* **Flag inventory** -- only flags actually *consumed* (tested by a
+  branch mask or chained through a carry-consuming instruction)
+  survive.
+* **Operand field widths** -- address/immediate/mask fields shrink to
+  the widest value each position actually encodes; the instruction
+  word shrinks accordingly (Table 7's "Instruction Size").
+
+These results drive both the shrunken-core generator
+(:mod:`repro.coregen`) and the right-sized instruction ROM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.isa.program import Program
+from repro.isa.spec import (
+    CARRY_CONSUMERS,
+    Flag,
+    Mnemonic,
+    UNARY_OPS,
+)
+
+#: Control field width (W, C, A, B) -- fixed by the encoding.
+CONTROL_BITS = 4
+
+#: Opcode field width -- fixed by the encoding.
+OPCODE_BITS = 4
+
+
+def _bits_for_count(count: int) -> int:
+    """ceil(log2(count)); zero or one alternatives need no bits."""
+    if count <= 1:
+        return 0
+    return math.ceil(math.log2(count))
+
+
+def _bits_for_value(value: int) -> int:
+    """Bits needed to represent ``value`` (at least 1)."""
+    return max(1, value.bit_length())
+
+
+@dataclass(frozen=True)
+class ProgramSpecificIsa:
+    """Shrunken architectural parameters for one program (Table 7 row).
+
+    Attributes:
+        program_name: The analyzed benchmark.
+        pc_bits: Program-counter width.
+        bar_bits: Width of the surviving BARs (None if no BARs remain).
+        num_bars: Number of *settable* BARs retained.
+        flags_used: The set of consumed flags.
+        operand1_bits / operand2_bits: Shrunken operand field widths.
+        instruction_bits: Total shrunken instruction width.
+        data_words: Data-memory words the program addresses.
+    """
+
+    program_name: str
+    pc_bits: int
+    bar_bits: int | None
+    num_bars: int
+    flags_used: frozenset
+    operand1_bits: int
+    operand2_bits: int
+    instruction_bits: int
+    data_words: int
+
+    @property
+    def num_flags(self) -> int:
+        return len(self.flags_used)
+
+
+def flags_consumed(program: Program) -> frozenset:
+    """Flags whose value some instruction actually observes."""
+    used = 0
+    for instruction in program.instructions:
+        if instruction.is_branch:
+            used |= instruction.mask
+        elif instruction.mnemonic in CARRY_CONSUMERS:
+            used |= Flag.C
+    return frozenset(flag for flag in (Flag.S, Flag.Z, Flag.C, Flag.V) if used & flag)
+
+
+def analyze_program(program: Program, data_words: int | None = None) -> ProgramSpecificIsa:
+    """Derive the program-specific ISA parameters for ``program``.
+
+    Args:
+        program: The static program image.
+        data_words: Observed data-memory footprint (e.g. from a
+            simulator run).  Defaults to a static estimate from the
+            initial data image and operand offsets.
+    """
+    pc_bits = _bits_for_count(len(program.instructions))
+
+    settable_bars = set()
+    max_offset = {1: 0, 2: 0}
+    max_absolute = 0
+    for instruction in program.instructions:
+        if instruction.mnemonic is Mnemonic.SETBAR:
+            settable_bars.add(instruction.bar_index)
+        operands = []
+        if instruction.dst is not None:
+            operands.append((1, instruction.dst))
+        if instruction.mnemonic is Mnemonic.SETBAR:
+            # The pointer address occupies operand field 1.
+            operands.append((1, instruction.src))
+        elif instruction.src is not None:
+            operands.append((2, instruction.src))
+        for position, operand in operands:
+            if operand.bar != 0:
+                settable_bars.add(operand.bar)
+            max_offset[position] = max(max_offset[position], operand.offset)
+            if operand.bar == 0:
+                max_absolute = max(max_absolute, operand.offset)
+
+    if data_words is None:
+        static_floor = (max(program.data) + 1) if program.data else 0
+        data_words = max(static_floor, max_absolute + 1 if program.instructions else 0)
+
+    num_bars = len(settable_bars)
+    bar_bits = _bits_for_value(max(1, data_words - 1)) if num_bars else None
+
+    flags = flags_consumed(program)
+
+    # Operand fields shrink to the widest value each position encodes.
+    # BAR-select bits only prefix *memory* operands; immediates, branch
+    # targets, and flag masks occupy the raw field.
+    max_target = 0
+    max_mask = 0
+    max_immediate = 0
+    max_bar_index = 0
+    for instruction in program.instructions:
+        if instruction.is_branch:
+            max_target = max(max_target, instruction.target)
+            max_mask = max(max_mask, instruction.mask)
+        elif instruction.mnemonic is Mnemonic.SETBAR:
+            max_bar_index = max(max_bar_index, instruction.bar_index)
+        elif instruction.mnemonic is Mnemonic.STORE:
+            max_immediate = max(max_immediate, instruction.imm)
+
+    bar_select_bits = _bits_for_count(num_bars + 1) if num_bars else 0
+    operand1_bits = max(
+        _bits_for_value(max_offset[1]) + bar_select_bits,
+        _bits_for_value(max_target) if max_target else 0,
+        1,
+    )
+    operand2_bits = max(
+        _bits_for_value(max_offset[2]) + bar_select_bits,
+        _bits_for_value(max_immediate) if max_immediate else 0,
+        _bits_for_value(max_mask) if max_mask else 0,
+        _bits_for_value(max_bar_index) if max_bar_index else 0,
+        1,
+    )
+    instruction_bits = OPCODE_BITS + CONTROL_BITS + operand1_bits + operand2_bits
+
+    return ProgramSpecificIsa(
+        program_name=program.name,
+        pc_bits=pc_bits,
+        bar_bits=bar_bits,
+        num_bars=num_bars,
+        flags_used=flags,
+        operand1_bits=operand1_bits,
+        operand2_bits=operand2_bits,
+        instruction_bits=instruction_bits,
+        data_words=data_words,
+    )

@@ -1,0 +1,271 @@
+"""Two-pass text assembler for TP-ISA.
+
+Syntax overview::
+
+    ; comments run to end of line
+    .width 8            ; datawidth the program assumes
+    .bars 2             ; BAR configuration
+    .word x 7           ; allocate one data word named x, initial 7
+    .word y             ; allocate one data word, initial 0
+    .array buf 16       ; allocate 16 consecutive words (buf, buf+1..)
+
+    start:
+        STORE x, 5      ; immediates are decimal / 0x.. / 0b..
+        ADD   x, y      ; memory-memory: dst, src
+        ADC   x, b1:3   ; BAR-relative operand: BAR 1, offset 3
+        CMP   x, y
+        BR    done, Z   ; flag masks by letters (SZCV) or number
+        BRN   start, 0  ; mask 0 -> unconditional jump
+    done:
+        HALT            ; pseudo: BRN to self
+
+Pseudo-instructions:
+
+* ``HALT`` -- unconditional branch to itself (the simulator's halt
+  convention).
+* ``MOV dst, src`` -- expands to ``XOR dst, dst`` + ``OR dst, src``
+  (TP-ISA has no copy instruction; this is the canonical two-op idiom,
+  clobbering flags).
+
+Data symbols are allocated sequential addresses starting at 0, in
+declaration order.  ``symbol+n`` arithmetic is supported in operands.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.isa.program import Program
+from repro.isa.spec import Flag, Instruction, MemOperand, Mnemonic, OP_TABLE, UNARY_OPS
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_BAR_OPERAND_RE = re.compile(r"^b(\d+):(.+)$")
+
+#: Instruction-count cost of each pseudo-instruction.
+_PSEUDO_SIZES = {"HALT": 1, "MOV": 2, "NOP": 1}
+
+
+@dataclass
+class _Line:
+    number: int
+    mnemonic: str
+    operands: list[str]
+
+
+def _parse_value(text: str, line: int) -> int:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad numeric value {text!r}", line) from None
+
+
+def _parse_mask(text: str, line: int) -> int:
+    """Flag mask: either a number or flag letters like ``CZ``."""
+    text = text.strip()
+    if re.fullmatch(r"[SZCVszcv]+", text):
+        mask = 0
+        for letter in text.upper():
+            mask |= Flag[letter]
+        return int(mask)
+    value = _parse_value(text, line)
+    if not 0 <= value <= 0xF:
+        raise AssemblerError(f"flag mask {value} out of range", line)
+    return value
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str) -> None:
+        self.source = source
+        self.name = name
+        self.width = 8
+        self.bars = 2
+        self.data_symbols: dict[str, int] = {}
+        self.data_init: dict[int, int] = {}
+        self.labels: dict[str, int] = {}
+        self.lines: list[_Line] = []
+        self._next_data = 0
+
+    # -- pass 1: directives, data allocation, label addresses ------------
+
+    def first_pass(self) -> None:
+        pc = 0
+        for number, raw in enumerate(self.source.splitlines(), start=1):
+            text = raw.split(";", 1)[0].strip()
+            if not text:
+                continue
+            match = _LABEL_RE.match(text)
+            if match:
+                label, text = match.group(1), match.group(2).strip()
+                if label in self.labels:
+                    raise AssemblerError(f"duplicate label {label!r}", number)
+                self.labels[label] = pc
+                if not text:
+                    continue
+            if text.startswith("."):
+                self._directive(text, number)
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].upper()
+            operands = (
+                [p.strip() for p in parts[1].split(",")] if len(parts) > 1 else []
+            )
+            self.lines.append(_Line(number, mnemonic, operands))
+            pc += _PSEUDO_SIZES.get(mnemonic, 1)
+
+    def _directive(self, text: str, number: int) -> None:
+        parts = text.split()
+        directive = parts[0]
+        if directive == ".width":
+            self.width = _parse_value(parts[1], number)
+        elif directive == ".bars":
+            self.bars = _parse_value(parts[1], number)
+        elif directive == ".word":
+            if len(parts) < 2:
+                raise AssemblerError(".word needs a name", number)
+            self._allocate(parts[1], 1, number)
+            if len(parts) > 2:
+                self.data_init[self.data_symbols[parts[1]]] = _parse_value(
+                    parts[2], number
+                )
+        elif directive == ".array":
+            if len(parts) < 3:
+                raise AssemblerError(".array needs a name and a length", number)
+            self._allocate(parts[1], _parse_value(parts[2], number), number)
+            for i, value in enumerate(parts[3:]):
+                self.data_init[self.data_symbols[parts[1]] + i] = _parse_value(
+                    value, number
+                )
+        else:
+            raise AssemblerError(f"unknown directive {directive!r}", number)
+
+    def _allocate(self, symbol: str, count: int, number: int) -> None:
+        if symbol in self.data_symbols:
+            raise AssemblerError(f"duplicate data symbol {symbol!r}", number)
+        self.data_symbols[symbol] = self._next_data
+        self._next_data += count
+
+    # -- pass 2: emission --------------------------------------------------
+
+    def second_pass(self) -> list[Instruction]:
+        instructions: list[Instruction] = []
+        for line in self.lines:
+            instructions.extend(self._emit(line, pc=len(instructions)))
+        return instructions
+
+    def _emit(self, line: _Line, pc: int) -> list[Instruction]:
+        mnemonic = line.mnemonic
+        if mnemonic == "HALT":
+            return [Instruction(Mnemonic.BRN, target=pc, mask=0)]
+        if mnemonic == "NOP":
+            # Branch-never: BR with empty mask.
+            return [Instruction(Mnemonic.BR, target=pc, mask=0)]
+        if mnemonic == "MOV":
+            dst = self._operand(line.operands[0], line.number)
+            src = self._operand(line.operands[1], line.number)
+            return [
+                Instruction(Mnemonic.XOR, dst=dst, src=dst),
+                Instruction(Mnemonic.OR, dst=dst, src=src),
+            ]
+        try:
+            member = Mnemonic(mnemonic)
+        except ValueError:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line.number) from None
+
+        spec = OP_TABLE[member]
+        ops = line.operands
+        if spec.fmt == "M":
+            self._expect_operands(line, 2)
+            return [
+                Instruction(
+                    member,
+                    dst=self._operand(ops[0], line.number),
+                    src=self._operand(ops[1], line.number),
+                )
+            ]
+        if member is Mnemonic.STORE:
+            self._expect_operands(line, 2)
+            return [
+                Instruction(
+                    member,
+                    dst=self._operand(ops[0], line.number),
+                    imm=self._immediate(ops[1], line.number),
+                )
+            ]
+        if member is Mnemonic.SETBAR:
+            # SETBAR k, ptr -- load BAR[k] from the memory word `ptr`.
+            self._expect_operands(line, 2)
+            return [
+                Instruction(
+                    member,
+                    bar_index=_parse_value(ops[0], line.number),
+                    src=self._operand(ops[1], line.number),
+                )
+            ]
+        # Branches.
+        self._expect_operands(line, 2)
+        target_text = ops[0]
+        if target_text in self.labels:
+            target = self.labels[target_text]
+        else:
+            target = _parse_value(target_text, line.number)
+        return [
+            Instruction(member, target=target, mask=_parse_mask(ops[1], line.number))
+        ]
+
+    def _expect_operands(self, line: _Line, count: int) -> None:
+        if len(line.operands) != count:
+            raise AssemblerError(
+                f"{line.mnemonic} expects {count} operands, got {len(line.operands)}",
+                line.number,
+            )
+
+    def _operand(self, text: str, number: int) -> MemOperand:
+        text = text.strip()
+        bar = 0
+        match = _BAR_OPERAND_RE.match(text)
+        if match:
+            bar = int(match.group(1))
+            text = match.group(2).strip()
+        offset = self._resolve_address(text, number)
+        return MemOperand(offset=offset, bar=bar)
+
+    def _resolve_address(self, text: str, number: int) -> int:
+        if "+" in text:
+            base, _, extra = text.partition("+")
+            return self._resolve_address(base.strip(), number) + _parse_value(
+                extra, number
+            )
+        if text in self.data_symbols:
+            return self.data_symbols[text]
+        return _parse_value(text, number)
+
+    def _immediate(self, text: str, number: int) -> int:
+        text = text.strip()
+        if text in self.data_symbols:
+            # Allow `SETBAR 1, arr` to point a BAR at a symbol.
+            return self.data_symbols[text]
+        return _parse_value(text, number)
+
+
+def assemble(source: str, name: str = "program", description: str = "") -> Program:
+    """Assemble TP-ISA source text into a :class:`Program`.
+
+    Raises:
+        AssemblerError: On any syntax or range error, with the source
+            line number attached.
+    """
+    assembler = _Assembler(source, name)
+    assembler.first_pass()
+    instructions = assembler.second_pass()
+    return Program(
+        name=name,
+        instructions=instructions,
+        datawidth=assembler.width,
+        num_bars=assembler.bars,
+        data=dict(assembler.data_init),
+        symbols=dict(assembler.data_symbols),
+        description=description,
+    )

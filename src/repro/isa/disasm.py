@@ -1,0 +1,42 @@
+"""Disassembler: instructions back to canonical assembly text."""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.isa.spec import Flag, Instruction, MemOperand, Mnemonic, UNARY_OPS
+
+
+def _operand_text(operand: MemOperand) -> str:
+    if operand.bar:
+        return f"b{operand.bar}:{operand.offset}"
+    return str(operand.offset)
+
+
+def _mask_text(mask: int) -> str:
+    if mask == 0:
+        return "0"
+    letters = [flag.name for flag in (Flag.S, Flag.Z, Flag.C, Flag.V) if mask & flag]
+    return "".join(letters)
+
+
+def disassemble(instruction: Instruction) -> str:
+    """Render one instruction as assembly text."""
+    mnemonic = instruction.mnemonic
+    name = mnemonic.value
+    if mnemonic is Mnemonic.STORE:
+        return f"STORE {_operand_text(instruction.dst)}, {instruction.imm}"
+    if mnemonic is Mnemonic.SETBAR:
+        return f"SETBAR {instruction.bar_index}, {_operand_text(instruction.src)}"
+    if instruction.is_branch:
+        return f"{name} {instruction.target}, {_mask_text(instruction.mask)}"
+    return f"{name} {_operand_text(instruction.dst)}, {_operand_text(instruction.src)}"
+
+
+def disassemble_program(program: Program) -> str:
+    """Render a whole program, one addressed line per instruction."""
+    lines = [f"; {program.name}: {program.description}".rstrip(": ")]
+    lines.append(f".width {program.datawidth}")
+    lines.append(f".bars {program.num_bars}")
+    for address, instruction in enumerate(program.instructions):
+        lines.append(f"{address:4d}:  {disassemble(instruction)}")
+    return "\n".join(lines) + "\n"

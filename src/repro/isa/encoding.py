@@ -1,0 +1,127 @@
+"""Binary encoding and decoding of TP-ISA instructions.
+
+The 24-bit layout is fixed (Figure 6); what varies with the core
+configuration is how many of each operand byte's most significant bits
+select a BAR (one bit for a 2-BAR core, two bits for a 4-BAR core).
+Encoding therefore takes the BAR count as a parameter, and decoding the
+same -- a single binary image is only meaningful for the configuration
+it was assembled for.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+from repro.isa.spec import (
+    Instruction,
+    MemOperand,
+    Mnemonic,
+    OP_TABLE,
+    UNARY_OPS,
+)
+
+#: Fixed instruction width in bits.
+INSTRUCTION_BITS = 24
+
+#: Operand field width in bits.
+OPERAND_BITS = 8
+
+
+def _bar_select_bits(num_bars: int) -> int:
+    if num_bars < 1:
+        raise IsaError(f"need at least one BAR, got {num_bars}")
+    bits = (num_bars - 1).bit_length()
+    if (1 << bits) != num_bars and num_bars != 1:
+        raise IsaError(f"BAR count must be a power of two, got {num_bars}")
+    return bits
+
+
+def encode_operand(operand: MemOperand, num_bars: int) -> int:
+    """Pack a memory operand into its 8-bit field.
+
+    Raises:
+        IsaError: If the BAR index or offset does not fit the split
+            implied by ``num_bars``.
+    """
+    select_bits = _bar_select_bits(num_bars)
+    offset_bits = OPERAND_BITS - select_bits
+    if operand.bar >= num_bars:
+        raise IsaError(f"BAR index {operand.bar} needs more than {num_bars} BARs")
+    if operand.offset >= (1 << offset_bits):
+        raise IsaError(
+            f"offset {operand.offset} does not fit {offset_bits} offset bits "
+            f"({num_bars}-BAR configuration)"
+        )
+    return (operand.bar << offset_bits) | operand.offset
+
+
+def decode_operand(field: int, num_bars: int) -> MemOperand:
+    """Unpack an 8-bit operand field into a memory operand."""
+    select_bits = _bar_select_bits(num_bars)
+    offset_bits = OPERAND_BITS - select_bits
+    return MemOperand(offset=field & ((1 << offset_bits) - 1), bar=field >> offset_bits)
+
+
+def encode(instruction: Instruction, num_bars: int = 2) -> int:
+    """Encode one instruction into its 24-bit word."""
+    spec = instruction.spec
+    word = (spec.opcode << 20) | (spec.control_bits << 16)
+
+    if spec.fmt == "M":
+        op1 = encode_operand(instruction.dst, num_bars)
+        op2 = encode_operand(instruction.src, num_bars)
+    elif instruction.mnemonic is Mnemonic.STORE:
+        op1 = encode_operand(instruction.dst, num_bars)
+        op2 = instruction.imm
+    elif instruction.mnemonic is Mnemonic.SETBAR:
+        op1 = instruction.src.offset  # pointer address, absolute
+        op2 = instruction.bar_index
+    else:  # branch
+        op1 = instruction.target
+        op2 = instruction.mask
+    return word | (op1 << 8) | op2
+
+
+_DECODE_TABLE = {
+    (spec.opcode, spec.control_bits): mnemonic for mnemonic, spec in OP_TABLE.items()
+}
+
+
+def decode(word: int, num_bars: int = 2) -> Instruction:
+    """Decode a 24-bit word back into an :class:`Instruction`.
+
+    Raises:
+        IsaError: If the word is out of range or the opcode/control
+            combination is not a defined TP-ISA instruction.
+    """
+    if not 0 <= word < (1 << INSTRUCTION_BITS):
+        raise IsaError(f"instruction word {word:#x} out of 24-bit range")
+    opcode = (word >> 20) & 0xF
+    control = (word >> 16) & 0xF
+    op1 = (word >> 8) & 0xFF
+    op2 = word & 0xFF
+    mnemonic = _DECODE_TABLE.get((opcode, control))
+    if mnemonic is None:
+        raise IsaError(f"undefined opcode/control combination {opcode:#x}/{control:04b}")
+
+    spec = OP_TABLE[mnemonic]
+    if spec.fmt == "M":
+        return Instruction(
+            mnemonic,
+            dst=decode_operand(op1, num_bars),
+            src=decode_operand(op2, num_bars),
+        )
+    if mnemonic is Mnemonic.STORE:
+        return Instruction(mnemonic, dst=decode_operand(op1, num_bars), imm=op2)
+    if mnemonic is Mnemonic.SETBAR:
+        return Instruction(mnemonic, src=MemOperand(offset=op1), bar_index=op2)
+    return Instruction(mnemonic, target=op1, mask=op2 & 0xF)
+
+
+def encode_program(instructions: list[Instruction], num_bars: int = 2) -> list[int]:
+    """Encode a sequence of instructions into 24-bit words."""
+    return [encode(i, num_bars) for i in instructions]
+
+
+def unary_source_field(instruction: Instruction) -> bool:
+    """True when the instruction's single read operand is operand2."""
+    return instruction.mnemonic in UNARY_OPS

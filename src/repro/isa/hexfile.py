@@ -1,0 +1,78 @@
+"""Intel HEX export/import of TP-ISA ROM images.
+
+The open-sourced flow needs an interchange artifact between the
+assembler and a ROM-printing step; Intel HEX is the lingua franca for
+small-device programmers.  24-bit instruction words are emitted as
+three bytes, big-endian, at byte address ``3 * word_address``; shrunken
+program-specific words are padded to whole bytes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+
+
+def _record(address: int, data: bytes) -> str:
+    payload = bytes([len(data), (address >> 8) & 0xFF, address & 0xFF, 0]) + data
+    checksum = (-sum(payload)) & 0xFF
+    return ":" + (payload + bytes([checksum])).hex().upper()
+
+
+def dump_hex(words: list[int], bits_per_word: int = 24) -> str:
+    """Render encoded instruction words as Intel HEX text."""
+    bytes_per_word = (bits_per_word + 7) // 8
+    image = bytearray()
+    for address, word in enumerate(words):
+        if word >= (1 << (8 * bytes_per_word)):
+            raise IsaError(f"word {word:#x} at {address} does not fit")
+        image += word.to_bytes(bytes_per_word, "big")
+    lines = []
+    for offset in range(0, len(image), 16):
+        lines.append(_record(offset, bytes(image[offset : offset + 16])))
+    lines.append(":00000001FF")  # EOF record
+    return "\n".join(lines) + "\n"
+
+
+def load_hex(text: str, bits_per_word: int = 24) -> list[int]:
+    """Parse Intel HEX text back into instruction words.
+
+    Raises:
+        IsaError: On malformed records or checksum mismatches.
+    """
+    image = bytearray()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if not line.startswith(":"):
+            raise IsaError(f"line {line_number}: missing ':' start code")
+        try:
+            raw = bytes.fromhex(line[1:])
+        except ValueError as exc:
+            raise IsaError(f"line {line_number}: bad hex: {exc}") from exc
+        if len(raw) < 5:
+            raise IsaError(f"line {line_number}: record too short")
+        if sum(raw) & 0xFF:
+            raise IsaError(f"line {line_number}: checksum mismatch")
+        count, addr_hi, addr_lo, record_type = raw[:4]
+        data = raw[4:-1]
+        if len(data) != count:
+            raise IsaError(f"line {line_number}: length mismatch")
+        if record_type == 1:  # EOF
+            break
+        if record_type != 0:
+            raise IsaError(f"line {line_number}: unsupported type {record_type}")
+        address = (addr_hi << 8) | addr_lo
+        if len(image) < address + count:
+            image.extend(b"\x00" * (address + count - len(image)))
+        image[address : address + count] = data
+
+    bytes_per_word = (bits_per_word + 7) // 8
+    if len(image) % bytes_per_word:
+        raise IsaError(
+            f"image length {len(image)} not a multiple of {bytes_per_word}"
+        )
+    return [
+        int.from_bytes(image[i : i + bytes_per_word], "big")
+        for i in range(0, len(image), bytes_per_word)
+    ]

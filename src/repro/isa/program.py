@@ -1,0 +1,89 @@
+"""Program container: instructions plus initial data image.
+
+A :class:`Program` is what the toolchain hands to the instruction-set
+simulator, the static analyzer, and the system-level evaluator: the
+static instruction sequence, the initial data memory contents, the
+datawidth it was written for, and a symbol table mapping names to data
+addresses (so tests and benchmark harnesses can poke inputs and read
+results without magic numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.spec import Instruction
+
+#: Architectural ceiling on program length (8-bit PC).
+MAX_INSTRUCTIONS = 256
+
+#: Architectural ceiling on data memory (Section 5.1: 256 words).
+MAX_DATA_WORDS = 256
+
+
+@dataclass
+class Program:
+    """A complete TP-ISA program image.
+
+    Attributes:
+        name: Short benchmark name (``"mult"`` ...).
+        instructions: The static instruction sequence.
+        datawidth: Data word width in bits the program assumes.
+        num_bars: BAR configuration the program was written for.
+        data: Initial data-memory image (address -> value).
+        symbols: Name -> data address map for harness access.
+        description: One-line summary.
+    """
+
+    name: str
+    instructions: list[Instruction]
+    datawidth: int
+    num_bars: int = 2
+    data: dict[int, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.instructions) > MAX_INSTRUCTIONS:
+            raise ProgramError(
+                f"{self.name}: {len(self.instructions)} instructions exceed the "
+                f"{MAX_INSTRUCTIONS}-word PC space"
+            )
+        if self.datawidth not in (4, 8, 16, 32):
+            raise ProgramError(f"{self.name}: unsupported datawidth {self.datawidth}")
+        limit = (1 << self.datawidth) - 1
+        for address, value in self.data.items():
+            if not 0 <= address < MAX_DATA_WORDS:
+                raise ProgramError(f"{self.name}: data address {address} out of range")
+            if not 0 <= value <= limit:
+                raise ProgramError(
+                    f"{self.name}: initial value {value} at {address} exceeds "
+                    f"{self.datawidth}-bit width"
+                )
+        for instruction in self.instructions:
+            if instruction.is_branch and instruction.target > len(self.instructions):
+                raise ProgramError(
+                    f"{self.name}: branch target {instruction.target} beyond program end"
+                )
+
+    @property
+    def static_size(self) -> int:
+        """Static instruction count (ROM words needed)."""
+        return len(self.instructions)
+
+    def data_words_used(self) -> int:
+        """Highest data address referenced in the initial image + 1.
+
+        The system evaluator sizes the data RAM as exactly the
+        addresses the application touches (Section 8); dynamic usage is
+        refined by the simulator.
+        """
+        return (max(self.data) + 1) if self.data else 0
+
+    def address_of(self, symbol: str) -> int:
+        """Resolve a data symbol to its address."""
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise ProgramError(f"{self.name}: unknown symbol {symbol!r}") from None

@@ -1,0 +1,239 @@
+"""TP-ISA specification: mnemonics, control bits, operand model.
+
+Instruction formats (Figure 6), 24 bits each::
+
+    M-type:  [23:20] opcode | [19] W [18] C [17] A [16] B | [15:8] operand1 | [7:0] operand2
+    S-type:  same, operand2 is an immediate
+    B-type:  same, operand2[3:0] is a flag mask
+
+Operands of M-type instructions are data-memory references: the top
+``log2(num_bars)`` bits select a base-address register (BAR) and the
+remaining bits are an offset; the effective address is
+``BAR[sel] + offset``.  ``BAR[0]`` is hardwired to zero (Section 5.2).
+
+Control-bit meanings:
+
+* **W** -- write the result back to memory (CMP/TEST/SET-BAR/branches
+  clear it);
+* **C** -- chain the architectural carry through the operation (ADC,
+  SBB, RLC, RRC: the paper's *data coalescing* support for multi-word
+  arithmetic on narrow cores);
+* **A** -- alternate operation (subtract for the adder, arithmetic for
+  right rotate, negate for branch);
+* **B** -- branch marker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IsaError
+
+
+class Flag(enum.IntFlag):
+    """Architectural flag bits and their positions in the 4-bit mask."""
+
+    V = 1  # signed overflow
+    C = 2  # carry / not-borrow
+    Z = 4  # zero
+    S = 8  # sign (MSB of result)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static properties of one mnemonic.
+
+    Attributes:
+        opcode: 4-bit major opcode.
+        w: Writeback control bit.
+        c: Carry-chain control bit.
+        a: Alternate-operation control bit.
+        b: Branch-marker control bit.
+        fmt: ``"M"`` (memory-memory), ``"S"`` (store/immediate) or
+            ``"B"`` (branch).
+        reads: Number of data-memory operands read (0-2).
+        writes: Whether the instruction writes data memory.
+    """
+
+    opcode: int
+    w: int
+    c: int
+    a: int
+    b: int
+    fmt: str
+    reads: int
+    writes: bool
+
+    @property
+    def control_bits(self) -> int:
+        """The 4 control bits packed as W C A B (W = MSB)."""
+        return (self.w << 3) | (self.c << 2) | (self.a << 1) | self.b
+
+
+class Mnemonic(enum.Enum):
+    """All nineteen TP-ISA instructions (Figure 6)."""
+
+    ADD = "ADD"
+    ADC = "ADC"
+    SUB = "SUB"
+    CMP = "CMP"
+    SBB = "SBB"
+    AND = "AND"
+    TEST = "TEST"
+    OR = "OR"
+    XOR = "XOR"
+    NOT = "NOT"
+    RL = "RL"
+    RLC = "RLC"
+    RR = "RR"
+    RRC = "RRC"
+    RRA = "RRA"
+    STORE = "STORE"
+    SETBAR = "SETBAR"
+    BR = "BR"
+    BRN = "BRN"
+
+
+# Major opcodes.
+OP_ADD, OP_AND, OP_OR, OP_XOR, OP_NOT, OP_RL, OP_RR = range(7)
+OP_STORE, OP_BAR, OP_BR = 7, 8, 9
+
+#: Per-mnemonic specification, following Figure 6's control encodings.
+OP_TABLE: dict[Mnemonic, OpSpec] = {
+    Mnemonic.ADD: OpSpec(OP_ADD, 1, 0, 0, 0, "M", 2, True),
+    Mnemonic.ADC: OpSpec(OP_ADD, 1, 1, 0, 0, "M", 2, True),
+    Mnemonic.SUB: OpSpec(OP_ADD, 1, 0, 1, 0, "M", 2, True),
+    Mnemonic.CMP: OpSpec(OP_ADD, 0, 0, 1, 0, "M", 2, False),
+    Mnemonic.SBB: OpSpec(OP_ADD, 1, 1, 1, 0, "M", 2, True),
+    Mnemonic.AND: OpSpec(OP_AND, 1, 0, 0, 0, "M", 2, True),
+    Mnemonic.TEST: OpSpec(OP_AND, 0, 0, 0, 0, "M", 2, False),
+    Mnemonic.OR: OpSpec(OP_OR, 1, 0, 0, 0, "M", 2, True),
+    Mnemonic.XOR: OpSpec(OP_XOR, 1, 0, 0, 0, "M", 2, True),
+    Mnemonic.NOT: OpSpec(OP_NOT, 1, 0, 0, 0, "M", 1, True),
+    Mnemonic.RL: OpSpec(OP_RL, 1, 0, 0, 0, "M", 1, True),
+    Mnemonic.RLC: OpSpec(OP_RL, 1, 1, 0, 0, "M", 1, True),
+    Mnemonic.RR: OpSpec(OP_RR, 1, 0, 0, 0, "M", 1, True),
+    Mnemonic.RRC: OpSpec(OP_RR, 1, 1, 0, 0, "M", 1, True),
+    Mnemonic.RRA: OpSpec(OP_RR, 1, 0, 1, 0, "M", 1, True),
+    Mnemonic.STORE: OpSpec(OP_STORE, 1, 0, 0, 0, "S", 0, True),
+    Mnemonic.SETBAR: OpSpec(OP_BAR, 0, 0, 0, 0, "S", 1, False),
+    Mnemonic.BR: OpSpec(OP_BR, 0, 0, 0, 1, "B", 0, False),
+    Mnemonic.BRN: OpSpec(OP_BR, 0, 0, 1, 1, "B", 0, False),
+}
+
+#: Unary M-type operations (operand2 is the single source).
+UNARY_OPS = frozenset(
+    {Mnemonic.NOT, Mnemonic.RL, Mnemonic.RLC, Mnemonic.RR, Mnemonic.RRC, Mnemonic.RRA}
+)
+
+#: Operations that consume the architectural carry flag.
+CARRY_CONSUMERS = frozenset(
+    {Mnemonic.ADC, Mnemonic.SBB, Mnemonic.RLC, Mnemonic.RRC}
+)
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """A data-memory reference: BAR select plus offset.
+
+    The effective address is ``BAR[bar] + offset``; ``bar=0`` addresses
+    memory absolutely since ``BAR[0]`` is hardwired to zero.
+    """
+
+    offset: int
+    bar: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise IsaError(f"negative operand offset {self.offset}")
+        if self.bar < 0:
+            raise IsaError(f"negative BAR index {self.bar}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded/constructed TP-ISA instruction.
+
+    The operand fields are interpreted per format:
+
+    * M-type: ``dst`` and ``src`` are :class:`MemOperand`.  Unary
+      operations read only ``src`` and write ``dst``.
+    * STORE: ``dst`` is a :class:`MemOperand`, ``imm`` the value.
+    * SETBAR: ``bar_index`` (an immediate) selects the BAR; ``src`` is
+      the *pointer address* -- the data-memory word whose value is
+      loaded into the BAR.  This is what makes dynamic array indexing
+      possible (Table 7's loop kernels run in ~32 instructions);
+      loading a BAR with a constant is the two-instruction idiom
+      ``STORE ptr, k`` + ``SETBAR n, ptr``.
+    * BR/BRN: ``target`` is the absolute instruction address, ``mask``
+      the flag mask tested (BR taken when ``flags & mask != 0``; BRN
+      when ``flags & mask == 0``; ``BRN mask=0`` is an unconditional
+      jump).
+    """
+
+    mnemonic: Mnemonic
+    dst: MemOperand | None = None
+    src: MemOperand | None = None
+    imm: int | None = None
+    target: int | None = None
+    mask: int | None = None
+    bar_index: int | None = None
+
+    def __post_init__(self) -> None:
+        spec = OP_TABLE[self.mnemonic]
+        if spec.fmt == "M":
+            if self.dst is None or self.src is None:
+                raise IsaError(f"{self.mnemonic.value} needs dst and src operands")
+        elif self.mnemonic is Mnemonic.STORE:
+            if self.dst is None or self.imm is None:
+                raise IsaError("STORE needs a destination and an immediate")
+            if not 0 <= self.imm <= 0xFF:
+                raise IsaError(f"STORE immediate {self.imm} out of 8-bit range")
+        elif self.mnemonic is Mnemonic.SETBAR:
+            if self.bar_index is None or self.src is None:
+                raise IsaError("SETBAR needs a BAR index and a pointer address")
+            if self.src.bar != 0:
+                raise IsaError("SETBAR pointer address must be absolute (BAR 0)")
+            if self.bar_index == 0:
+                raise IsaError("BAR[0] is hardwired to zero and cannot be set")
+            if not 0 <= self.bar_index <= 0xFF:
+                raise IsaError(f"BAR index {self.bar_index} out of range")
+        else:  # branch
+            if self.target is None or self.mask is None:
+                raise IsaError(f"{self.mnemonic.value} needs a target and a mask")
+            if not 0 <= self.target <= 0xFF:
+                raise IsaError(f"branch target {self.target} out of 8-bit PC range")
+            if not 0 <= self.mask <= 0xF:
+                raise IsaError(f"flag mask {self.mask} out of 4-bit range")
+
+    @property
+    def spec(self) -> OpSpec:
+        """The static :class:`OpSpec` for this mnemonic."""
+        return OP_TABLE[self.mnemonic]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.spec.b == 1
+
+    def memory_reads(self) -> list[MemOperand]:
+        """Memory operands this instruction reads."""
+        if self.mnemonic is Mnemonic.SETBAR:
+            return [self.src]
+        if self.spec.fmt != "M":
+            return []
+        if self.mnemonic in UNARY_OPS:
+            return [self.src]
+        return [self.dst, self.src]
+
+    def memory_write(self) -> MemOperand | None:
+        """Memory operand this instruction writes, if any."""
+        return self.dst if self.spec.writes else None
+
+
+#: One-line ISA summary used in reports.
+ISA_DESCRIPTION = (
+    "TP-ISA: 24-bit two-operand memory-memory ISA; 8-bit PC, "
+    "1+ base-address registers (BAR[0]=0), 4 flags (S Z C V); "
+    "19 instructions incl. carry-chained data-coalescing ops"
+)

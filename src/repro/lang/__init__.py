@@ -1,0 +1,29 @@
+"""TPC: a tiny imperative language compiled to TP-ISA.
+
+The paper's case for printed *microprocessors* over printed ASICs is
+programmability -- update prices on a shelf tag, retune a monitoring
+algorithm per patient -- which presumes programs are written by people
+who will not hand-allocate memory operands.  TPC is the smallest
+language that makes TP-ISA practical: unsigned word variables and
+arrays, expressions, ``if``/``else`` and ``while``, compiled through
+the same :class:`~repro.isa.program.Program` container the rest of the
+flow consumes (so compiled programs run on the ISS, co-simulate on
+gate-level cores, shrink through the PS-ISA analyzer, and print to
+crosspoint ROM dot maps unchanged).
+
+    from repro.lang import compile_tpc
+
+    program = compile_tpc('''
+        var n = 10
+        var total = 0
+        while n != 0 {
+            total = total + n
+            n = n - 1
+        }
+    ''')
+"""
+
+from repro.lang.compiler import compile_tpc
+from repro.lang.parser import ParseError, parse
+
+__all__ = ["compile_tpc", "parse", "ParseError"]

@@ -1,0 +1,350 @@
+"""TPC code generation: AST -> TP-ISA :class:`Program`.
+
+Strategy (everything is data memory -- it is a memory-memory machine):
+
+* **Constants** live in a deduplicated pool of pre-initialized data
+  words, so using ``x + 3`` costs no STORE at runtime.
+* **Temporaries** come from a reusable pool; expression evaluation is
+  destructive-on-destination (TP-ISA style), with left operands that
+  are already temporaries updated in place.
+* **Array indexing** compiles to pointer arithmetic plus the
+  pointer-loading SETBAR: ``ptr = index + base; SETBAR 1, ptr`` and the
+  element is ``b1:0``.
+* **Comparisons** map onto the C/Z flags of CMP; ``<=`` and ``>``
+  compile as their swapped-operand duals so every relation needs only
+  a single-flag branch.
+* **Shifts** (constant amounts) expand to carry-cleared RLC/RRC
+  chains -- true logical shifts.
+
+The result is an ordinary :class:`~repro.isa.program.Program`: it runs
+on the ISS, co-simulates against gate-level cores, shrinks through the
+PS-ISA analyzer, and exports to ROM dot maps like any hand-written
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.isa.program import MAX_DATA_WORDS, Program
+from repro.isa.spec import Flag, Instruction, MemOperand, Mnemonic
+from repro.lang.parser import (
+    Assign, Binary, Condition, If, Index, Module, Name, Number, Unary,
+    VarDecl, While, parse,
+)
+
+
+class CompileError(ReproError):
+    """TPC program cannot be lowered to TP-ISA."""
+
+
+@dataclass
+class _Codegen:
+    datawidth: int
+    num_bars: int
+    instructions: list[Instruction] = field(default_factory=list)
+    data: dict[int, int] = field(default_factory=dict)
+    symbols: dict[str, int] = field(default_factory=dict)
+    arrays: dict[str, int] = field(default_factory=dict)  # name -> length
+    _next_address: int = 0
+    _const_pool: dict[int, int] = field(default_factory=dict)
+    _free_temps: list[int] = field(default_factory=list)
+    _temp_addresses: set = field(default_factory=set)
+    _labels: dict[str, int] = field(default_factory=dict)
+    _fixups: list[tuple[int, str]] = field(default_factory=list)
+    _label_counter: int = 0
+
+    # -- storage -----------------------------------------------------------
+
+    def _allocate(self, name: str, words: int) -> int:
+        address = self._next_address
+        if address + words > MAX_DATA_WORDS:
+            raise CompileError("program exceeds the 256-word data memory")
+        self._next_address += words
+        self.symbols[name] = address
+        return address
+
+    def declare(self, decl: VarDecl) -> None:
+        if decl.name in self.symbols:
+            raise CompileError(f"duplicate variable {decl.name!r}")
+        address = self._allocate(decl.name, decl.length)
+        limit = (1 << self.datawidth) - 1
+        for offset, value in enumerate(decl.init):
+            if value > limit:
+                raise CompileError(
+                    f"initializer {value} exceeds {self.datawidth} bits"
+                )
+            self.data[address + offset] = value
+        if decl.is_array:
+            self.arrays[decl.name] = decl.length
+
+    def const(self, value: int) -> int:
+        """Address of a pooled constant."""
+        if value > (1 << self.datawidth) - 1:
+            raise CompileError(f"constant {value} exceeds {self.datawidth} bits")
+        if value not in self._const_pool:
+            address = self._allocate(f"$const_{value}", 1)
+            self.data[address] = value
+            self._const_pool[value] = address
+        return self._const_pool[value]
+
+    def temp(self) -> int:
+        if self._free_temps:
+            return self._free_temps.pop()
+        address = self._allocate(f"$tmp{len(self._temp_addresses)}", 1)
+        self._temp_addresses.add(address)
+        return address
+
+    def release(self, address: int) -> None:
+        if address in self._temp_addresses:
+            self._free_temps.append(address)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, mnemonic: Mnemonic, **fields) -> None:
+        self.instructions.append(Instruction(mnemonic, **fields))
+
+    def label(self) -> str:
+        self._label_counter += 1
+        return f"L{self._label_counter}"
+
+    def place(self, label: str) -> None:
+        self._labels[label] = len(self.instructions)
+
+    def branch(self, mnemonic: Mnemonic, label: str, mask: int) -> None:
+        self._fixups.append((len(self.instructions), label))
+        self.emit(mnemonic, target=0, mask=mask)
+
+    def jump(self, label: str) -> None:
+        self.branch(Mnemonic.BRN, label, 0)
+
+    def copy(self, dst: int, src: int) -> None:
+        """dst = src via the XOR/OR idiom (no-op on self-assignment:
+        the zeroing XOR would destroy the value first)."""
+        if dst == src:
+            return
+        self.emit(Mnemonic.XOR, dst=MemOperand(dst), src=MemOperand(dst))
+        self.emit(Mnemonic.OR, dst=MemOperand(dst), src=MemOperand(src))
+
+    # -- expressions ------------------------------------------------------------
+
+    _BINARY = {
+        "+": Mnemonic.ADD,
+        "-": Mnemonic.SUB,
+        "&": Mnemonic.AND,
+        "|": Mnemonic.OR,
+        "^": Mnemonic.XOR,
+    }
+
+    def expr(self, node) -> int:
+        """Compile an expression; returns the address holding it."""
+        if isinstance(node, Number):
+            return self.const(node.value)
+        if isinstance(node, Name):
+            return self._scalar(node.name)
+        if isinstance(node, Index):
+            element = self._element_pointer(node)
+            result = self.temp()
+            self.emit(Mnemonic.XOR, dst=MemOperand(result), src=MemOperand(result))
+            self.emit(Mnemonic.OR, dst=MemOperand(result), src=element)
+            return result
+        if isinstance(node, Unary):
+            source = self.expr(node.operand)
+            self.release(source)
+            result = self.temp()
+            self.emit(Mnemonic.NOT, dst=MemOperand(result), src=MemOperand(source))
+            return result
+        if isinstance(node, Binary):
+            return self._binary(node)
+        raise CompileError(f"cannot compile expression node {node!r}")
+
+    def _scalar(self, name: str) -> int:
+        if name not in self.symbols:
+            raise CompileError(f"undeclared variable {name!r}")
+        if name in self.arrays:
+            raise CompileError(f"array {name!r} used without an index")
+        return self.symbols[name]
+
+    def _element_pointer(self, node: Index) -> MemOperand:
+        """Point BAR 1 at ``name[index]`` and return its operand."""
+        if self.num_bars < 2:
+            raise CompileError("array indexing needs a settable BAR")
+        if node.name not in self.arrays:
+            raise CompileError(f"{node.name!r} is not an array")
+        base = self.symbols[node.name]
+        index_address = self.expr(node.index)
+        pointer = self.temp()
+        self.copy(pointer, index_address)
+        self.release(index_address)
+        self.emit(
+            Mnemonic.ADD,
+            dst=MemOperand(pointer),
+            src=MemOperand(self.const(base)),
+        )
+        self.emit(Mnemonic.SETBAR, bar_index=1, src=MemOperand(pointer))
+        self.release(pointer)
+        return MemOperand(0, bar=1)
+
+    def _binary(self, node: Binary) -> int:
+        if node.op in ("<<", ">>"):
+            return self._shift(node)
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        if left in self._temp_addresses:
+            destination = left
+        else:
+            destination = self.temp()
+            self.copy(destination, left)
+        self.emit(
+            self._BINARY[node.op],
+            dst=MemOperand(destination),
+            src=MemOperand(right),
+        )
+        self.release(right)
+        return destination
+
+    def _shift(self, node: Binary) -> int:
+        amount = node.right.value % self.datawidth
+        source = self.expr(node.left)
+        if source in self._temp_addresses:
+            destination = source
+        else:
+            destination = self.temp()
+            self.copy(destination, source)
+        zero = self.const(0)
+        rotate = Mnemonic.RLC if node.op == "<<" else Mnemonic.RRC
+        for _ in range(amount):
+            # Clear carry, then rotate-through-carry = logical shift.
+            self.emit(Mnemonic.TEST, dst=MemOperand(zero), src=MemOperand(zero))
+            self.emit(rotate, dst=MemOperand(destination), src=MemOperand(destination))
+        return destination
+
+    # -- statements ------------------------------------------------------------------
+
+    def statement(self, node) -> None:
+        if isinstance(node, Assign):
+            self._assign(node)
+        elif isinstance(node, If):
+            self._if(node)
+        elif isinstance(node, While):
+            self._while(node)
+        else:
+            raise CompileError(f"cannot compile statement {node!r}")
+
+    def _assign(self, node: Assign) -> None:
+        value = self.expr(node.value)
+        if isinstance(node.target, Name):
+            self.copy(self._scalar(node.target.name), value)
+        else:
+            element = self._element_pointer(node.target)
+            self.emit(Mnemonic.XOR, dst=element, src=element)
+            self.emit(Mnemonic.OR, dst=element, src=MemOperand(value))
+        self.release(value)
+
+    def _branch_if_false(self, condition: Condition, label: str) -> None:
+        """CMP + a single-flag branch to ``label`` when false.
+
+        ``<=`` and ``>`` compare with swapped operands so every
+        relation tests exactly one flag (C = no borrow, Z = equal).
+        """
+        swap = condition.op in ("<=", ">")
+        left = self.expr(condition.right if swap else condition.left)
+        right = self.expr(condition.left if swap else condition.right)
+        self.emit(Mnemonic.CMP, dst=MemOperand(left), src=MemOperand(right))
+        self.release(left)
+        self.release(right)
+        carry, zero = int(Flag.C), int(Flag.Z)
+        op = condition.op
+        if op == "==":
+            self.branch(Mnemonic.BRN, label, zero)      # false when Z == 0
+        elif op == "!=":
+            self.branch(Mnemonic.BR, label, zero)       # false when Z == 1
+        elif op in ("<", ">"):                          # l < r (or swapped)
+            self.branch(Mnemonic.BR, label, carry)      # false when no borrow
+        else:                                           # '>=' or '<='
+            self.branch(Mnemonic.BRN, label, carry)     # false when borrow
+
+    def _if(self, node: If) -> None:
+        else_label = self.label()
+        self._branch_if_false(node.condition, else_label)
+        for statement in node.then_body:
+            self.statement(statement)
+        if node.else_body:
+            end_label = self.label()
+            self.jump(end_label)
+            self.place(else_label)
+            for statement in node.else_body:
+                self.statement(statement)
+            self.place(end_label)
+        else:
+            self.place(else_label)
+
+    def _while(self, node: While) -> None:
+        head = self.label()
+        end = self.label()
+        self.place(head)
+        self._branch_if_false(node.condition, end)
+        for statement in node.body:
+            self.statement(statement)
+        self.jump(head)
+        self.place(end)
+
+    # -- finalization -----------------------------------------------------------------
+
+    def finish(self, name: str, module: Module) -> Program:
+        from repro.isa.program import MAX_INSTRUCTIONS
+
+        if len(self.instructions) >= MAX_INSTRUCTIONS:
+            raise CompileError(
+                f"program needs {len(self.instructions) + 1} instructions; "
+                f"the 8-bit PC allows {MAX_INSTRUCTIONS}"
+            )
+        here = len(self.instructions)
+        self.instructions.append(Instruction(Mnemonic.BRN, target=here, mask=0))
+        for position, label in self._fixups:
+            old = self.instructions[position]
+            self.instructions[position] = Instruction(
+                old.mnemonic, target=self._labels[label], mask=old.mask
+            )
+        return Program(
+            name=name,
+            instructions=self.instructions,
+            datawidth=self.datawidth,
+            num_bars=self.num_bars,
+            data=dict(self.data),
+            symbols={
+                symbol: address
+                for symbol, address in self.symbols.items()
+                if not symbol.startswith("$")
+            },
+            description=f"compiled from TPC ({len(module.statements)} statements)",
+        )
+
+
+def compile_tpc(
+    source: str,
+    name: str = "tpc",
+    datawidth: int = 8,
+    num_bars: int = 2,
+) -> Program:
+    """Compile TPC source to a runnable TP-ISA :class:`Program`.
+
+    Args:
+        source: TPC program text (see :mod:`repro.lang.parser`).
+        name: Program name.
+        datawidth: Word width every variable gets (4/8/16/32).
+        num_bars: BAR configuration (array code needs >= 2).
+
+    Raises:
+        ParseError: On malformed source.
+        CompileError: On semantic errors (undeclared names, constants
+            that do not fit, data-memory overflow...).
+    """
+    module = parse(source)
+    codegen = _Codegen(datawidth=datawidth, num_bars=num_bars)
+    for declaration in module.declarations:
+        codegen.declare(declaration)
+    for statement in module.statements:
+        codegen.statement(statement)
+    return codegen.finish(name, module)

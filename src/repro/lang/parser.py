@@ -1,0 +1,346 @@
+"""TPC tokenizer, AST, and recursive-descent parser.
+
+Grammar (all values are unsigned words of the program's datawidth)::
+
+    program  := item*
+    item     := decl | stmt
+    decl     := 'var' NAME ('=' NUMBER)?
+              | 'var' NAME '[' NUMBER ']' ('=' '{' NUMBER (',' NUMBER)* '}')?
+    stmt     := lvalue '=' expr
+              | 'if' cond '{' stmt* '}' ('else' '{' stmt* '}')?
+              | 'while' cond '{' stmt* '}'
+    lvalue   := NAME ('[' expr ']')?
+    cond     := expr ('=='|'!='|'<'|'<='|'>'|'>=') expr
+    expr     := unary (('+'|'-'|'&'|'|'|'^'|'<<'|'>>') unary)*
+    unary    := '~' unary | NAME ('[' expr ']')? | NUMBER | '(' expr ')'
+
+Binary operators associate left-to-right with *no precedence levels*
+(parenthesize!); shift amounts must be constants.  Comments run from
+``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class ParseError(ReproError):
+    """TPC source was malformed."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"{message} (line {line})")
+        self.line = line
+
+
+# -- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Number:
+    """A literal constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Name:
+    """A scalar variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """An array element reference ``name[expr]``."""
+
+    name: str
+    index: object
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``~expr``."""
+
+    operand: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    """A left-associated binary operation."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A relational test between two expressions."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """Scalar or array declaration with optional initializers."""
+
+    name: str
+    length: int = 1
+    init: tuple[int, ...] = ()
+    is_array: bool = False
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``lvalue = expr``."""
+
+    target: object  # Name or Index
+    value: object
+
+
+@dataclass(frozen=True)
+class If:
+    """Conditional with optional else block."""
+
+    condition: Condition
+    then_body: tuple
+    else_body: tuple = ()
+
+
+@dataclass(frozen=True)
+class While:
+    """Top-tested loop."""
+
+    condition: Condition
+    body: tuple
+
+
+@dataclass(frozen=True)
+class Module:
+    """A parsed TPC program."""
+
+    declarations: tuple[VarDecl, ...]
+    statements: tuple
+
+
+# -- tokenizer -------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<number>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><<|>>|==|!=|<=|>=|[=+\-&|^~<>{}\[\](),])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {"var", "if", "else", "while"}
+
+
+@dataclass
+class _Token:
+    kind: str  # 'number' | 'name' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[_Token]:
+    """Tokenize TPC source; raises ParseError on stray characters."""
+    tokens: list[_Token] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(f"unexpected character {source[position]!r}", line)
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        text = match.group()
+        if kind == "name" and text in KEYWORDS:
+            kind = "keyword"
+        tokens.append(_Token(kind, text, line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+# -- parser ---------------------------------------------------------------------
+
+BINARY_OPS = {"+", "-", "&", "|", "^", "<<", ">>"}
+RELATIONAL_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass
+class _Parser:
+    tokens: list[_Token]
+    position: int = 0
+    declarations: list = field(default_factory=list)
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(f"expected {wanted!r}, found {token.text!r}", token.line)
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            self.advance()
+            return True
+        return False
+
+    # -- toplevel --------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        statements = []
+        while self.current.kind != "eof":
+            if self.current.kind == "keyword" and self.current.text == "var":
+                self.declarations.append(self.parse_decl())
+            else:
+                statements.append(self.parse_statement())
+        return Module(tuple(self.declarations), tuple(statements))
+
+    def parse_decl(self) -> VarDecl:
+        self.expect("keyword", "var")
+        name = self.expect("name").text
+        if self.accept("op", "["):
+            length = self._number()
+            self.expect("op", "]")
+            init: tuple[int, ...] = ()
+            if self.accept("op", "="):
+                self.expect("op", "{")
+                values = [self._number()]
+                while self.accept("op", ","):
+                    values.append(self._number())
+                self.expect("op", "}")
+                if len(values) > length:
+                    raise ParseError(
+                        f"{len(values)} initializers for {length}-element array",
+                        self.current.line,
+                    )
+                init = tuple(values)
+            return VarDecl(name, length=length, init=init, is_array=True)
+        init = ()
+        if self.accept("op", "="):
+            init = (self._number(),)
+        return VarDecl(name, init=init)
+
+    def _number(self) -> int:
+        token = self.expect("number")
+        return int(token.text, 0)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_statement(self):
+        token = self.current
+        if token.kind == "keyword" and token.text == "if":
+            return self.parse_if()
+        if token.kind == "keyword" and token.text == "while":
+            return self.parse_while()
+        if token.kind == "name":
+            return self.parse_assign()
+        raise ParseError(f"unexpected {token.text!r}", token.line)
+
+    def parse_block(self) -> tuple:
+        self.expect("op", "{")
+        body = []
+        while not self.accept("op", "}"):
+            if self.current.kind == "eof":
+                raise ParseError("unterminated block", self.current.line)
+            body.append(self.parse_statement())
+        return tuple(body)
+
+    def parse_if(self) -> If:
+        self.expect("keyword", "if")
+        condition = self.parse_condition()
+        then_body = self.parse_block()
+        else_body: tuple = ()
+        if self.accept("keyword", "else"):
+            else_body = self.parse_block()
+        return If(condition, then_body, else_body)
+
+    def parse_while(self) -> While:
+        self.expect("keyword", "while")
+        condition = self.parse_condition()
+        return While(condition, self.parse_block())
+
+    def parse_assign(self) -> Assign:
+        name = self.expect("name").text
+        if self.accept("op", "["):
+            index = self.parse_expression()
+            self.expect("op", "]")
+            target: object = Index(name, index)
+        else:
+            target = Name(name)
+        self.expect("op", "=")
+        return Assign(target, self.parse_expression())
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_condition(self) -> Condition:
+        left = self.parse_expression()
+        token = self.current
+        if token.kind != "op" or token.text not in RELATIONAL_OPS:
+            raise ParseError(f"expected a comparison, found {token.text!r}", token.line)
+        self.advance()
+        right = self.parse_expression()
+        return Condition(token.text, left, right)
+
+    def parse_expression(self):
+        node = self.parse_unary()
+        while self.current.kind == "op" and self.current.text in BINARY_OPS:
+            op = self.advance().text
+            right = self.parse_unary()
+            if op in ("<<", ">>") and not isinstance(right, Number):
+                raise ParseError("shift amounts must be constants", self.current.line)
+            node = Binary(op, node, right)
+        return node
+
+    def parse_unary(self):
+        token = self.current
+        if token.kind == "op" and token.text == "~":
+            self.advance()
+            return Unary(self.parse_unary())
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            node = self.parse_expression()
+            self.expect("op", ")")
+            return node
+        if token.kind == "number":
+            self.advance()
+            return Number(int(token.text, 0))
+        if token.kind == "name":
+            self.advance()
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                return Index(token.text, index)
+            return Name(token.text)
+        raise ParseError(f"unexpected {token.text!r} in expression", token.line)
+
+
+def parse(source: str) -> Module:
+    """Parse TPC source into a :class:`Module`."""
+    return _Parser(tokenize(source)).parse_module()

@@ -1,0 +1,31 @@
+"""Printed memory-array models (Section 6, Table 6).
+
+The paper's Harvard cores attach two memories:
+
+* a **crosspoint instruction ROM** (:mod:`repro.memory.rom`) -- printed
+  conductive dots short selected crossbar junctions; optionally
+  multi-level cells read through a printed ADC
+  (:mod:`repro.memory.adc`);
+* an **SRAM data memory** (:mod:`repro.memory.ram`).
+
+:mod:`repro.memory.worm` models the prior-art NOR-architecture WORM
+memory of Myny et al. that the crosspoint ROM is compared against.
+
+Per-bit device characteristics are the paper's measured Table 6 values
+for EGFET; CNT-TFT equivalents are derived (documented in DESIGN.md)
+and anchored to the paper's quoted 302 us CNT ROM access latency.
+"""
+
+from repro.memory.devices import DeviceSpec, EGFET_MEMORY_DEVICES, CNT_MEMORY_DEVICES
+from repro.memory.rom import CrosspointRom
+from repro.memory.ram import SramArray
+from repro.memory.worm import WormMemory
+
+__all__ = [
+    "DeviceSpec",
+    "EGFET_MEMORY_DEVICES",
+    "CNT_MEMORY_DEVICES",
+    "CrosspointRom",
+    "SramArray",
+    "WormMemory",
+]

@@ -1,0 +1,31 @@
+"""Printed ADC model for multi-level-cell ROM sensing.
+
+Each multi-level sub-block's analog sense voltage is digitized by a
+printed ADC (Table 6 characterizes the 2-bit and 4-bit instances).
+This module exposes them directly; :class:`~repro.memory.rom.
+CrosspointRom` composes one per sub-block.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryModelError
+from repro.memory.devices import DeviceSpec, memory_devices
+
+
+def adc_for_depth(bits: int, technology: str = "EGFET") -> DeviceSpec:
+    """The ADC needed to resolve ``bits`` bits per printed dot.
+
+    Raises:
+        MemoryModelError: For depths the paper did not characterize.
+    """
+    key = {2: "adc2", 4: "adc4"}.get(bits)
+    if key is None:
+        raise MemoryModelError(f"no characterized ADC for {bits}-bit cells")
+    return memory_devices(technology)[key]
+
+
+def quantization_levels(bits: int) -> int:
+    """Distinct dot-resistance levels a ``bits``-bit cell must encode."""
+    if bits < 1:
+        raise MemoryModelError("cells encode at least one bit")
+    return 1 << bits

@@ -1,0 +1,123 @@
+"""Instruction-cache study for ROM-latency-bound CNT cores.
+
+Section 8 observes that CNT-TFT execution times are dominated by the
+302 us crosspoint-ROM access latency and suggests "a more complex
+microarchitecture including an instruction cache may be appropriate".
+This module implements that extension: a direct-mapped, one-word-line
+loop cache built from printed latch cells, with a trace-driven hit-rate
+simulator and a cost model in the standard cell library.
+
+The tradeoff being studied: cache storage is *sequential* logic -- the
+most expensive resource in printed technologies -- so the cache only
+pays off where the ROM latency it hides is large relative to the core
+cycle (CNT-TFT yes, EGFET no).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import MemoryModelError
+from repro.pdk.cells import CellLibrary
+
+
+@dataclass(frozen=True)
+class CacheSimResult:
+    """Trace-replay outcome of one cache configuration."""
+
+    words: int
+    hits: int
+    misses: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+def simulate_icache(trace: Iterable[int], words: int) -> CacheSimResult:
+    """Replay a fetch trace through a direct-mapped one-word-line
+    cache (index = pc mod words, tag = pc div words)."""
+    if words < 1 or words & (words - 1):
+        raise MemoryModelError(f"cache words must be a power of two, got {words}")
+    tags: list[int | None] = [None] * words
+    hits = misses = 0
+    for pc in trace:
+        index = pc % words
+        tag = pc // words
+        if tags[index] == tag:
+            hits += 1
+        else:
+            misses += 1
+            tags[index] = tag
+    return CacheSimResult(words=words, hits=hits, misses=misses)
+
+
+@dataclass(frozen=True)
+class ICacheCost:
+    """Physical cost of one cache configuration in one technology.
+
+    Storage is one latch per data/tag/valid bit plus a tag comparator
+    (XNOR tree) and output muxing, all priced from the cell library.
+    """
+
+    words: int
+    instruction_bits: int
+    area: float
+    hit_delay: float
+    hit_energy: float
+    idle_energy_per_cycle: float
+
+
+def icache_cost(
+    library: CellLibrary, words: int, instruction_bits: int, pc_bits: int = 8
+) -> ICacheCost:
+    """Price a ``words`` x ``instruction_bits`` loop cache."""
+    if words < 1:
+        raise MemoryModelError("cache needs at least one word")
+    index_bits = max(0, int(math.log2(words)))
+    tag_bits = max(1, pc_bits - index_bits)
+    latch = library.cell("LATCHX1")
+    xnor = library.cell("XNOR2X1")
+    and2 = library.cell("AND2X1")
+    nand = library.cell("NAND2X1")
+    inv = library.cell("INVX1")
+
+    storage_bits = words * (instruction_bits + tag_bits + 1)  # +valid
+    comparator_cells = tag_bits  # XNORs
+    reduce_cells = max(1, tag_bits - 1)
+    mux_cells = instruction_bits * 3 * max(1, index_bits)  # NAND-NAND muxing
+
+    area = (
+        storage_bits * latch.area
+        + comparator_cells * xnor.area
+        + reduce_cells * and2.area
+        + mux_cells * nand.area
+        + index_bits * inv.area
+    )
+    # A hit reads through comparator + mux; energy charges the active
+    # row's latches plus the lookup logic.
+    hit_delay = (
+        xnor.mean_delay
+        + reduce_cells.bit_length() * and2.mean_delay
+        + max(1, index_bits) * 2 * nand.mean_delay
+    )
+    hit_energy = (
+        (instruction_bits + tag_bits) * latch.energy * 0.1
+        + comparator_cells * xnor.energy
+        + mux_cells * nand.energy * 0.25
+    )
+    idle = storage_bits * latch.energy * 0.01
+    return ICacheCost(
+        words=words,
+        instruction_bits=instruction_bits,
+        area=area,
+        hit_delay=hit_delay,
+        hit_energy=hit_energy,
+        idle_energy_per_cycle=idle,
+    )

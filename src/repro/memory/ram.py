@@ -1,0 +1,77 @@
+"""SRAM data-memory model.
+
+The data memory is a conventional printed SRAM (Section 6): the paper
+characterizes the single-bit cell (Table 6) and scales linearly for
+arrays -- Table 5's RAM-based instruction memory numbers reproduce as
+``bits x cell`` with no additional overhead, so this model follows the
+same accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import MemoryModelError
+from repro.memory.devices import DeviceSpec, memory_devices
+
+
+@dataclass(frozen=True)
+class SramArray:
+    """An SRAM array of ``words`` x ``bits_per_word``.
+
+    Args:
+        words: Word count (the system evaluator sizes this to exactly
+            the application's data footprint, per Section 8).
+        bits_per_word: Data word width in bits.
+        technology: ``"EGFET"`` (Table 6) or ``"CNT-TFT"`` (derived).
+    """
+
+    words: int
+    bits_per_word: int
+    technology: str = "EGFET"
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise MemoryModelError("SRAM needs at least one word")
+        if self.bits_per_word < 1:
+            raise MemoryModelError("SRAM needs at least one bit per word")
+
+    @cached_property
+    def _cell(self) -> DeviceSpec:
+        return memory_devices(self.technology)["ram_bit"]
+
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.bits_per_word
+
+    @property
+    def area(self) -> float:
+        """Printed area in m^2 (per-bit scaling, Table 5 accounting)."""
+        return self.total_bits * self._cell.area
+
+    @property
+    def access_delay(self) -> float:
+        """One word access latency in seconds."""
+        return self._cell.delay
+
+    @property
+    def access_energy(self) -> float:
+        """Energy of one word access (row of cells active)."""
+        return self.bits_per_word * self._cell.access_energy
+
+    @property
+    def static_power(self) -> float:
+        """Idle power of the whole array in watts."""
+        return self.total_bits * self._cell.static_power
+
+    def average_power(self, access_rate: float) -> float:
+        """Average power at ``access_rate`` word accesses per second."""
+        return self.access_energy * access_rate + self.static_power
+
+    @property
+    def worst_case_power(self) -> float:
+        """Power with the whole array active (Table 5's accounting:
+        the published instruction-memory powers scale as
+        ``bits x (active + static)`` per cell)."""
+        return self.total_bits * (self._cell.active_power + self._cell.static_power)

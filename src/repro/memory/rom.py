@@ -1,0 +1,163 @@
+"""Crosspoint instruction ROM model (Section 6, Figure 9).
+
+Architecture: a crossbar whose crosspoints are shorted by printing a
+conductive dot (PEDOT:PSS) for a 1, left open for a 0.  One word
+occupies one crosspoint per *sub-block*; all sub-blocks share row and
+column decoders and each shares one sensing resistor across its
+columns, so a word's bits are read in parallel.  Density can be raised
+by printing dots whose geometry encodes multiple bits (multi-level
+cells), read back through a printed ADC per sub-block.
+
+Structural accounting follows the paper's worked example: a 16 x 9
+memory needs 9 sub-blocks of 16 rows x 1 column -- 220 transistors and
+52 pull-up resistors in 20.42 mm^2, about half the area of the Myny et
+al. WORM design (:mod:`repro.memory.worm`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import MemoryModelError
+from repro.memory.devices import DeviceSpec, memory_devices
+from repro.units import mm2
+
+#: Area of one row driver (select transistor + wiring), calibrated so
+#: the 16x9 example lands on the published 20.42 mm^2.
+_ROW_DRIVER_AREA = mm2(0.657)
+
+#: Area of one sub-block's shared sensing resistor network.
+_SENSE_AREA = mm2(0.2)
+
+#: Area of one decoder input inverter.
+_DECODER_INV_AREA = mm2(0.224)
+
+#: Rows per sub-block before the array folds into more columns
+#: (matches the paper's 16-row example blocks).
+_MAX_ROWS = 16
+
+
+@dataclass(frozen=True)
+class CrosspointRom:
+    """A crosspoint ROM storing ``words`` x ``bits_per_word``.
+
+    Args:
+        words: Number of instruction words (1..256).
+        bits_per_word: Instruction width in bits.
+        bits_per_cell: 1 (single-level), 2, or 4 (multi-level dots,
+            read through per-sub-block ADCs).
+        technology: ``"EGFET"`` (Table 6) or ``"CNT-TFT"`` (derived).
+    """
+
+    words: int
+    bits_per_word: int
+    bits_per_cell: int = 1
+    technology: str = "EGFET"
+
+    def __post_init__(self) -> None:
+        if self.words < 1 or self.words > 256:
+            raise MemoryModelError(f"ROM words {self.words} out of range")
+        if self.bits_per_word < 1:
+            raise MemoryModelError("ROM needs at least one bit per word")
+        if self.bits_per_cell not in (1, 2, 4):
+            raise MemoryModelError(
+                f"unsupported multi-level depth {self.bits_per_cell}"
+            )
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def subblocks(self) -> int:
+        """One sub-block per cell of the word."""
+        return math.ceil(self.bits_per_word / self.bits_per_cell)
+
+    @property
+    def rows(self) -> int:
+        return min(self.words, _MAX_ROWS)
+
+    @property
+    def columns(self) -> int:
+        """Columns per sub-block."""
+        return math.ceil(self.words / self.rows)
+
+    @property
+    def total_cells(self) -> int:
+        return self.words * self.subblocks
+
+    # -- devices ------------------------------------------------------------
+
+    @cached_property
+    def _cell(self) -> DeviceSpec:
+        key = {1: "rom_bit", 2: "rom_mlc2", 4: "rom_mlc4"}[self.bits_per_cell]
+        return memory_devices(self.technology)[key]
+
+    @cached_property
+    def _adc(self) -> DeviceSpec | None:
+        if self.bits_per_cell == 1:
+            return None
+        key = {2: "adc2", 4: "adc4"}[self.bits_per_cell]
+        return memory_devices(self.technology)[key]
+
+    @property
+    def transistors(self) -> int:
+        """One access transistor per row and per column of every
+        sub-block, plus the shared row decoder."""
+        per_subblock = self.rows + self.columns
+        address_bits = max(1, math.ceil(math.log2(self.words)))
+        decoder = self.rows * address_bits + address_bits
+        return self.subblocks * per_subblock + decoder
+
+    @property
+    def pullup_resistors(self) -> int:
+        """Row pull-ups, per-sub-block column pull-ups and sensing
+        resistors, plus decoder pull-ups."""
+        return (
+            self.rows
+            + self.subblocks * self.columns
+            + self.subblocks
+            + self.rows
+        )
+
+    # -- characteristics -------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Printed area in m^2 (cells + drivers + sensing + decoder)."""
+        address_bits = max(1, math.ceil(math.log2(self.words)))
+        area = self.total_cells * self._cell.area
+        area += self.rows * _ROW_DRIVER_AREA
+        area += self.subblocks * _SENSE_AREA
+        area += address_bits * _DECODER_INV_AREA
+        if self._adc is not None:
+            area += self.subblocks * self._adc.area
+        return area
+
+    @property
+    def read_delay(self) -> float:
+        """One word-fetch latency (cell sense + ADC conversion)."""
+        delay = self._cell.delay
+        if self._adc is not None:
+            delay += self._adc.delay
+        return delay
+
+    @property
+    def read_energy(self) -> float:
+        """Energy of one word fetch (all sub-blocks sense in parallel)."""
+        energy = self.subblocks * self._cell.access_energy
+        if self._adc is not None:
+            energy += self.subblocks * self._adc.access_energy
+        return energy
+
+    @property
+    def static_power(self) -> float:
+        """Idle power of the array in watts."""
+        power = self.subblocks * self._cell.static_power
+        if self._adc is not None:
+            power += self.subblocks * self._adc.static_power
+        return power
+
+    def average_power(self, fetch_rate: float) -> float:
+        """Average power at ``fetch_rate`` word reads per second."""
+        return self.read_energy * fetch_rate + self.static_power

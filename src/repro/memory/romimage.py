@@ -1,0 +1,95 @@
+"""Print-ready crosspoint ROM images.
+
+The crosspoint ROM stores a 1 by printing a conductive dot over a
+crossbar junction (Figure 9).  This module turns an encoded program
+into the *dot map* an inkjet printer needs: per sub-block, which
+(row, column) junctions receive a dot.  It also renders a human-
+checkable ASCII proof and reports material usage (printed dots),
+which is proportional to ink cost.
+
+Layout follows :class:`~repro.memory.rom.CrosspointRom`: word ``w``
+lives at row ``w mod rows``, column ``w div rows``; sub-block ``s``
+holds bit ``s`` of every word (single-level cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryModelError
+from repro.memory.rom import CrosspointRom
+
+
+@dataclass(frozen=True)
+class RomDotMap:
+    """The printable dot pattern of one instruction ROM.
+
+    Attributes:
+        rom: The array geometry/cost model this map targets.
+        dots: Per sub-block, the set of (row, column) dotted junctions.
+    """
+
+    rom: CrosspointRom
+    dots: tuple[frozenset, ...]
+
+    @property
+    def printed_dots(self) -> int:
+        """Total conductive dots to print (ink usage)."""
+        return sum(len(block) for block in self.dots)
+
+    @property
+    def dot_density(self) -> float:
+        """Fraction of junctions dotted (1-bits / capacity)."""
+        capacity = self.rom.total_cells
+        return self.printed_dots / capacity if capacity else 0.0
+
+    def word(self, address: int) -> int:
+        """Read a word back out of the dot map (self-check)."""
+        row = address % self.rom.rows
+        column = address // self.rom.rows
+        value = 0
+        for bit, block in enumerate(self.dots):
+            if (row, column) in block:
+                value |= 1 << bit
+        return value
+
+    def render(self, subblock: int = 0) -> str:
+        """ASCII proof of one sub-block: ``#`` = dot, ``.`` = open."""
+        if not 0 <= subblock < len(self.dots):
+            raise MemoryModelError(f"no sub-block {subblock}")
+        block = self.dots[subblock]
+        lines = [f"sub-block {subblock} ({self.rom.rows} rows x "
+                 f"{self.rom.columns} cols)"]
+        for row in range(self.rom.rows):
+            lines.append(
+                "".join(
+                    "#" if (row, column) in block else "."
+                    for column in range(self.rom.columns)
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+
+def dot_map(words: list[int], bits_per_word: int) -> RomDotMap:
+    """Build the printable dot map for an encoded program image.
+
+    Args:
+        words: Encoded instruction words (as from
+            :func:`repro.coregen.isa_map.encode_program_for_core`).
+        bits_per_word: Instruction width; words must fit it.
+    """
+    if not words:
+        raise MemoryModelError("cannot print an empty ROM")
+    rom = CrosspointRom(words=len(words), bits_per_word=bits_per_word)
+    blocks: list[set] = [set() for _ in range(bits_per_word)]
+    for address, word in enumerate(words):
+        if word >= (1 << bits_per_word):
+            raise MemoryModelError(
+                f"word {word:#x} at {address} exceeds {bits_per_word} bits"
+            )
+        row = address % rom.rows
+        column = address // rom.rows
+        for bit in range(bits_per_word):
+            if (word >> bit) & 1:
+                blocks[bit].add((row, column))
+    return RomDotMap(rom=rom, dots=tuple(frozenset(b) for b in blocks))

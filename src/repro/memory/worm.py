@@ -1,0 +1,59 @@
+"""NOR-architecture WORM memory baseline (Myny et al. [79]).
+
+The prior-art inkjet-programmable write-once-read-many instruction
+memory the crosspoint ROM is compared against in Section 6: a NOR
+array addressed through a 4-to-16 line decoder.  The published 16 x 9
+instance needs 815 transistors (plus 189 more for programming support)
+in 62.1 mm^2; this model scales those anchors per bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MemoryModelError
+from repro.units import mm2
+
+#: Published anchors for the 16 x 9 = 144-bit instance.
+_ANCHOR_BITS = 16 * 9
+_ANCHOR_TRANSISTORS = 815
+_ANCHOR_PROGRAMMING_TRANSISTORS = 189
+_ANCHOR_AREA = mm2(62.1)
+
+
+@dataclass(frozen=True)
+class WormMemory:
+    """A WORM memory of ``words`` x ``bits_per_word``.
+
+    Args:
+        words: Word count.
+        bits_per_word: Word width in bits.
+        include_programming: Count the write-support transistors the
+            published design adds for field programmability.
+    """
+
+    words: int
+    bits_per_word: int
+    include_programming: bool = False
+
+    def __post_init__(self) -> None:
+        if self.words < 1 or self.bits_per_word < 1:
+            raise MemoryModelError("WORM needs at least one word and one bit")
+
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.bits_per_word
+
+    @property
+    def transistors(self) -> int:
+        scale = self.total_bits / _ANCHOR_BITS
+        count = math.ceil(_ANCHOR_TRANSISTORS * scale)
+        if self.include_programming:
+            count += math.ceil(_ANCHOR_PROGRAMMING_TRANSISTORS * scale)
+        return count
+
+    @property
+    def area(self) -> float:
+        """Printed area in m^2, scaled from the published instance."""
+        return _ANCHOR_AREA * self.total_bits / _ANCHOR_BITS

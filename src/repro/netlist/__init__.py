@@ -1,0 +1,34 @@
+"""Gate-level netlist substrate.
+
+This package stands in for the commercial synthesis flow the paper used
+(Synopsys Design Compiler): a hierarchical gate-level netlist builder
+whose logic operations map directly onto the printed standard-cell
+libraries, plus the analyses the paper reports -- static timing
+(:mod:`repro.netlist.sta`), activity-based power
+(:mod:`repro.netlist.power`), area/cell statistics
+(:mod:`repro.netlist.stats`) -- and a cycle-accurate gate-level
+simulator (:mod:`repro.netlist.sim`) used to verify generated cores
+against the instruction-set simulator.
+"""
+
+from repro.netlist.core import Bus, Instance, Netlist, CONST0, CONST1
+from repro.netlist.sta import TimingReport, timing_report
+from repro.netlist.power import PowerReport, power_report
+from repro.netlist.stats import AreaReport, area_report, cell_histogram
+from repro.netlist.sim import CycleSimulator
+
+__all__ = [
+    "Bus",
+    "Instance",
+    "Netlist",
+    "CONST0",
+    "CONST1",
+    "TimingReport",
+    "timing_report",
+    "PowerReport",
+    "power_report",
+    "AreaReport",
+    "area_report",
+    "cell_histogram",
+    "CycleSimulator",
+]

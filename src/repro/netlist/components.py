@@ -1,0 +1,203 @@
+"""Reusable datapath component generators.
+
+Each function takes a :class:`~repro.netlist.core.Netlist` under
+construction plus input buses/nets and appends mapped gates, returning
+output buses/nets.  These are the building blocks the TP-ISA core
+generator composes; they are also unit-tested exhaustively against
+integer semantics.
+
+Arithmetic uses NAND-mapped ripple-carry full adders -- the lowest
+worst-case-delay carry chain available in the 2-input printed library
+(each carry step is two NAND2 levels).  The paper's cores are tiny
+(hundreds of gates), so no carry-lookahead is warranted and none was
+used there either.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MappingError
+from repro.netlist.core import Bus, CONST0, CONST1, Netlist
+
+
+def full_adder(netlist: Netlist, a: int, b: int, cin: int) -> tuple[int, int]:
+    """One-bit full adder; returns ``(sum, carry_out)``.
+
+    The carry is mapped as ``NAND(NAND(a, b), NAND(cin, a XOR b))`` so
+    the per-bit carry path is two NAND2 delays.
+    """
+    axb = netlist.xor_(a, b)
+    total = netlist.xor_(axb, cin)
+    carry = netlist.nand(netlist.nand(a, b), netlist.nand(cin, axb))
+    return total, carry
+
+
+def ripple_adder(
+    netlist: Netlist, a: Sequence[int], b: Sequence[int], cin: int = CONST0
+) -> tuple[Bus, int]:
+    """Ripple-carry adder; returns ``(sum_bus, carry_out)``.
+
+    Args:
+        a: LSB-first addend nets.
+        b: LSB-first addend nets (must match ``a`` in width).
+        cin: Carry-in net (defaults to constant 0).
+    """
+    if len(a) != len(b):
+        raise MappingError(f"adder width mismatch: {len(a)} vs {len(b)}")
+    total_bits = []
+    carry = cin
+    for bit_a, bit_b in zip(a, b):
+        total, carry = full_adder(netlist, bit_a, bit_b, carry)
+        total_bits.append(total)
+    return Bus("sum", total_bits), carry
+
+
+def add_subtract(
+    netlist: Netlist,
+    a: Sequence[int],
+    b: Sequence[int],
+    subtract: int,
+    carry_in: int = CONST0,
+    use_carry_in: int = CONST0,
+) -> tuple[Bus, int, int]:
+    """Combined adder/subtractor with optional external carry chain.
+
+    Computes ``a + (b XOR subtract) + cin_effective`` where the
+    effective carry-in is ``subtract`` for plain SUB/ADD (two's
+    complement) or the architectural carry flag when ``use_carry_in``
+    is asserted (ADC/SBB -- the paper's data-coalescing instructions).
+
+    Returns:
+        ``(sum_bus, carry_out, overflow)`` where overflow is the signed
+        overflow flag (carry into MSB XOR carry out of MSB).
+    """
+    if len(a) != len(b):
+        raise MappingError(f"addsub width mismatch: {len(a)} vs {len(b)}")
+    b_eff = [netlist.xor_(bit, subtract) for bit in b]
+    cin = netlist.mux(use_carry_in, subtract, carry_in)
+    total_bits = []
+    carry = cin
+    carry_into_msb = cin
+    for bit_a, bit_b in zip(a, b_eff):
+        carry_into_msb = carry
+        total, carry = full_adder(netlist, bit_a, bit_b, carry)
+        total_bits.append(total)
+    overflow = netlist.xor_(carry_into_msb, carry)
+    return Bus("sum", total_bits), carry, overflow
+
+
+def incrementer(netlist: Netlist, a: Sequence[int]) -> Bus:
+    """``a + 1`` using half adders (cheap program-counter update)."""
+    out_bits = []
+    carry = CONST1
+    for bit in a:
+        out_bits.append(netlist.xor_(bit, carry))
+        carry = netlist.and_(bit, carry)
+    return Bus("inc", out_bits)
+
+
+def mux_bus(netlist: Netlist, select: int, when0: Sequence[int], when1: Sequence[int]) -> Bus:
+    """Bitwise 2:1 mux over two equal-width buses."""
+    if len(when0) != len(when1):
+        raise MappingError(f"mux width mismatch: {len(when0)} vs {len(when1)}")
+    return Bus("mux", [netlist.mux(select, w0, w1) for w0, w1 in zip(when0, when1)])
+
+
+def mux_tree(netlist: Netlist, select: Sequence[int], choices: Sequence[Sequence[int]]) -> Bus:
+    """N:1 bus multiplexer from a binary select bus.
+
+    Args:
+        select: LSB-first select nets; ``len(choices)`` must not exceed
+            ``2 ** len(select)``.  Missing choices read as zero.
+        choices: Equal-width buses, indexed by the select value.
+    """
+    if not choices:
+        raise MappingError("mux_tree needs at least one choice")
+    width = len(choices[0])
+    for choice in choices:
+        if len(choice) != width:
+            raise MappingError("mux_tree choices differ in width")
+    if len(choices) > (1 << len(select)):
+        raise MappingError("mux_tree select bus too narrow")
+    level: list[Sequence[int]] = list(choices)
+    for bit in select:
+        next_level = []
+        for i in range(0, len(level), 2):
+            if i + 1 < len(level):
+                next_level.append(mux_bus(netlist, bit, level[i], level[i + 1]).nets)
+            else:
+                # Odd leftover: selecting the absent partner yields 0.
+                masked = [netlist.and_(netlist.not_(bit), n) for n in level[i]]
+                next_level.append(masked)
+        level = next_level
+        if len(level) == 1:
+            break
+    return Bus("muxtree", list(level[0]))
+
+
+def decoder(netlist: Netlist, select: Sequence[int], count: int | None = None) -> Bus:
+    """Binary-to-one-hot decoder.
+
+    Args:
+        select: LSB-first select nets.
+        count: Number of one-hot outputs (default: full ``2**n``).
+    """
+    total = 1 << len(select)
+    if count is None:
+        count = total
+    if count > total:
+        raise MappingError(f"decoder cannot produce {count} outputs from {len(select)} bits")
+    inverted = [netlist.not_(bit) for bit in select]
+    outputs = []
+    for value in range(count):
+        terms = [
+            select[i] if (value >> i) & 1 else inverted[i]
+            for i in range(len(select))
+        ]
+        outputs.append(netlist.and_many(terms))
+    return Bus("onehot", outputs)
+
+
+def is_zero(netlist: Netlist, bits: Sequence[int]) -> int:
+    """1 when every bit of the bus is 0 (Z-flag reduction)."""
+    return netlist.not_(netlist.or_many(list(bits)))
+
+
+def equals_const(netlist: Netlist, bits: Sequence[int], value: int) -> int:
+    """1 when the bus equals the compile-time constant ``value``."""
+    terms = [
+        bit if (value >> i) & 1 else netlist.not_(bit)
+        for i, bit in enumerate(bits)
+    ]
+    return netlist.and_many(terms)
+
+
+def rotate_left(bits: Sequence[int]) -> list[int]:
+    """Rotate a bus left by one (pure rewiring, zero gates)."""
+    bits = list(bits)
+    return [bits[-1]] + bits[:-1]
+
+
+def rotate_right(bits: Sequence[int]) -> list[int]:
+    """Rotate a bus right by one (pure rewiring, zero gates)."""
+    bits = list(bits)
+    return bits[1:] + [bits[0]]
+
+
+def bitwise(netlist: Netlist, op: str, a: Sequence[int], b: Sequence[int]) -> Bus:
+    """Bitwise AND/OR/XOR over two buses."""
+    operations = {"and": netlist.and_, "or": netlist.or_, "xor": netlist.xor_}
+    if op not in operations:
+        raise MappingError(f"unknown bitwise op {op!r}")
+    if len(a) != len(b):
+        raise MappingError(f"bitwise width mismatch: {len(a)} vs {len(b)}")
+    return Bus(op, [operations[op](x, y) for x, y in zip(a, b)])
+
+
+def zero_extend(bits: Sequence[int], width: int) -> list[int]:
+    """Pad a bus with constant zeros up to ``width`` (pure wiring)."""
+    bits = list(bits)
+    if len(bits) > width:
+        raise MappingError(f"cannot zero-extend {len(bits)} bits into {width}")
+    return bits + [CONST0] * (width - len(bits))

@@ -1,0 +1,172 @@
+"""Cycle-accurate gate-level simulation of mapped netlists.
+
+The simulator evaluates the combinational network in levelized order
+and clocks all flip-flops simultaneously on :meth:`CycleSimulator.tick`.
+It exists to *verify* generated cores: the TP-ISA core netlists are run
+instruction-by-instruction against external memory models and their
+architectural state compared with the instruction-set simulator.
+
+External memories (the paper's crosspoint ROM and SRAM) are modelled
+outside the netlist: the harness reads address/control output buses
+after a combinational settle, supplies read data on input buses, and
+re-settles.  Because read data never feeds back into address logic in
+the TP-ISA cores, two settles per cycle reach a fixed point (the
+simulator checks this).
+
+Per-instance output toggle counts are recorded for measured-activity
+power analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.netlist.core import (
+    CELL_FUNCTIONS,
+    CONST0,
+    CONST1,
+    Netlist,
+    SEQUENTIAL_CELLS,
+)
+from repro.netlist.sta import _topological_order
+
+
+class CycleSimulator:
+    """Two-phase (settle / tick) simulator for one netlist.
+
+    Args:
+        netlist: A validated, technology-mapped netlist.  Latches are
+            not supported (the generated cores are edge-triggered only).
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        for instance in netlist.instances:
+            if instance.cell == "LATCHX1":
+                raise SimulationError("level-sensitive latches are not simulatable")
+        self.netlist = netlist
+        self._order = _topological_order(netlist)
+        self._values: dict[int, int] = {CONST0: 0, CONST1: 1}
+        self._flops = [i for i in netlist.instances if i.cell in SEQUENTIAL_CELLS]
+        self._toggles: dict[int, int] = {}
+        self._prev_comb: dict[int, int] = {}
+        self._instance_index = {id(inst): n for n, inst in enumerate(netlist.instances)}
+        self.cycles = 0
+        for bus in netlist.inputs.values():
+            for net in bus:
+                self._values.setdefault(net, 0)
+        for flop in self._flops:
+            self._values[flop.output] = 0
+
+    # -- I/O -------------------------------------------------------------
+
+    def set_input(self, name: str, value: int) -> None:
+        """Drive the primary input bus ``name`` with integer ``value``."""
+        bus = self.netlist.inputs.get(name)
+        if bus is None:
+            raise SimulationError(f"no input bus named {name!r}")
+        if value < 0 or value >= (1 << len(bus)):
+            raise SimulationError(f"value {value} does not fit input {name!r} ({len(bus)} bits)")
+        for i, net in enumerate(bus):
+            self._values[net] = (value >> i) & 1
+
+    def read_output(self, name: str) -> int:
+        """Read the primary output bus ``name`` as an integer."""
+        bus = self.netlist.outputs.get(name)
+        if bus is None:
+            raise SimulationError(f"no output bus named {name!r}")
+        return self._bus_value(bus.nets)
+
+    def read_flop_bus(self, nets: Sequence[int]) -> int:
+        """Read an arbitrary collection of nets as an LSB-first integer."""
+        return self._bus_value(nets)
+
+    def _bus_value(self, nets: Sequence[int]) -> int:
+        value = 0
+        for i, net in enumerate(nets):
+            value |= self._values.get(net, 0) << i
+        return value
+
+    # -- phases ------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Propagate current inputs/state through combinational logic."""
+        values = self._values
+        for instance in self._order:
+            function = CELL_FUNCTIONS[instance.cell]
+            values[instance.output] = function(*(values[n] for n in instance.inputs))
+
+    def tick(self) -> None:
+        """Advance one clock edge: capture all flip-flop D inputs.
+
+        Asynchronous reset (active-low ``rst_n``) overrides capture for
+        DFFNRX1 cells.
+        """
+        reset_net = self.netlist.reset_n
+        resetting = reset_net is not None and self._values.get(reset_net, 1) == 0
+        # Combinational toggle accounting: one count per cycle in which
+        # a cell's settled output differs from the previous cycle's.
+        for instance in self._order:
+            value = self._values[instance.output]
+            index = self._instance_index[id(instance)]
+            previous = self._prev_comb.get(index)
+            if previous is not None and previous != value:
+                self._toggles[index] = self._toggles.get(index, 0) + 1
+            self._prev_comb[index] = value
+        captured: list[tuple[int, int]] = []
+        for flop in self._flops:
+            if flop.cell == "DFFNRX1" and resetting:
+                next_value = 0
+            else:
+                next_value = self._values[flop.inputs[0]]
+            captured.append((flop.output, next_value))
+        for (net, next_value), flop in zip(captured, self._flops):
+            if self._values[net] != next_value:
+                index = self._instance_index[id(flop)]
+                self._toggles[index] = self._toggles.get(index, 0) + 1
+            self._values[net] = next_value
+        self.cycles += 1
+
+    def reset(self) -> None:
+        """Apply one asynchronous reset pulse (requires a reset input)."""
+        if self.netlist.reset_n is None:
+            raise SimulationError("netlist has no reset input")
+        self.set_input("rst_n", 0)
+        self.settle()
+        self.tick()
+        self.set_input("rst_n", 1)
+        self.settle()
+
+    def step_with_memory(
+        self,
+        provide_inputs: Callable[["CycleSimulator"], None],
+    ) -> None:
+        """Run one full cycle with an external-memory callback.
+
+        The callback inspects settled outputs (addresses, write
+        enables) via :meth:`read_output` and drives read-data inputs
+        via :meth:`set_input`.  The simulator settles, calls the
+        callback, re-settles, re-calls, and verifies the second call
+        changed nothing (fixed point), then ticks the clock.
+        """
+        self.settle()
+        provide_inputs(self)
+        self.settle()
+        snapshot = {
+            name: self.read_output(name) for name in self.netlist.outputs
+        }
+        provide_inputs(self)
+        self.settle()
+        for name, before in snapshot.items():
+            if self.read_output(name) != before:
+                raise SimulationError(
+                    f"memory feedback did not reach a fixed point on output {name!r}"
+                )
+        self.tick()
+
+    # -- instrumentation -----------------------------------------------------
+
+    def toggle_counts(self) -> Mapping[int, int]:
+        """Output-toggle count per instance index (sequential cells)."""
+        return dict(self._toggles)

@@ -1,0 +1,92 @@
+"""Area, device-count, and composition statistics for netlists.
+
+These reports correspond to the synthesis-report numbers the paper
+quotes: gate count, printed area (cm^2 scale for EGFET), and the
+register-vs-combinational split that drives Figures 7 and 8's stacked
+bars.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.netlist.core import Netlist, SEQUENTIAL_CELLS
+from repro.pdk.cells import CellLibrary
+
+#: Input-pin count per supported cell (validation + simulation order).
+CELL_ARITY = {
+    "INVX1": 1,
+    "NAND2X1": 2,
+    "NOR2X1": 2,
+    "AND2X1": 2,
+    "OR2X1": 2,
+    "XOR2X1": 2,
+    "XNOR2X1": 2,
+    "LATCHX1": 2,
+    "DFFX1": 1,
+    "DFFNRX1": 2,
+    "TSBUFX1": 2,
+}
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Printed-area breakdown of one netlist in one technology.
+
+    Attributes:
+        total: Total cell area in m^2.
+        combinational: Area of combinational cells in m^2.
+        sequential: Area of flip-flops and latches in m^2.
+        gate_count: Total placed cell count.
+        dff_count: Number of sequential cells.
+        transistors: Total printed transistor count.
+        resistors: Total printed pull-up resistor count (EGFET only).
+    """
+
+    total: float
+    combinational: float
+    sequential: float
+    gate_count: int
+    dff_count: int
+    transistors: int
+    resistors: int
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Fraction of total area spent on state-holding cells."""
+        return self.sequential / self.total if self.total else 0.0
+
+
+def cell_histogram(netlist: Netlist) -> Counter[str]:
+    """Count placed instances per cell name."""
+    return Counter(instance.cell for instance in netlist.instances)
+
+
+def area_report(netlist: Netlist, library: CellLibrary) -> AreaReport:
+    """Compute the area/composition report of ``netlist`` in ``library``."""
+    total = 0.0
+    combinational = 0.0
+    sequential = 0.0
+    dff_count = 0
+    transistors = 0
+    resistors = 0
+    for instance in netlist.instances:
+        cell = library.cell(instance.cell)
+        total += cell.area
+        transistors += cell.transistors
+        resistors += cell.resistors
+        if instance.cell in SEQUENTIAL_CELLS:
+            sequential += cell.area
+            dff_count += 1
+        else:
+            combinational += cell.area
+    return AreaReport(
+        total=total,
+        combinational=combinational,
+        sequential=sequential,
+        gate_count=len(netlist.instances),
+        dff_count=dff_count,
+        transistors=transistors,
+        resistors=resistors,
+    )

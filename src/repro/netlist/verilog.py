@@ -1,0 +1,82 @@
+"""Structural Verilog emission.
+
+Generated cores can be dumped as flat structural Verilog referencing
+the printed standard-cell names, matching the artifact a physical
+design flow for the printed PDKs would consume.  Emission is purely
+textual -- there is no Verilog parser here.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.core import CONST0, CONST1, Netlist
+
+#: Pin names per cell, in the same order as Instance.inputs + output.
+_CELL_PINS = {
+    "INVX1": ("A", "Y"),
+    "NAND2X1": ("A", "B", "Y"),
+    "NOR2X1": ("A", "B", "Y"),
+    "AND2X1": ("A", "B", "Y"),
+    "OR2X1": ("A", "B", "Y"),
+    "XOR2X1": ("A", "B", "Y"),
+    "XNOR2X1": ("A", "B", "Y"),
+    "LATCHX1": ("D", "EN", "Q"),
+    "DFFX1": ("D", "Q"),
+    "DFFNRX1": ("D", "RN", "Q"),
+    "TSBUFX1": ("A", "EN", "Y"),
+}
+
+#: Cells that additionally take the global clock pin.
+_CLOCKED = {"DFFX1", "DFFNRX1"}
+
+
+def _net_ref(netlist: Netlist, net: int) -> str:
+    if net == CONST0:
+        return "1'b0"
+    if net == CONST1:
+        return "1'b1"
+    return f"n{net}"
+
+
+def dump_verilog(netlist: Netlist) -> str:
+    """Render ``netlist`` as flat structural Verilog text."""
+    ports: list[str] = []
+    declarations: list[str] = []
+    assigns: list[str] = []
+
+    has_flops = any(i.cell in _CLOCKED for i in netlist.instances)
+    if has_flops:
+        ports.append("clk")
+        declarations.append("  input wire clk;")
+
+    for name, bus in netlist.inputs.items():
+        ports.append(name)
+        declarations.append(f"  input wire [{len(bus) - 1}:0] {name};")
+        for i, net in enumerate(bus):
+            assigns.append(f"  assign n{net} = {name}[{i}];")
+    for name, bus in netlist.outputs.items():
+        ports.append(name)
+        declarations.append(f"  output wire [{len(bus) - 1}:0] {name};")
+        for i, net in enumerate(bus):
+            assigns.append(f"  assign {name}[{i}] = {_net_ref(netlist, net)};")
+
+    body: list[str] = []
+    wires = sorted(
+        {i.output for i in netlist.instances}
+        | {n for bus in netlist.inputs.values() for n in bus}
+    )
+    if wires:
+        body.append("  wire " + ", ".join(f"n{w}" for w in wires) + ";")
+    body.extend(assigns)
+
+    for index, instance in enumerate(netlist.instances):
+        pins = _CELL_PINS[instance.cell]
+        connections = [
+            f".{pin}({_net_ref(netlist, net)})"
+            for pin, net in zip(pins, (*instance.inputs, instance.output))
+        ]
+        if instance.cell in _CLOCKED:
+            connections.append(".CK(clk)")
+        body.append(f"  {instance.cell} u{index} ({', '.join(connections)});")
+
+    header = f"module {netlist.name} ({', '.join(ports)});"
+    return "\n".join([header, *declarations, *body, "endmodule"]) + "\n"

@@ -1,0 +1,34 @@
+"""Process design kit (PDK) layer: printed standard-cell libraries.
+
+This package models the two low-voltage printed technologies the paper
+characterizes:
+
+* :mod:`repro.pdk.egfet` -- inkjet-printed electrolyte-gated FET
+  (EGFET) technology at VDD = 1 V.  Only n-type devices exist, so logic
+  is built in transistor-resistor style; cells are large and slow but
+  the process is fully additive and cheap.
+* :mod:`repro.pdk.cnt` -- shadow-mask printed carbon-nanotube thin-film
+  transistor (CNT-TFT) technology at VDD = 3 V.  Only p-type devices
+  are used, in pseudo-CMOS style; cells are ~100x smaller and ~1000x
+  faster but the subtractive process is far more expensive.
+
+Cell characteristics are the paper's measured Table 2 values.  The
+:mod:`repro.pdk.compact` module additionally provides an analytical
+transistor-resistor RC model from which :mod:`repro.pdk.characterize`
+can re-derive delay and energy numbers for cross-validation.
+"""
+
+from repro.pdk.cells import CellKind, StandardCell, CellLibrary
+from repro.pdk.egfet import egfet_library
+from repro.pdk.cnt import cnt_tft_library
+from repro.pdk.liberty import dump_liberty, load_liberty
+
+__all__ = [
+    "CellKind",
+    "StandardCell",
+    "CellLibrary",
+    "egfet_library",
+    "cnt_tft_library",
+    "dump_liberty",
+    "load_liberty",
+]

@@ -1,0 +1,180 @@
+"""Standard-cell and cell-library data structures.
+
+A :class:`StandardCell` carries the characterized physical properties of
+one library cell (area, switching energy, rise/fall delay, device
+counts).  A :class:`CellLibrary` is an immutable collection of cells
+plus process-level metadata (supply voltage, logic family, printing
+route).  All values are stored in SI units (m^2, J, s); constructors in
+:mod:`repro.pdk.egfet` / :mod:`repro.pdk.cnt` convert from the paper's
+mm^2 / nJ / us literals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.errors import PDKError, UnknownCellError
+
+
+class CellKind(enum.Enum):
+    """Functional classification of a library cell.
+
+    The paper's key architectural observations (single-stage pipelines,
+    register-free ISAs) hinge on the cost gap between sequential and
+    combinational cells, so the kind is a first-class attribute.
+    """
+
+    COMBINATIONAL = "combinational"
+    SEQUENTIAL = "sequential"
+    TRISTATE = "tristate"
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """One characterized standard cell.
+
+    Attributes:
+        name: Library cell name (e.g. ``"NAND2X1"``).
+        kind: Sequential / combinational / tristate classification.
+        area: Printed footprint in m^2.
+        energy: Energy per output switching event in J.
+        rise_delay: Worst-case output rise delay in seconds.
+        fall_delay: Worst-case output fall delay in seconds.
+        inputs: Number of logic inputs (clock excluded for sequentials).
+        transistors: Printed transistor count (estimate for layout
+            bookkeeping; EGFET cells additionally use pull-up resistors).
+        resistors: Printed pull-up resistor count (0 for pseudo-CMOS).
+    """
+
+    name: str
+    kind: CellKind
+    area: float
+    energy: float
+    rise_delay: float
+    fall_delay: float
+    inputs: int
+    transistors: int
+    resistors: int = 0
+
+    def __post_init__(self) -> None:
+        if self.area <= 0 or self.energy <= 0:
+            raise PDKError(f"cell {self.name!r}: area/energy must be positive")
+        if self.rise_delay <= 0 or self.fall_delay <= 0:
+            raise PDKError(f"cell {self.name!r}: delays must be positive")
+        if self.inputs < 1:
+            raise PDKError(f"cell {self.name!r}: needs at least one input")
+
+    @property
+    def worst_delay(self) -> float:
+        """Pessimistic propagation delay: max of rise and fall."""
+        return max(self.rise_delay, self.fall_delay)
+
+    @property
+    def mean_delay(self) -> float:
+        """Typical propagation delay: mean of rise and fall.
+
+        Printed transistor-resistor logic is extremely asymmetric (the
+        resistive pull-up is slow), so sustained toggling alternates
+        rise and fall; the mean is the per-transition average the paper
+        uses when quoting ring-oscillator style frequencies.
+        """
+        return 0.5 * (self.rise_delay + self.fall_delay)
+
+    @property
+    def is_sequential(self) -> bool:
+        """Whether the cell stores state (latch or flip-flop)."""
+        return self.kind is CellKind.SEQUENTIAL
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """An immutable printed standard-cell library.
+
+    Attributes:
+        name: Short technology name (``"EGFET"`` or ``"CNT-TFT"``).
+        vdd: Nominal supply voltage in volts.
+        logic_family: Human-readable circuit style.
+        printing_route: Additive/subtractive processing route.
+        cells: Mapping from cell name to :class:`StandardCell`.
+        mobility: Field-effect mobility in cm^2/Vs (Table 1 context).
+        feature_length: Typical channel length in metres.
+    """
+
+    name: str
+    vdd: float
+    logic_family: str
+    printing_route: str
+    cells: Mapping[str, StandardCell]
+    mobility: float
+    feature_length: float
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise PDKError(f"library {self.name!r}: vdd must be positive")
+        if not self.cells:
+            raise PDKError(f"library {self.name!r}: no cells")
+
+    def __iter__(self) -> Iterator[StandardCell]:
+        return iter(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def cell(self, name: str) -> StandardCell:
+        """Return the cell called ``name``.
+
+        Raises:
+            UnknownCellError: If the library has no such cell.
+        """
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise UnknownCellError(name, self.name) from None
+
+    def sequential_cells(self) -> list[StandardCell]:
+        """All state-holding cells in the library."""
+        return [c for c in self if c.is_sequential]
+
+    def combinational_cells(self) -> list[StandardCell]:
+        """All purely combinational cells in the library."""
+        return [c for c in self if c.kind is CellKind.COMBINATIONAL]
+
+    def dff_to_inverter_area_ratio(self) -> float:
+        """Area cost of a DFF in inverter-equivalents.
+
+        This single number drives the paper's headline microarchitecture
+        conclusion: when it is large, pipeline registers and register
+        files are unaffordable.
+        """
+        return self.cell("DFFX1").area / self.cell("INVX1").area
+
+
+def build_cells(
+    rows: Mapping[str, tuple[CellKind, float, float, float, float, int, int, int]],
+) -> dict[str, StandardCell]:
+    """Build a cell dict from compact characterization rows.
+
+    Each row is ``(kind, area_m2, energy_j, rise_s, fall_s, inputs,
+    transistors, resistors)`` keyed by cell name.  Shared by the EGFET
+    and CNT-TFT library constructors.
+    """
+    return {
+        name: StandardCell(
+            name=name,
+            kind=kind,
+            area=area,
+            energy=energy,
+            rise_delay=rise,
+            fall_delay=fall,
+            inputs=inputs,
+            transistors=transistors,
+            resistors=resistors,
+        )
+        for name, (kind, area, energy, rise, fall, inputs, transistors, resistors) in rows.items()
+    }

@@ -1,0 +1,177 @@
+"""Cross-validation of library data against the compact model.
+
+The published Table 2 numbers come from measurement-calibrated
+characterization.  This module closes the loop in the other direction:
+starting from physical device parameters, re-derive per-cell delay and
+energy with :mod:`repro.pdk.compact` and compare against the library.
+
+Calibration strategy (mirrors Section 3.1.1 of the paper): device
+parameters are fitted so the *inverter* matches its measured rise/fall
+delay exactly, then every other cell is predicted from its topology.
+Agreement within a small factor validates that the library numbers are
+mutually consistent with a transistor-resistor RC picture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.pdk.cells import CellLibrary
+from repro.pdk.compact import (
+    LN2,
+    DeviceParams,
+    GateEstimate,
+    STANDARD_TOPOLOGIES,
+    estimate_all,
+)
+
+#: Electrolyte gate capacitance per area for EGFET in F/m^2 (~3 uF/cm^2,
+#: the high value responsible for sub-1V operation).
+EGFET_COX = 3e-2
+
+#: EGFET device geometry from Figure 2 (W = 200 um, L = 40 um).
+EGFET_W = 200e-6
+EGFET_L = 40e-6
+
+#: CNT-TFT effective parameters (Lei et al. device class).
+CNT_COX = 1.8e-3
+CNT_W = 40e-6
+CNT_L = 4e-6
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """Published-vs-derived values for one cell."""
+
+    name: str
+    published_rise: float
+    derived_rise: float
+    published_fall: float
+    derived_fall: float
+    published_energy: float
+    derived_energy: float
+
+    @property
+    def rise_ratio(self) -> float:
+        """Derived / published rise delay."""
+        return self.derived_rise / self.published_rise
+
+    @property
+    def fall_ratio(self) -> float:
+        """Derived / published fall delay."""
+        return self.derived_fall / self.published_fall
+
+    @property
+    def energy_ratio(self) -> float:
+        """Derived / published switching energy."""
+        return self.derived_energy / self.published_energy
+
+
+def calibrate_device(
+    library: CellLibrary, cox: float, width: float, length: float, vth: float
+) -> DeviceParams:
+    """Fit device parameters so the inverter matches the library.
+
+    The contact-degradation factor is chosen so the modelled inverter
+    fall delay equals the measured one, the pull-up ratio so the rise
+    delay matches, and the hold time so the inverter energy matches.
+
+    Args:
+        library: The library whose inverter anchors the fit.
+        cox: Gate capacitance per area in F/m^2.
+        width: Channel width in metres.
+        length: Channel length in metres.
+        vth: Threshold voltage in volts.
+
+    Returns:
+        Calibrated :class:`DeviceParams`.
+    """
+    inv = library.cell("INVX1")
+    vdd = library.vdd
+    c_gate = cox * width * length
+
+    # Ideal square-law on-resistance, then degrade to match t_fall.
+    ideal_on_current = 0.5 * (library.mobility * 1e-4) * cox * (width / length) * (
+        vdd - vth
+    ) ** 2
+    ideal_r_on = vdd / ideal_on_current
+    required_r_on = inv.fall_delay / (LN2 * c_gate)
+    degradation = max(1.0, required_r_on / ideal_r_on)
+
+    r_on = ideal_r_on * degradation
+    required_r_pullup = inv.rise_delay / (LN2 * c_gate)
+    pullup_ratio = required_r_pullup / r_on
+
+    # Hold time from the inverter energy budget.
+    dynamic = c_gate * vdd**2
+    static_current = 0.5 * vdd / required_r_pullup
+    hold_time = max(0.0, (inv.energy - dynamic) / (static_current * vdd))
+
+    return DeviceParams(
+        mobility=library.mobility * 1e-4,
+        cox=cox,
+        width=width,
+        length=length,
+        vth=vth,
+        vdd=vdd,
+        contact_degradation=degradation,
+        pullup_ratio=pullup_ratio,
+        hold_time=hold_time,
+    )
+
+
+def calibrate_egfet(library: CellLibrary) -> DeviceParams:
+    """Calibrate the EGFET compact model (Vth = 0.17 V, Section 3.1)."""
+    return calibrate_device(library, EGFET_COX, EGFET_W, EGFET_L, vth=0.17)
+
+
+def calibrate_cnt(library: CellLibrary) -> DeviceParams:
+    """Calibrate the CNT-TFT compact model (|Vth| ~ 0.8 V)."""
+    return calibrate_device(library, CNT_COX, CNT_W, CNT_L, vth=0.8)
+
+
+def compare_library(
+    library: CellLibrary, params: DeviceParams
+) -> dict[str, CellComparison]:
+    """Compare every library cell against its compact-model estimate."""
+    estimates: dict[str, GateEstimate] = estimate_all(params)
+    comparisons = {}
+    for name, estimate in estimates.items():
+        if name not in library:
+            continue
+        cell = library.cell(name)
+        comparisons[name] = CellComparison(
+            name=name,
+            published_rise=cell.rise_delay,
+            derived_rise=estimate.rise_delay,
+            published_fall=cell.fall_delay,
+            derived_fall=estimate.fall_delay,
+            published_energy=cell.energy,
+            derived_energy=estimate.energy,
+        )
+    return comparisons
+
+
+def worst_log_error(comparisons: dict[str, CellComparison]) -> float:
+    """Largest |log10(derived/published)| over all delays.
+
+    A value of 1.0 means the worst cell is off by 10x; the libraries
+    and the RC picture agree well under that.
+    """
+    worst = 0.0
+    for comparison in comparisons.values():
+        for ratio in (comparison.rise_ratio, comparison.fall_ratio):
+            worst = max(worst, abs(math.log10(ratio)))
+    return worst
+
+
+__all__ = [
+    "CellComparison",
+    "calibrate_device",
+    "calibrate_egfet",
+    "calibrate_cnt",
+    "compare_library",
+    "worst_log_error",
+    "STANDARD_TOPOLOGIES",
+]

@@ -1,0 +1,69 @@
+"""CNT-TFT standard-cell library (Table 2, VDD = 3 V).
+
+Carbon-nanotube thin-film transistors are printed through a subtractive
+shadow-mask route.  Device yield mismatch between p- and n-type devices
+means circuits are built from p-type TFTs only, in pseudo-CMOS style,
+which restores reasonably symmetric rise/fall edges at the cost of
+extra devices per gate.  Compared with EGFET, CNT-TFT cells are roughly
+two orders of magnitude smaller and three to four orders of magnitude
+faster, but the process is expensive and needs a 3 V supply.
+
+Values are the paper's Table 2 characterization at VDD = 3 V.
+Transistor counts follow pseudo-CMOS realizations (4 devices per
+inverter stage).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.pdk.cells import CellKind, CellLibrary, build_cells
+from repro.units import mm2, nJ, us
+
+_C = CellKind.COMBINATIONAL
+_S = CellKind.SEQUENTIAL
+_T = CellKind.TRISTATE
+
+#: Table 2 CNT-TFT rows: (kind, area, energy, rise, fall, inputs, T, R).
+_CNT_ROWS = {
+    "INVX1": (_C, mm2(0.002), nJ(0.093), us(0.058), us(2.9), 1, 4, 0),
+    "NAND2X1": (_C, mm2(0.003), nJ(10.01), us(0.088), us(7.99), 2, 6, 0),
+    "NOR2X1": (_C, mm2(0.003), nJ(18.61), us(0.108), us(3.65), 2, 6, 0),
+    "AND2X1": (_C, mm2(0.005), nJ(18.35), us(0.171), us(8.05), 2, 10, 0),
+    "OR2X1": (_C, mm2(0.005), nJ(21.33), us(0.121), us(4.10), 2, 10, 0),
+    "XOR2X1": (_C, mm2(0.012), nJ(36.7), us(1.908), us(5.65), 2, 16, 0),
+    "XNOR2X1": (_C, mm2(0.014), nJ(37.1), us(2.118), us(5.97), 2, 18, 0),
+    "LATCHX1": (_S, mm2(0.006), nJ(19.55), us(0.221), us(3.75), 2, 12, 0),
+    "DFFX1": (_S, mm2(0.018), nJ(41.5), us(3.78), us(4.19), 2, 24, 0),
+    "DFFNRX1": (_S, mm2(0.042), nJ(50.7), us(8.61), us(8.77), 3, 32, 0),
+    "TSBUFX1": (_T, mm2(0.003), nJ(19.5), us(0.109), us(2.83), 2, 8, 0),
+}
+
+#: Semiconducting-CNT field-effect mobility in cm^2/Vs (Table 1).
+CNT_MOBILITY_CM2_VS = 25.0
+
+#: Typical CNT-TFT channel length in metres (several-micron features).
+CNT_CHANNEL_LENGTH_M = 4e-6
+
+
+@lru_cache(maxsize=1)
+def cnt_tft_library() -> CellLibrary:
+    """Return the CNT-TFT standard-cell library at VDD = 3 V.
+
+    The returned library is cached and immutable; callers share one
+    instance.
+    """
+    return CellLibrary(
+        name="CNT-TFT",
+        vdd=3.0,
+        logic_family="pseudo-CMOS (p-type only)",
+        printing_route="subtractive solution/shadow-mask",
+        cells=build_cells(_CNT_ROWS),
+        mobility=CNT_MOBILITY_CM2_VS,
+        feature_length=CNT_CHANNEL_LENGTH_M,
+        notes=(
+            "Ultrahigh-purity semiconducting CNT channel; pseudo-CMOS "
+            "styling compensates single-polarity devices at the cost of "
+            "device count and a 3 V supply."
+        ),
+    )

@@ -1,0 +1,197 @@
+"""Analytical transistor-resistor / pseudo-CMOS compact model.
+
+The paper characterizes its standard cells with measurement-calibrated
+compact models (EKV-style DC model plus measured gate capacitance).  We
+reproduce the *structure* of that flow with a first-order RC model:
+
+* The printed FET is modelled by its saturation on-current
+  ``I_on = mu * Cox * (W/L) * (VDD - Vth)^2 / 2`` degraded by an
+  empirical ``contact_degradation`` factor that absorbs contact
+  resistance and non-quasi-static effects (the dominant non-ideality in
+  printed devices, cf. Feng et al.).
+* The pull-up is a printed resistor ``R_pullup`` (EGFET) or a
+  always-on p-type device (pseudo-CMOS CNT-TFT).
+* Gate load is the electrolyte/oxide gate capacitance
+  ``C_gate = Cox * W * L`` times fanout.
+
+Rise delay is ``ln(2) * R_pullup * C_load``; fall delay is
+``ln(2) * R_on * C_load``.  Energy per switching event is dynamic
+``C_load * VDD^2`` plus the static burn through the pull-up while the
+output is held low for one characterization period (transistor-resistor
+logic draws DC current in that state -- this term dominates for EGFET,
+which is why e.g. a NOR2 costs 48x the energy of an inverter while
+being only 1.6x larger).
+
+The model is used for *cross-validation* of the published Table 2
+values (see :mod:`repro.pdk.characterize`), not as their source.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PDKError
+
+LN2 = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Physical parameters of one printed transistor technology.
+
+    Attributes:
+        mobility: Field-effect mobility in m^2/Vs.
+        cox: Gate capacitance per area in F/m^2 (electrolyte gating
+            makes this very large for EGFET).
+        width: Channel width in metres.
+        length: Channel length in metres.
+        vth: Threshold voltage in volts.
+        vdd: Nominal supply voltage in volts.
+        contact_degradation: Dimensionless factor (>= 1) by which the
+            ideal square-law on-current is reduced; calibrated against
+            measured inverter delay.
+        pullup_ratio: R_pullup / R_on ratio (sets the low-level noise
+            margin of transistor-resistor logic).
+        hold_time: Characterization period in seconds over which the
+            static pull-up current is integrated into the per-switch
+            energy figure.
+    """
+
+    mobility: float
+    cox: float
+    width: float
+    length: float
+    vth: float
+    vdd: float
+    contact_degradation: float = 1.0
+    pullup_ratio: float = 7.0
+    hold_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= self.vth:
+            raise PDKError("vdd must exceed vth for the device to switch")
+        if self.contact_degradation < 1.0:
+            raise PDKError("contact_degradation must be >= 1")
+
+    @property
+    def gate_capacitance(self) -> float:
+        """Gate capacitance of one device in farads."""
+        return self.cox * self.width * self.length
+
+    @property
+    def on_current(self) -> float:
+        """Saturation on-current in amperes (degraded square law)."""
+        ideal = (
+            0.5
+            * self.mobility
+            * self.cox
+            * (self.width / self.length)
+            * (self.vdd - self.vth) ** 2
+        )
+        return ideal / self.contact_degradation
+
+    @property
+    def on_resistance(self) -> float:
+        """Equivalent pull-down resistance in ohms."""
+        return self.vdd / self.on_current
+
+    @property
+    def pullup_resistance(self) -> float:
+        """Printed pull-up resistor value in ohms."""
+        return self.pullup_ratio * self.on_resistance
+
+
+@dataclass(frozen=True)
+class GateTopology:
+    """Circuit-level shape of a logic cell in transistor-resistor style.
+
+    Attributes:
+        name: Cell name the topology corresponds to.
+        stages: Number of cascaded resistor-load stages on the critical
+            path through the cell (an AND2 is a NAND2 + INV = 2 stages).
+        series_devices: Maximum pull-down stack depth (series devices
+            slow the falling edge proportionally).
+        pullups: Number of pull-up resistors (sets static energy).
+        fanin: Number of logic inputs (sets input load seen by drivers).
+        internal_load: Extra internal capacitive load in units of one
+            gate capacitance (wiring + internal nodes).
+    """
+
+    name: str
+    stages: int
+    series_devices: int
+    pullups: int
+    fanin: int
+    internal_load: float = 0.0
+
+
+#: Transistor-resistor topologies for the library cells.  Stage and
+#: stack counts follow the canonical realizations described in
+#: Section 3 of the paper (DFF = two cascaded latches, XOR from
+#: two-level NAND structure, etc.).
+STANDARD_TOPOLOGIES: dict[str, GateTopology] = {
+    "INVX1": GateTopology("INVX1", stages=1, series_devices=1, pullups=1, fanin=1),
+    "NAND2X1": GateTopology("NAND2X1", stages=1, series_devices=2, pullups=1, fanin=2),
+    "NOR2X1": GateTopology("NOR2X1", stages=1, series_devices=1, pullups=1, fanin=2, internal_load=0.5),
+    "AND2X1": GateTopology("AND2X1", stages=2, series_devices=2, pullups=2, fanin=2),
+    "OR2X1": GateTopology("OR2X1", stages=2, series_devices=1, pullups=2, fanin=2, internal_load=0.5),
+    "XOR2X1": GateTopology("XOR2X1", stages=3, series_devices=2, pullups=3, fanin=2, internal_load=1.0),
+    "XNOR2X1": GateTopology("XNOR2X1", stages=3, series_devices=2, pullups=4, fanin=2, internal_load=1.5),
+    "LATCHX1": GateTopology("LATCHX1", stages=2, series_devices=2, pullups=2, fanin=2, internal_load=0.5),
+    "DFFX1": GateTopology("DFFX1", stages=4, series_devices=2, pullups=4, fanin=2, internal_load=1.0),
+    "DFFNRX1": GateTopology("DFFNRX1", stages=4, series_devices=3, pullups=6, fanin=3, internal_load=2.0),
+    "TSBUFX1": GateTopology("TSBUFX1", stages=2, series_devices=2, pullups=2, fanin=2),
+}
+
+
+@dataclass(frozen=True)
+class GateEstimate:
+    """Delay/energy estimate for one cell from the compact model."""
+
+    name: str
+    rise_delay: float
+    fall_delay: float
+    energy: float
+
+
+def estimate_gate(
+    params: DeviceParams, topology: GateTopology, fanout: float = 1.0
+) -> GateEstimate:
+    """Estimate rise/fall delay and switching energy for one cell.
+
+    Args:
+        params: Technology device parameters.
+        topology: Circuit shape of the cell.
+        fanout: Number of downstream gate inputs driven by the output.
+
+    Returns:
+        A :class:`GateEstimate` with SI-unit values.
+    """
+    c_gate = params.gate_capacitance
+    c_load = (fanout + topology.internal_load) * c_gate
+    # Each cascaded stage adds one R*C charge/discharge on the path.
+    rise = LN2 * params.pullup_resistance * c_load * topology.stages
+    fall = (
+        LN2
+        * params.on_resistance
+        * topology.series_devices
+        * c_load
+        * topology.stages
+    )
+    dynamic = topology.stages * c_load * params.vdd**2
+    # Static burn: each pull-up conducts while its output is low;
+    # assume half the pull-ups are in that state over the hold period.
+    static_current = 0.5 * topology.pullups * params.vdd / params.pullup_resistance
+    static = static_current * params.vdd * params.hold_time
+    return GateEstimate(topology.name, rise, fall, dynamic + static)
+
+
+def estimate_all(
+    params: DeviceParams, fanout: float = 1.0
+) -> dict[str, GateEstimate]:
+    """Estimate every cell in :data:`STANDARD_TOPOLOGIES`."""
+    return {
+        name: estimate_gate(params, topo, fanout)
+        for name, topo in STANDARD_TOPOLOGIES.items()
+    }

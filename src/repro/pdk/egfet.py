@@ -1,0 +1,74 @@
+"""EGFET standard-cell library (Table 2, VDD = 1 V).
+
+Electrolyte-gated FETs are inkjet printed (fully additive route) with an
+In2O3 channel between ITO source/drain electrodes, a solid composite
+electrolyte as the gate dielectric, and a PEDOT:PSS top gate.  Only
+n-type devices exist, so cells use transistor-resistor logic: a printed
+resistor pulls the output high and an EGFET network pulls it low.  That
+is why rise delays dwarf fall delays and why sequential cells (which
+stack several resistor stages) are disproportionately expensive.
+
+Area / energy / delay values below are the paper's measured Table 2
+characterization at VDD = 1 V.  Transistor/resistor counts follow the
+standard transistor-resistor realizations (INV = 1T+1R, NAND2 = 2T+1R,
+AND2 = NAND2 + INV, XOR2 from two-level gates, DFF from two latches).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.pdk.cells import CellKind, CellLibrary, build_cells
+from repro.units import mm2, nJ, us
+
+_C = CellKind.COMBINATIONAL
+_S = CellKind.SEQUENTIAL
+_T = CellKind.TRISTATE
+
+#: Table 2 EGFET rows: (kind, area, energy, rise, fall, inputs, T, R).
+_EGFET_ROWS = {
+    "INVX1": (_C, mm2(0.224), nJ(9.8), us(1212), us(174), 1, 1, 1),
+    "NAND2X1": (_C, mm2(0.247), nJ(12.1), us(1557), us(986), 2, 2, 1),
+    "NOR2X1": (_C, mm2(0.399), nJ(580), us(1830), us(904), 2, 2, 1),
+    "AND2X1": (_C, mm2(0.433), nJ(584.1), us(2101), us(1284), 2, 3, 2),
+    "OR2X1": (_C, mm2(0.563), nJ(603), us(2040), us(1271), 2, 3, 2),
+    "XOR2X1": (_C, mm2(1.04), nJ(1460), us(5474), us(4982), 2, 6, 3),
+    "XNOR2X1": (_C, mm2(1.34), nJ(1510), us(6159), us(3420), 2, 7, 4),
+    "LATCHX1": (_S, mm2(0.58), nJ(624), us(2643), us(942), 2, 4, 2),
+    "DFFX1": (_S, mm2(1.41), nJ(2360), us(6149), us(3923), 2, 8, 4),
+    "DFFNRX1": (_S, mm2(2.77), nJ(3941), us(5935), us(4453), 3, 12, 6),
+    "TSBUFX1": (_T, mm2(0.446), nJ(597), us(2553), us(1004), 2, 3, 2),
+}
+
+#: Typical EGFET channel length (paper Section 3.1): 60 um, scalable
+#: to ~10 um before short-channel effects appear.
+EGFET_CHANNEL_LENGTH_M = 60e-6
+
+#: In2O3 field-effect mobility in cm^2/Vs (Table 1).
+EGFET_MOBILITY_CM2_VS = 126.0
+
+#: Measured device yield range reported in Section 3.1.
+EGFET_YIELD_RANGE = (0.90, 0.99)
+
+
+@lru_cache(maxsize=1)
+def egfet_library() -> CellLibrary:
+    """Return the EGFET standard-cell library at VDD = 1 V.
+
+    The returned library is cached and immutable; callers share one
+    instance.
+    """
+    return CellLibrary(
+        name="EGFET",
+        vdd=1.0,
+        logic_family="transistor-resistor (n-type only)",
+        printing_route="fully-additive inkjet",
+        cells=build_cells(_EGFET_ROWS),
+        mobility=EGFET_MOBILITY_CM2_VS,
+        feature_length=EGFET_CHANNEL_LENGTH_M,
+        notes=(
+            "In2O3 channel, ITO source/drain, solid composite electrolyte "
+            "gate isolation, PEDOT:PSS top gate; printed with a Dimatix "
+            "DMP-2831 materials printer."
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Minimal Liberty-style text serialization for cell libraries.
+
+The paper open-sourced its libraries in synthesis-ready form; this
+module provides the equivalent artifact for our models: a compact,
+human-diffable text format loosely following Liberty's
+``library { cell { ... } }`` nesting, plus a loader so round-tripping
+is lossless.  Only the attributes our flow uses are serialized.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import PDKError
+from repro.pdk.cells import CellKind, CellLibrary, StandardCell
+
+_FLOAT = r"[-+0-9.eE]+"
+
+
+def dump_liberty(library: CellLibrary) -> str:
+    """Render ``library`` as Liberty-style text."""
+    lines = [
+        f'library ("{library.name}") {{',
+        f"  voltage : {library.vdd};",
+        f'  logic_family : "{library.logic_family}";',
+        f'  printing_route : "{library.printing_route}";',
+        f"  mobility : {library.mobility};",
+        f"  feature_length : {library.feature_length!r};",
+    ]
+    for cell in library:
+        lines.extend(_dump_cell(cell))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _dump_cell(cell: StandardCell) -> Iterator[str]:
+    yield f'  cell ("{cell.name}") {{'
+    yield f'    kind : "{cell.kind.value}";'
+    yield f"    area : {cell.area!r};"
+    yield f"    energy : {cell.energy!r};"
+    yield f"    rise_delay : {cell.rise_delay!r};"
+    yield f"    fall_delay : {cell.fall_delay!r};"
+    yield f"    inputs : {cell.inputs};"
+    yield f"    transistors : {cell.transistors};"
+    yield f"    resistors : {cell.resistors};"
+    yield "  }"
+
+
+_LIBRARY_RE = re.compile(r'library\s*\(\s*"([^"]+)"\s*\)\s*\{')
+_CELL_RE = re.compile(r'cell\s*\(\s*"([^"]+)"\s*\)\s*\{')
+_ATTR_RE = re.compile(r'(\w+)\s*:\s*("?)([^";]*)\2\s*;')
+
+
+def load_liberty(text: str) -> CellLibrary:
+    """Parse Liberty-style text produced by :func:`dump_liberty`.
+
+    Raises:
+        PDKError: If the text is not a well-formed library block.
+    """
+    library_match = _LIBRARY_RE.search(text)
+    if library_match is None:
+        raise PDKError("no library block found")
+    name = library_match.group(1)
+
+    header: dict[str, str] = {}
+    cells: dict[str, StandardCell] = {}
+
+    # Split the body at cell boundaries: attrs before the first cell
+    # belong to the library header.
+    cell_spans = list(_CELL_RE.finditer(text))
+    header_end = cell_spans[0].start() if cell_spans else len(text)
+    for match in _ATTR_RE.finditer(text[library_match.end() : header_end]):
+        header[match.group(1)] = match.group(3)
+
+    for index, cell_match in enumerate(cell_spans):
+        end = cell_spans[index + 1].start() if index + 1 < len(cell_spans) else len(text)
+        attrs = {
+            m.group(1): m.group(3)
+            for m in _ATTR_RE.finditer(text[cell_match.end() : end])
+        }
+        cell_name = cell_match.group(1)
+        try:
+            cells[cell_name] = StandardCell(
+                name=cell_name,
+                kind=CellKind(attrs["kind"]),
+                area=float(attrs["area"]),
+                energy=float(attrs["energy"]),
+                rise_delay=float(attrs["rise_delay"]),
+                fall_delay=float(attrs["fall_delay"]),
+                inputs=int(attrs["inputs"]),
+                transistors=int(attrs["transistors"]),
+                resistors=int(attrs["resistors"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise PDKError(f"cell {cell_name!r}: bad or missing attribute: {exc}") from exc
+
+    try:
+        return CellLibrary(
+            name=name,
+            vdd=float(header["voltage"]),
+            logic_family=header["logic_family"],
+            printing_route=header["printing_route"],
+            cells=cells,
+            mobility=float(header["mobility"]),
+            feature_length=float(header["feature_length"]),
+        )
+    except (KeyError, ValueError) as exc:
+        raise PDKError(f"library {name!r}: bad or missing attribute: {exc}") from exc

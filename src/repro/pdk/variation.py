@@ -1,0 +1,142 @@
+"""Process variation and functional-yield models for printed logic.
+
+Printed devices vary enormously die-to-die (the EGFET literature the
+paper builds on reports sigma(Vth) of tens of millivolts and measured
+device yields of 90-99%, Section 3.1).  Two consequences for
+microprocessors, both quantified here:
+
+* **Timing spread** -- Monte-Carlo STA with lognormal per-instance
+  delay multipliers gives the fmax distribution and a yield-aware
+  clock (the frequency met by e.g. 95% of printed units).
+* **Functional yield** -- with per-device yield ``y`` a design of
+  ``n`` printed devices works with probability ``y^n``; printed
+  microprocessors must therefore be *small*, reinforcing the paper's
+  minimal-gate-count ISA argument from a different direction.
+
+Randomness is a deterministic LCG (reproducible runs, no global
+state).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PDKError
+from repro.netlist.core import CONST0, CONST1, Netlist, SEQUENTIAL_CELLS
+from repro.netlist.sta import _topological_order
+from repro.pdk.cells import CellLibrary
+
+#: Measured EGFET per-device yield range (Section 3.1).
+EGFET_DEVICE_YIELD_RANGE = (0.90, 0.99)
+
+
+def _lcg_gauss(seed: int):
+    """Deterministic standard-normal stream (Box-Muller over an LCG)."""
+    state = seed & 0x7FFFFFFF or 1
+
+    def uniform() -> float:
+        nonlocal state
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        return (state + 1) / (0x7FFFFFFF + 2)
+
+    while True:
+        u1, u2 = uniform(), uniform()
+        radius = math.sqrt(-2.0 * math.log(u1))
+        yield radius * math.cos(2 * math.pi * u2)
+        yield radius * math.sin(2 * math.pi * u2)
+
+
+@dataclass(frozen=True)
+class TimingDistribution:
+    """Monte-Carlo fmax statistics for one netlist."""
+
+    samples: tuple[float, ...]  # critical-path delays, seconds
+
+    @property
+    def nominal_fmax(self) -> float:
+        return 1.0 / min(self.samples)
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def yield_fmax(self, coverage: float = 0.95) -> float:
+        """The clock frequency met by ``coverage`` of printed units."""
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(math.ceil(coverage * len(ordered))) - 1)
+        return 1.0 / ordered[index]
+
+
+def monte_carlo_timing(
+    netlist: Netlist,
+    library: CellLibrary,
+    sigma: float = 0.2,
+    trials: int = 64,
+    seed: int = 0xBEEF,
+) -> TimingDistribution:
+    """Sample the critical-path delay under per-instance variation.
+
+    Each cell instance's delay is scaled by an independent lognormal
+    factor ``exp(sigma * N(0,1))`` per trial; propagation uses the
+    worst-edge delay for speed (the spread, not the absolute value, is
+    the quantity of interest).
+    """
+    if sigma < 0:
+        raise PDKError("sigma must be non-negative")
+    order = _topological_order(netlist)
+    base_delay = [library.cell(i.cell).worst_delay for i in netlist.instances]
+    index_of = {id(instance): k for k, instance in enumerate(netlist.instances)}
+    gauss = _lcg_gauss(seed)
+
+    samples = []
+    for _ in range(trials):
+        factors = [math.exp(sigma * next(gauss)) for _ in netlist.instances]
+        arrival: dict[int, float] = {CONST0: 0.0, CONST1: 0.0}
+        for bus in netlist.inputs.values():
+            for net in bus:
+                arrival[net] = 0.0
+        for instance in netlist.instances:
+            if instance.cell in SEQUENTIAL_CELLS:
+                k = index_of[id(instance)]
+                arrival[instance.output] = base_delay[k] * factors[k]
+        worst = 0.0
+        for instance in order:
+            k = index_of[id(instance)]
+            in_time = max((arrival.get(net, 0.0) for net in instance.inputs), default=0.0)
+            arrival[instance.output] = in_time + base_delay[k] * factors[k]
+        for instance in netlist.instances:
+            if instance.cell in SEQUENTIAL_CELLS:
+                for net in instance.inputs:
+                    worst = max(worst, arrival.get(net, 0.0))
+        for bus in netlist.outputs.values():
+            for net in bus:
+                worst = max(worst, arrival.get(net, 0.0))
+        samples.append(worst)
+    return TimingDistribution(samples=tuple(samples))
+
+
+def functional_yield(device_count: int, device_yield: float) -> float:
+    """Probability that all ``device_count`` printed devices work."""
+    if not 0.0 < device_yield <= 1.0:
+        raise PDKError(f"device yield {device_yield} out of (0, 1]")
+    return device_yield**device_count
+
+
+def cost_per_working_unit(area: float, design_yield: float) -> float:
+    """Expected printed area per *working* unit (area / yield).
+
+    With maskless printing, a failed unit costs only its materials and
+    print time -- both area-proportional -- so area/yield is the right
+    figure of merit for comparing core sizes under yield.
+    """
+    if design_yield <= 0:
+        return float("inf")
+    return area / design_yield
+
+
+def required_device_yield(device_count: int, target_yield: float) -> float:
+    """Per-device yield needed for a design-level target."""
+    if not 0.0 < target_yield < 1.0:
+        raise PDKError(f"target yield {target_yield} out of (0, 1)")
+    return target_yield ** (1.0 / device_count)

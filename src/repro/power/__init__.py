@@ -1,0 +1,12 @@
+"""Printed batteries and duty-cycled lifetime modeling (Figures 4-5)."""
+
+from repro.power.battery import PRINTED_BATTERIES, PrintedBattery
+from repro.power.lifetime import lifetime_hours, lifetime_curve, max_iterations
+
+__all__ = [
+    "PRINTED_BATTERIES",
+    "PrintedBattery",
+    "lifetime_hours",
+    "lifetime_curve",
+    "max_iterations",
+]

@@ -1,0 +1,77 @@
+"""Printed battery catalogue (Section 4).
+
+The paper evaluates four commercially available printed batteries:
+Molex 90 mAh, Blue Spark 30 mAh, Zinergy 12 mAh, and Blue Spark
+10 mAh.  Capacity is stored as energy at the battery's nominal voltage
+(the paper's budget arithmetic: "30 mA x 3.6 ks x 1 V" = 108 J), and
+each battery also has a maximum continuous output power -- several
+printed batteries cannot source more than ~30 mW, which is why
+pre-existing cores "require multiple batteries to run at nominal
+frequency".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import mAh, mW
+
+
+@dataclass(frozen=True)
+class PrintedBattery:
+    """One printed battery.
+
+    Attributes:
+        name: Product name.
+        capacity_mah: Rated capacity in mAh.
+        voltage: Nominal output voltage in volts.
+        max_power: Maximum continuous output power in watts.
+    """
+
+    name: str
+    capacity_mah: float
+    voltage: float
+    max_power: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage <= 0 or self.max_power <= 0:
+            raise ConfigError(f"battery {self.name}: non-positive rating")
+
+    @property
+    def energy(self) -> float:
+        """Stored energy in joules at the nominal voltage."""
+        return mAh(self.capacity_mah, self.voltage)
+
+    def can_power(self, load_watts: float) -> bool:
+        """Whether one battery can source ``load_watts`` continuously."""
+        return load_watts <= self.max_power
+
+    def batteries_needed(self, load_watts: float) -> int:
+        """How many batteries in parallel the load needs."""
+        count = 1
+        while load_watts > count * self.max_power:
+            count += 1
+        return count
+
+
+#: The four batteries of Figures 4-5 (max power per vendor datasheet
+#: class: thin-film printed cells top out around 30 mW).
+PRINTED_BATTERIES: tuple[PrintedBattery, ...] = (
+    PrintedBattery("Molex 90 mAh", 90.0, 1.5, mW(45)),
+    PrintedBattery("Blue Spark 30 mAh", 30.0, 1.5, mW(30)),
+    PrintedBattery("Zinergy 12 mAh", 12.0, 1.5, mW(15)),
+    PrintedBattery("Blue Spark 10 mAh", 10.0, 1.5, mW(10)),
+)
+
+
+def battery_by_name(name: str) -> PrintedBattery:
+    """Look up one of the catalogue batteries by (partial) name."""
+    for battery in PRINTED_BATTERIES:
+        if name.lower() in battery.name.lower():
+            return battery
+    raise ConfigError(f"no printed battery matching {name!r}")
+
+
+#: The paper's reference budget: a 30 mAh battery at 1 V stores 108 J.
+REFERENCE_BUDGET_J = mAh(30, voltage=1.0)

@@ -1,0 +1,68 @@
+"""Duty-cycled lifetime model (Figures 4 and 5).
+
+A sensing application wakes the processor for a fixed active window
+once per duty-cycle period; between activations the processor is power
+gated (printed systems have no appreciable retention cost -- state
+lives in the non-volatile ROM and the tiny RAM can be re-initialized).
+Lifetime is then simply ``energy / average_power`` where average power
+scales with the duty fraction.
+
+The paper's Figure 4/5 x-axis is the duty-cycle *period* with a fixed
+active window, sweeping effective duty fractions from 1.0 (continuous)
+down to tiny values; at duty 1.0 every pre-existing core drains every
+printed battery in under ~2 hours.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.power.battery import PrintedBattery
+from repro.units import to_hours
+
+
+def average_power(active_power: float, duty_fraction: float, idle_power: float = 0.0) -> float:
+    """Average power at a given duty fraction.
+
+    Args:
+        active_power: Power while the processor runs, in watts.
+        duty_fraction: Fraction of time active (0 < f <= 1).
+        idle_power: Power while gated (default 0).
+    """
+    if not 0.0 < duty_fraction <= 1.0:
+        raise ConfigError(f"duty fraction {duty_fraction} out of (0, 1]")
+    return active_power * duty_fraction + idle_power * (1.0 - duty_fraction)
+
+
+def lifetime_hours(
+    battery: PrintedBattery,
+    active_power: float,
+    duty_fraction: float = 1.0,
+    idle_power: float = 0.0,
+) -> float:
+    """Battery lifetime in hours at the given duty cycle."""
+    power = average_power(active_power, duty_fraction, idle_power)
+    if power <= 0:
+        return float("inf")
+    return to_hours(battery.energy / power)
+
+
+def lifetime_curve(
+    battery: PrintedBattery,
+    active_power: float,
+    duty_fractions: Sequence[float],
+    idle_power: float = 0.0,
+) -> list[tuple[float, float]]:
+    """(duty fraction, lifetime hours) series for one battery/core."""
+    return [
+        (fraction, lifetime_hours(battery, active_power, fraction, idle_power))
+        for fraction in duty_fractions
+    ]
+
+
+def max_iterations(battery_energy: float, energy_per_iteration: float) -> int:
+    """How many program iterations a battery can fund (Table 8)."""
+    if energy_per_iteration <= 0:
+        raise ConfigError("iteration energy must be positive")
+    return int(battery_energy // energy_per_iteration)

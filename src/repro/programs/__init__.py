@@ -1,0 +1,28 @@
+"""TP-ISA benchmark kernels (Section 8).
+
+The paper evaluates seven kernels -- multiply, divide, insertion sort,
+integer average, threshold, CRC8, and a decision tree -- in 8-, 16-,
+and 32-bit data versions, each runnable on any core whose datawidth
+divides the kernel width (narrower cores use the carry-chained
+*data-coalescing* instructions to operate on multi-word values).
+
+:mod:`repro.programs.builder` provides the code generator
+infrastructure; each kernel module exposes a ``build(kernel_width,
+core_width, ...)`` function returning a ready-to-run
+:class:`~repro.isa.program.Program`; :mod:`repro.programs.suite`
+registers them all for the evaluation harness.
+"""
+
+from repro.programs.suite import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    build_benchmark,
+    runnable_configurations,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "build_benchmark",
+    "runnable_configurations",
+]

@@ -1,0 +1,340 @@
+"""Kernel code-generation infrastructure.
+
+:class:`KernelBuilder` is a small macro-assembler used by the benchmark
+kernels: it allocates data-memory variables, tracks label fixups, and
+-- crucially -- emits *multi-word* operations built from the ISA's
+data-coalescing instructions (ADC, SBB, RLC, RRC), which is how a
+kernel written for 32-bit data runs on an 8-bit core (Section 8).
+
+Multi-word values are stored little-endian: word 0 is the least
+significant.  Multi-word sequences leave the carry flag holding the
+final carry/borrow of the chain, mirroring single-word flag semantics,
+so kernels can branch on ``C`` after a multi-word subtract exactly as
+after a single-word ``CMP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa.program import Program
+from repro.isa.spec import Instruction, MemOperand, Mnemonic
+
+
+@dataclass(frozen=True)
+class Var:
+    """A data-memory variable handle.
+
+    Attributes:
+        name: Symbolic name.
+        base: First data-memory address.
+        words: Words per element (kernel width / core width).
+        elements: Element count (1 for scalars).
+    """
+
+    name: str
+    base: int
+    words: int
+    elements: int = 1
+
+    def word(self, index: int = 0, element: int = 0) -> MemOperand:
+        """Operand for word ``index`` of ``element`` (absolute)."""
+        return MemOperand(self.base + element * self.words + index)
+
+    def element_address(self, element: int) -> int:
+        return self.base + element * self.words
+
+
+@dataclass
+class _Fixup:
+    instruction_index: int
+    label: str
+
+
+class KernelBuilder:
+    """Builds one benchmark kernel as straight TP-ISA instructions.
+
+    Args:
+        name: Program name.
+        kernel_width: Bit width of the data the kernel operates on.
+        core_width: Datawidth of the core the program targets; must
+            divide ``kernel_width``.
+        num_bars: BAR configuration to target.
+    """
+
+    def __init__(
+        self, name: str, kernel_width: int, core_width: int, num_bars: int = 2
+    ) -> None:
+        if kernel_width % core_width == 0:
+            words_per_value = kernel_width // core_width
+        elif core_width % kernel_width == 0:
+            # A wider core holds a narrow kernel value in one word.
+            words_per_value = 1
+        else:
+            raise ProgramError(
+                f"{name}: kernel width {kernel_width} and core width "
+                f"{core_width} are incompatible"
+            )
+        self.name = name
+        self.kernel_width = kernel_width
+        self.core_width = core_width
+        self.num_bars = num_bars
+        self.words_per_value = words_per_value
+        self.instructions: list[Instruction] = []
+        self.data: dict[int, int] = {}
+        self.symbols: dict[str, int] = {}
+        self._next_address = 0
+        self._labels: dict[str, int] = {}
+        self._fixups: list[_Fixup] = []
+        self._mask = (1 << core_width) - 1
+        # Common scratch allocated lazily.
+        self._zero: Var | None = None
+        self._one: Var | None = None
+
+    # -- data allocation ------------------------------------------------------
+
+    def alloc(self, name: str, elements: int = 1, init=None, scalar: bool = False) -> Var:
+        """Allocate a variable.
+
+        Args:
+            name: Symbol name.
+            elements: Number of elements.
+            init: Optional initial value(s); multi-word values are
+                split little-endian automatically.
+            scalar: If true the variable is one core-width word per
+                element (loop counters, pointers) instead of one
+                kernel-width value.
+        """
+        if name in self.symbols:
+            raise ProgramError(f"{self.name}: duplicate variable {name!r}")
+        words = 1 if scalar else self.words_per_value
+        variable = Var(name, self._next_address, words, elements)
+        self.symbols[name] = variable.base
+        self._next_address += words * elements
+        if init is not None:
+            values = init if isinstance(init, (list, tuple)) else [init]
+            for element, value in enumerate(values):
+                self.set_initial(variable, value, element)
+        return variable
+
+    @property
+    def value_bits(self) -> int:
+        """Bits in one stored value: ``words_per_value * core_width``.
+
+        Equals the kernel width on narrow cores and the core width on
+        wide ones -- the modulus at which kernel arithmetic wraps.
+        """
+        return self.words_per_value * self.core_width
+
+    def alloc_counter(self, name: str, value: int) -> Var:
+        """Allocate a loop counter wide enough to hold ``value``.
+
+        A 4-bit core cannot hold the number 32 in one word, so deep
+        loop counts become little multi-word values; pair with
+        :meth:`dec_and_branch_nonzero`.
+        """
+        bits = max(1, value.bit_length())
+        words = -(-bits // self.core_width)
+        if name in self.symbols:
+            raise ProgramError(f"{self.name}: duplicate variable {name!r}")
+        variable = Var(name, self._next_address, words, 1)
+        self.symbols[name] = variable.base
+        self._next_address += words
+        self.set_initial(variable, value)
+        return variable
+
+    def dec_and_branch_nonzero(self, counter: Var, label: str) -> None:
+        """``counter -= 1; if counter != 0 goto label``.
+
+        Single-word counters use the SUB result's Z flag directly;
+        multi-word counters borrow-chain the decrement and OR the words
+        into a scratch to derive a whole-value zero test.
+        """
+        one = self.one
+        self.op(Mnemonic.SUB, counter.word(0), one.word(0))
+        if counter.words == 1:
+            self.branch(Mnemonic.BRN, label, mask=4)
+            return
+        zero = self.zero
+        for index in range(1, counter.words):
+            self.op(Mnemonic.SBB, counter.word(index), zero.word(0))
+        scratch = self._counter_scratch()
+        self.op(Mnemonic.XOR, scratch.word(0), scratch.word(0))
+        for index in range(counter.words):
+            self.op(Mnemonic.OR, scratch.word(0), counter.word(index))
+        self.branch(Mnemonic.BRN, label, mask=4)
+
+    def _counter_scratch(self) -> Var:
+        if "_ztest" not in self.symbols:
+            self._ztest = self.alloc("_ztest", scalar=True, init=0)
+        return self._ztest
+
+    def set_initial(self, variable: Var, value: int, element: int = 0) -> None:
+        """Set the initial data-memory image for one element."""
+        limit_bits = variable.words * self.core_width
+        if not 0 <= value < (1 << limit_bits):
+            raise ProgramError(
+                f"{self.name}: initial {value} exceeds {limit_bits} bits for "
+                f"{variable.name}"
+            )
+        for index in range(variable.words):
+            word = (value >> (index * self.core_width)) & self._mask
+            self.data[variable.element_address(element) + index] = word
+
+    @property
+    def zero(self) -> Var:
+        """A scratch word holding constant 0 (carry-clearing idiom)."""
+        if self._zero is None:
+            self._zero = self.alloc("_zero", init=0, scalar=True)
+        return self._zero
+
+    @property
+    def one(self) -> Var:
+        """A scratch word holding constant 1 (counter idiom)."""
+        if self._one is None:
+            self._one = self.alloc("_one", init=1, scalar=True)
+        return self._one
+
+    # -- labels & emission ------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current instruction address."""
+        if name in self._labels:
+            raise ProgramError(f"{self.name}: duplicate label {name!r}")
+        self._labels[name] = len(self.instructions)
+
+    def emit(self, mnemonic: Mnemonic, **fields) -> None:
+        """Emit one raw instruction."""
+        self.instructions.append(Instruction(mnemonic, **fields))
+
+    def branch(self, mnemonic: Mnemonic, label: str, mask: int) -> None:
+        """Emit a branch to ``label`` (forward references fixed later)."""
+        self._fixups.append(_Fixup(len(self.instructions), label))
+        self.instructions.append(Instruction(mnemonic, target=0, mask=mask))
+
+    def jump(self, label: str) -> None:
+        """Unconditional jump (BRN with empty mask)."""
+        self.branch(Mnemonic.BRN, label, mask=0)
+
+    def halt(self) -> None:
+        """Unconditional branch-to-self."""
+        here = len(self.instructions)
+        self.instructions.append(Instruction(Mnemonic.BRN, target=here, mask=0))
+
+    def nop(self) -> None:
+        """Branch-never (used to pad the decision tree to 256 words)."""
+        here = len(self.instructions)
+        self.instructions.append(Instruction(Mnemonic.BR, target=here, mask=0))
+
+    # -- single-word conveniences -------------------------------------------------
+
+    def op(self, mnemonic: Mnemonic, dst: MemOperand, src: MemOperand) -> None:
+        self.emit(mnemonic, dst=dst, src=src)
+
+    def store(self, dst: MemOperand, imm: int) -> None:
+        if imm > self._mask:
+            raise ProgramError(
+                f"{self.name}: STORE immediate {imm} exceeds core width"
+            )
+        self.emit(Mnemonic.STORE, dst=dst, imm=imm)
+
+    def setbar(self, bar: int, pointer: Var) -> None:
+        self.emit(Mnemonic.SETBAR, bar_index=bar, src=pointer.word(0))
+
+    # -- multi-word macros -------------------------------------------------------
+
+    def mw_add(self, dst: Var, src: Var, dst_el: int = 0, src_el: int = 0) -> None:
+        """``dst += src`` over all words; C holds the final carry."""
+        for index in range(dst.words):
+            mnemonic = Mnemonic.ADD if index == 0 else Mnemonic.ADC
+            self.op(mnemonic, dst.word(index, dst_el), src.word(index, src_el))
+
+    def mw_sub(self, dst: Var, src: Var, dst_el: int = 0, src_el: int = 0) -> None:
+        """``dst -= src``; C = 1 afterwards iff no borrow (dst >= src)."""
+        for index in range(dst.words):
+            mnemonic = Mnemonic.SUB if index == 0 else Mnemonic.SBB
+            self.op(mnemonic, dst.word(index, dst_el), src.word(index, src_el))
+
+    def mw_copy(self, dst: Var, src: Var, dst_el: int = 0, src_el: int = 0) -> None:
+        """``dst = src`` via the XOR/OR idiom (clobbers flags)."""
+        for index in range(dst.words):
+            self.op(Mnemonic.XOR, dst.word(index, dst_el), dst.word(index, dst_el))
+            self.op(Mnemonic.OR, dst.word(index, dst_el), src.word(index, src_el))
+
+    def mw_zero(self, dst: Var, element: int = 0) -> None:
+        """``dst = 0`` via XOR with itself."""
+        for index in range(dst.words):
+            self.op(Mnemonic.XOR, dst.word(index, element), dst.word(index, element))
+
+    def clear_carry(self) -> None:
+        """Clear C (logic ops reset it): ``TEST _zero, _zero``."""
+        zero = self.zero
+        self.op(Mnemonic.TEST, zero.word(0), zero.word(0))
+
+    def mw_shift_left(self, var: Var, element: int = 0) -> None:
+        """Logical shift left by one; C = the bit shifted out."""
+        self.clear_carry()
+        for index in range(var.words):
+            self.op(Mnemonic.RLC, var.word(index, element), var.word(index, element))
+
+    def mw_shift_right(self, var: Var, element: int = 0) -> None:
+        """Logical shift right by one; C = the bit shifted out."""
+        self.clear_carry()
+        for index in reversed(range(var.words)):
+            self.op(Mnemonic.RRC, var.word(index, element), var.word(index, element))
+
+    def mw_rlc(self, var: Var, element: int = 0) -> None:
+        """Rotate-through-carry left without pre-clearing (chaining)."""
+        for index in range(var.words):
+            self.op(Mnemonic.RLC, var.word(index, element), var.word(index, element))
+
+    # -- finalization ---------------------------------------------------------------
+
+    def finish(self, description: str = "") -> Program:
+        """Resolve label fixups and package the program."""
+        for fixup in self._fixups:
+            if fixup.label not in self._labels:
+                raise ProgramError(f"{self.name}: undefined label {fixup.label!r}")
+            old = self.instructions[fixup.instruction_index]
+            self.instructions[fixup.instruction_index] = Instruction(
+                old.mnemonic, target=self._labels[fixup.label], mask=old.mask
+            )
+        return Program(
+            name=self.name,
+            instructions=self.instructions,
+            datawidth=self.core_width,
+            num_bars=self.num_bars,
+            data=dict(self.data),
+            symbols=dict(self.symbols),
+            description=description,
+        )
+
+
+def pack_value(value: int, words: int, width: int) -> list[int]:
+    """Split ``value`` into ``words`` little-endian ``width``-bit words."""
+    mask = (1 << width) - 1
+    return [(value >> (i * width)) & mask for i in range(words)]
+
+
+def unpack_words(words: list[int], width: int) -> int:
+    """Inverse of :func:`pack_value`."""
+    value = 0
+    for index, word in enumerate(words):
+        value |= word << (index * width)
+    return value
+
+
+def read_value(machine, variable: Var, element: int = 0) -> int:
+    """Read a (possibly multi-word) value from a machine's memory."""
+    words = [
+        machine.peek(variable.element_address(element) + index)
+        for index in range(variable.words)
+    ]
+    return unpack_words(words, machine.width)
+
+
+def write_value(machine, variable: Var, value: int, element: int = 0) -> None:
+    """Write a (possibly multi-word) value into a machine's memory."""
+    for index, word in enumerate(pack_value(value, variable.words, machine.width)):
+        machine.load(variable.element_address(element) + index, word)

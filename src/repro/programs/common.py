@@ -1,0 +1,36 @@
+"""Shared helpers for benchmark kernels: deterministic input data."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Number of array elements the paper's array kernels process.
+ARRAY_ELEMENTS = 16
+
+#: Bytes in the CRC8 input stream.
+CRC_STREAM_BYTES = 16
+
+
+def deterministic_values(seed: int, count: int, bits: int) -> list[int]:
+    """``count`` reproducible pseudo-random ``bits``-wide values.
+
+    A fixed linear congruential generator keeps benchmark inputs
+    identical across runs and platforms (the repository has no use for
+    true randomness -- the paper's energy numbers are per-iteration
+    averages over fixed inputs).
+    """
+    mask = (1 << bits) - 1
+    state = seed & 0x7FFFFFFF or 1
+    values = []
+    for _ in range(count):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        values.append((state >> 8) & mask)
+    return values
+
+
+def lcg_stream(seed: int) -> Iterator[int]:
+    """Endless deterministic 31-bit LCG stream."""
+    state = seed & 0x7FFFFFFF or 1
+    while True:
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        yield state

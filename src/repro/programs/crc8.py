@@ -1,0 +1,84 @@
+"""CRC-8 kernel over a 16-byte stream (polynomial 0x07, CRC-8/ATM).
+
+The bitwise update exploits the rotate instruction's carry output:
+``RL`` leaves the old MSB in C and the rotated value has the old MSB in
+its LSB, so ``(crc << 1) ^ 0x07`` equals ``rotate ^ 0x06`` when the MSB
+was set (the rotated-in LSB already supplies the polynomial's low bit)
+and plain ``rotate`` when it was clear.
+
+The kernel exists only at 8-bit data width (as in the paper's Table 8,
+which reports CRC8 in the 8-bit column alone), but runs on any core of
+width >= 8 ... in practice the 8-bit core, since the byte stream is
+byte-addressed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.isa.program import Program
+from repro.isa.spec import MemOperand, Mnemonic
+from repro.programs.builder import KernelBuilder
+from repro.programs.common import CRC_STREAM_BYTES, deterministic_values
+
+#: The CRC-8 generator polynomial (x^8 + x^2 + x + 1).
+POLYNOMIAL = 0x07
+
+
+def default_inputs() -> list[int]:
+    """Deterministic default 16-byte stream."""
+    return deterministic_values(seed=0xC8, count=CRC_STREAM_BYTES, bits=8)
+
+
+def build(
+    kernel_width: int = 8,
+    core_width: int = 8,
+    num_bars: int = 2,
+    stream: list[int] | None = None,
+) -> Program:
+    """Build the CRC-8 kernel; the checksum lands in ``crc``."""
+    if kernel_width != 8 or core_width != 8:
+        raise ProgramError("crc8 is defined for 8-bit data on 8-bit cores")
+    if num_bars < 2:
+        raise ProgramError("crc8 needs at least one settable BAR")
+    stream = default_inputs() if stream is None else stream
+
+    builder = KernelBuilder("crc8", kernel_width, core_width, num_bars)
+    data = builder.alloc("stream", elements=len(stream), init=stream)
+    crc = builder.alloc("crc", init=0)
+    ptr = builder.alloc("ptr", scalar=True, init=data.base)
+    bytes_left = builder.alloc("bytes_left", scalar=True, init=len(stream))
+    bits = builder.alloc("bits", scalar=True)
+    poly_low = builder.alloc("poly_low", scalar=True, init=POLYNOMIAL & 0xFE)
+    one = builder.one
+
+    builder.label("byte_loop")
+    builder.setbar(1, ptr)
+    builder.op(Mnemonic.XOR, crc.word(0), MemOperand(0, bar=1))
+    builder.store(bits.word(0), 8)
+    builder.label("bit_loop")
+    builder.op(Mnemonic.RL, crc.word(0), crc.word(0))  # C = old MSB
+    builder.branch(Mnemonic.BRN, "no_poly", mask=2)  # skip when C == 0
+    builder.op(Mnemonic.XOR, crc.word(0), poly_low.word(0))
+    builder.label("no_poly")
+    builder.op(Mnemonic.SUB, bits.word(0), one.word(0))
+    builder.branch(Mnemonic.BRN, "bit_loop", mask=4)
+    builder.op(Mnemonic.ADD, ptr.word(0), one.word(0))
+    builder.op(Mnemonic.SUB, bytes_left.word(0), one.word(0))
+    builder.branch(Mnemonic.BRN, "byte_loop", mask=4)
+    builder.halt()
+    return builder.finish(
+        description=f"CRC-8/ATM over {len(stream)} bytes"
+    )
+
+
+def reference(stream: list[int]) -> int:
+    """Golden model: bitwise CRC-8 with polynomial 0x07."""
+    crc = 0
+    for byte in stream:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ POLYNOMIAL) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc

@@ -1,0 +1,88 @@
+"""Restoring division kernel.
+
+Computes ``dividend / divisor`` (quotient and remainder) by classic
+bit-serial restoring division: shift the remainder:dividend pair left
+one bit at a time, trial-subtract the divisor, and restore on borrow.
+Multi-word shifts chain RLC across the dividend *and* remainder words
+in a single carry chain, demonstrating cross-variable coalescing.
+
+Division by zero leaves quotient = all-ones and remainder = dividend's
+bits shifted through, matching the hardware-style behaviour of the
+restoring algorithm (no trap support in TP-ISA).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.isa.spec import Mnemonic
+from repro.programs.builder import KernelBuilder
+from repro.programs.common import deterministic_values
+
+#: Default operand values per kernel width (deterministic, divisor > 0).
+DEFAULT_INPUTS = {
+    width: (
+        deterministic_values(seed=0xD0 + width, count=1, bits=width)[0],
+        deterministic_values(seed=0xD7 + width, count=1, bits=max(4, width // 2))[0]
+        or 3,
+    )
+    for width in (8, 16, 32)
+}
+
+
+def build(
+    kernel_width: int,
+    core_width: int,
+    num_bars: int = 2,
+    dividend: int | None = None,
+    divisor: int | None = None,
+) -> Program:
+    """Build the divide kernel.
+
+    Results land in ``quotient`` and ``remainder``.
+    """
+    default_n, default_d = DEFAULT_INPUTS[kernel_width]
+    dividend = default_n if dividend is None else dividend
+    divisor = default_d if divisor is None else divisor
+
+    builder = KernelBuilder(f"div{kernel_width}", kernel_width, core_width, num_bars)
+    n = builder.alloc("dividend", init=dividend)
+    d = builder.alloc("divisor", init=divisor)
+    quotient = builder.alloc("quotient", init=0)
+    remainder = builder.alloc("remainder", init=0)
+    # The shift chain spans full stored words, so on a core wider than
+    # the kernel the bit-serial loop must cover the whole word.
+    count = builder.alloc_counter("count", builder.value_bits)
+    one = builder.one
+
+    builder.label("loop")
+    # Shift the (remainder : dividend) pair left by one: one carry
+    # chain across both variables, MSB of the dividend entering the
+    # remainder's LSB.
+    builder.clear_carry()
+    builder.mw_rlc(n)
+    builder.mw_rlc(remainder)
+    # Trial subtract; C == 1 afterwards means no borrow (rem >= div).
+    builder.mw_sub(remainder, d)
+    builder.branch(Mnemonic.BR, "accept", mask=2)  # taken when C == 1
+    builder.mw_add(remainder, d)  # restore
+    builder.jump("shift_q")
+    builder.label("accept")
+    # Shift a 1 into the quotient: shift left, then set the LSB.
+    builder.mw_shift_left(quotient)
+    builder.op(Mnemonic.ADD, quotient.word(0), one.word(0))
+    builder.jump("next")
+    builder.label("shift_q")
+    builder.mw_shift_left(quotient)
+    builder.label("next")
+    builder.dec_and_branch_nonzero(count, "loop")
+    builder.halt()
+    return builder.finish(
+        description=f"{kernel_width}-bit restoring division on a "
+        f"{core_width}-bit core"
+    )
+
+
+def reference(dividend: int, divisor: int, kernel_width: int) -> tuple[int, int]:
+    """Golden model: (quotient, remainder); divisor must be nonzero."""
+    mask = (1 << kernel_width) - 1
+    return (dividend // divisor) & mask, (dividend % divisor) & mask

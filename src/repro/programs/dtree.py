@@ -1,0 +1,136 @@
+"""Decision-tree kernel (the paper's new benchmark).
+
+A binary classification tree over eight sensor-input words.  Node
+thresholds are *hard-coded into instructions* (STORE immediate into a
+scratch word right before the CMP), so -- exactly as the paper notes --
+they occupy no data memory.  The program is generated to fill all 256
+instruction words and performs no data coalescing, which is why the
+W-bit version only runs on W-bit cores.
+
+Tree shape and thresholds are deterministic (seeded LCG), so energy
+and latency numbers are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProgramError
+from repro.isa.program import MAX_INSTRUCTIONS, Program
+from repro.isa.spec import Mnemonic
+from repro.programs.builder import KernelBuilder
+from repro.programs.common import deterministic_values, lcg_stream
+
+#: Sensor inputs the tree reads.
+NUM_INPUTS = 8
+
+#: Internal-node count chosen so 3*I + 2*(I+1) + 1 = 253 and three
+#: padding NOPs bring the program to exactly 256 words.
+INTERNAL_NODES = 50
+
+
+@dataclass(frozen=True)
+class _Node:
+    index: int
+    feature: int
+    threshold: int
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    leaf_class: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _build_tree(internal_nodes: int) -> _Node:
+    """A breadth-first-complete tree with deterministic parameters."""
+    rng = lcg_stream(seed=0xDEC1)
+
+    def make(index: int) -> _Node:
+        if index < internal_nodes:
+            return _Node(
+                index=index,
+                feature=next(rng) % NUM_INPUTS,
+                threshold=next(rng) % 256,
+                left=make(2 * index + 1),
+                right=make(2 * index + 2),
+            )
+        return _Node(
+            index=index, feature=0, threshold=0, leaf_class=next(rng) % 16
+        )
+
+    return make(0)
+
+
+def default_inputs(kernel_width: int) -> list[int]:
+    """Deterministic default sensor inputs (8-bit range at any width)."""
+    # Inputs stay in [0, 255] so 8-bit thresholds partition them at
+    # every width (thresholds are STORE immediates: 8 bits max).
+    return deterministic_values(seed=0xD1 + kernel_width, count=NUM_INPUTS, bits=8)
+
+
+def build(
+    kernel_width: int,
+    core_width: int,
+    num_bars: int = 2,
+    inputs: list[int] | None = None,
+) -> Program:
+    """Build the decision-tree kernel; the class lands in ``result``.
+
+    Raises:
+        ProgramError: If ``core_width != kernel_width`` -- the tree
+            performs no coalescing by design (Section 8).
+    """
+    if core_width != kernel_width:
+        raise ProgramError(
+            "dTree performs no data coalescing: core width must equal "
+            f"kernel width (got {core_width} vs {kernel_width})"
+        )
+    inputs = default_inputs(kernel_width) if inputs is None else inputs
+    if len(inputs) != NUM_INPUTS:
+        raise ProgramError(f"dTree needs exactly {NUM_INPUTS} inputs")
+
+    builder = KernelBuilder(
+        f"dTree{kernel_width}", kernel_width, core_width, num_bars
+    )
+    sensors = builder.alloc("inputs", elements=NUM_INPUTS, init=inputs)
+    result = builder.alloc("result", init=0)
+    scratch = builder.alloc("scratch", scalar=True)
+
+    tree = _build_tree(INTERNAL_NODES)
+
+    def emit(node: _Node) -> None:
+        if node.is_leaf:
+            builder.store(result.word(0), node.leaf_class)
+            builder.jump("end")
+            return
+        builder.store(scratch.word(0), node.threshold)
+        builder.op(Mnemonic.CMP, sensors.word(0, element=node.feature), scratch.word(0))
+        builder.branch(Mnemonic.BR, f"right_{node.index}", mask=2)  # input >= t
+        emit(node.left)
+        builder.label(f"right_{node.index}")
+        emit(node.right)
+
+    emit(tree)
+    builder.label("end")
+    while len(builder.instructions) < MAX_INSTRUCTIONS - 1:
+        builder.nop()
+    builder.halt()
+    program = builder.finish(
+        description=f"{INTERNAL_NODES}-node decision tree over "
+        f"{NUM_INPUTS} sensor inputs ({kernel_width}-bit, 256 words)"
+    )
+    if program.static_size != MAX_INSTRUCTIONS:
+        raise ProgramError(
+            f"dTree generated {program.static_size} words, expected 256"
+        )
+    return program
+
+
+def reference(inputs: list[int]) -> int:
+    """Golden model: walk the same deterministic tree in Python."""
+    node = _build_tree(INTERNAL_NODES)
+    while not node.is_leaf:
+        node = node.right if inputs[node.feature] >= node.threshold else node.left
+    return node.leaf_class

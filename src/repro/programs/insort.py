@@ -1,0 +1,101 @@
+"""Insertion sort over a 16-element array.
+
+The loop kernel that motivates TP-ISA's pointer-loading SETBAR: the
+inner loop walks an element toward its place by pointing BAR 1 at
+``arr[j-1]`` -- since adjacent elements sit a fixed ``words_per_value``
+apart, one BAR reaches both ``arr[j-1]`` (offsets ``0..w-1``) and
+``arr[j]`` (offsets ``w..2w-1``).  A compare is a scratch-copy plus a
+multi-word subtract, branching on the final borrow.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.isa.program import Program
+from repro.isa.spec import MemOperand, Mnemonic
+from repro.programs.builder import KernelBuilder, Var
+from repro.programs.common import ARRAY_ELEMENTS, deterministic_values
+
+#: Default array contents per kernel width (deterministic).
+def default_inputs(kernel_width: int) -> list[int]:
+    """Deterministic default array contents for one kernel width."""
+    return deterministic_values(
+        seed=0x50 + kernel_width, count=ARRAY_ELEMENTS, bits=kernel_width
+    )
+
+
+def build(
+    kernel_width: int,
+    core_width: int,
+    num_bars: int = 2,
+    values: list[int] | None = None,
+) -> Program:
+    """Build the insertion-sort kernel (sorts ``arr`` ascending)."""
+    if num_bars < 2:
+        raise ProgramError("insort needs at least one settable BAR")
+    values = default_inputs(kernel_width) if values is None else values
+
+    builder = KernelBuilder(
+        f"inSort{kernel_width}", kernel_width, core_width, num_bars
+    )
+    wpv = builder.words_per_value
+    arr = builder.alloc("arr", elements=len(values), init=values)
+    scratch = builder.alloc("scratch")
+    # Pointers/counters are plain core-width scalars.
+    ptr = builder.alloc("ptr", scalar=True)          # address of arr[j-1]
+    outer_ptr = builder.alloc("outer_ptr", scalar=True)
+    i = builder.alloc("i", scalar=True, init=1)
+    j = builder.alloc("j", scalar=True)
+    step = builder.alloc("step", scalar=True, init=wpv)
+    limit = builder.alloc("limit", scalar=True, init=ARRAY_ELEMENTS)
+    one = builder.one
+
+    builder.store(outer_ptr.word(0), arr.base)  # arr[i-1] for i = 1
+
+    def bar_word(index: int) -> MemOperand:
+        return MemOperand(offset=index, bar=1)
+
+    builder.label("outer")
+    builder.mw_copy(j, i)
+    builder.mw_copy(ptr, outer_ptr)
+    builder.label("inner")
+    builder.setbar(1, ptr)
+    # scratch = arr[j]; scratch -= arr[j-1]; C==1 -> already ordered.
+    for word in range(wpv):
+        builder.op(Mnemonic.XOR, scratch.word(word), scratch.word(word))
+        builder.op(Mnemonic.OR, scratch.word(word), bar_word(wpv + word))
+    for word in range(wpv):
+        mnemonic = Mnemonic.SUB if word == 0 else Mnemonic.SBB
+        builder.op(mnemonic, scratch.word(word), bar_word(word))
+    builder.branch(Mnemonic.BR, "placed", mask=2)  # C==1: arr[j] >= arr[j-1]
+    # Swap arr[j-1] and arr[j]: scratch already holds arr[j]-arr[j-1]?
+    # No -- reload cleanly: scratch = arr[j]; arr[j] = arr[j-1];
+    # arr[j-1] = scratch.
+    for word in range(wpv):
+        builder.op(Mnemonic.XOR, scratch.word(word), scratch.word(word))
+        builder.op(Mnemonic.OR, scratch.word(word), bar_word(wpv + word))
+    for word in range(wpv):
+        builder.op(Mnemonic.XOR, bar_word(wpv + word), bar_word(wpv + word))
+        builder.op(Mnemonic.OR, bar_word(wpv + word), bar_word(word))
+    for word in range(wpv):
+        builder.op(Mnemonic.XOR, bar_word(word), bar_word(word))
+        builder.op(Mnemonic.OR, bar_word(word), scratch.word(word))
+    # Step down: j -= 1, ptr -= wpv; continue while j > 0.
+    builder.op(Mnemonic.SUB, ptr.word(0), step.word(0))
+    builder.op(Mnemonic.SUB, j.word(0), one.word(0))
+    builder.branch(Mnemonic.BRN, "inner", mask=4)  # while j != 0
+    builder.label("placed")
+    builder.op(Mnemonic.ADD, outer_ptr.word(0), step.word(0))
+    builder.op(Mnemonic.ADD, i.word(0), one.word(0))
+    builder.op(Mnemonic.CMP, i.word(0), limit.word(0))
+    builder.branch(Mnemonic.BRN, "outer", mask=2)  # while i < 16 (borrow)
+    builder.halt()
+    return builder.finish(
+        description=f"insertion sort of {len(values)} {kernel_width}-bit "
+        f"elements on a {core_width}-bit core"
+    )
+
+
+def reference(values: list[int]) -> list[int]:
+    """Golden model: the sorted array."""
+    return sorted(values)

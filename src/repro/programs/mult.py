@@ -1,0 +1,72 @@
+"""Shift-add multiply kernel.
+
+Computes the low ``kernel_width`` bits of ``a * b`` by the classic
+shift-add loop: each iteration shifts the multiplier right (the dropped
+bit lands in C), conditionally accumulates the multiplicand, then
+shifts the multiplicand left.  On cores narrower than the kernel width
+every shift/add is a carry-chained multi-word sequence -- this kernel
+is the paper's showcase for data coalescing.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.isa.spec import Mnemonic
+from repro.programs.builder import KernelBuilder
+from repro.programs.common import deterministic_values
+
+#: Default operand values per kernel width (deterministic).
+DEFAULT_INPUTS = {
+    width: tuple(deterministic_values(seed=0xA0 + width, count=2, bits=width))
+    for width in (8, 16, 32)
+}
+
+
+def build(
+    kernel_width: int,
+    core_width: int,
+    num_bars: int = 2,
+    a: int | None = None,
+    b: int | None = None,
+) -> Program:
+    """Build the multiply kernel.
+
+    Args:
+        kernel_width: Operand width in bits (8, 16, or 32).
+        core_width: Target core datawidth (must divide kernel width).
+        num_bars: BAR configuration (the kernel itself needs none).
+        a: Multiplicand (defaults to a deterministic input).
+        b: Multiplier (defaults to a deterministic input).
+
+    The product is left in the ``product`` variable (low
+    ``kernel_width`` bits, as in C unsigned multiplication).
+    """
+    default_a, default_b = DEFAULT_INPUTS[kernel_width]
+    a = default_a if a is None else a
+    b = default_b if b is None else b
+
+    builder = KernelBuilder(
+        f"mult{kernel_width}", kernel_width, core_width, num_bars
+    )
+    multiplicand = builder.alloc("multiplicand", init=a)
+    multiplier = builder.alloc("multiplier", init=b)
+    product = builder.alloc("product", init=0)
+    count = builder.alloc_counter("count", kernel_width)
+
+    builder.label("loop")
+    builder.mw_shift_right(multiplier)  # C = dropped multiplier LSB
+    builder.branch(Mnemonic.BRN, "skip_add", mask=2)  # skip when C == 0
+    builder.mw_add(product, multiplicand)
+    builder.label("skip_add")
+    builder.mw_shift_left(multiplicand)
+    builder.dec_and_branch_nonzero(count, "loop")
+    builder.halt()
+    return builder.finish(
+        description=f"{kernel_width}-bit shift-add multiply on a "
+        f"{core_width}-bit core"
+    )
+
+
+def reference(a: int, b: int, kernel_width: int) -> int:
+    """Golden model: low ``kernel_width`` bits of the product."""
+    return (a * b) & ((1 << kernel_width) - 1)

@@ -1,0 +1,110 @@
+"""Benchmark registry: which kernels run at which configurations.
+
+Mirrors the paper's Section 8 matrix: every kernel has 8-, 16-, and
+32-bit data versions (CRC8 is 8-bit only); a version runs on cores of
+equal width, on narrower cores via data coalescing, and on wider cores
+directly -- except the decision tree, which deliberately avoids
+coalescing and therefore only runs at its native width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ProgramError
+from repro.isa.program import Program
+from repro.programs import crc8, div, dtree, insort, intavg, mult, thold
+
+#: Core datawidths swept by the paper (Section 5.2).
+CORE_WIDTHS = (4, 8, 16, 32)
+
+#: Kernel data widths evaluated in Figure 8 / Table 8.
+KERNEL_WIDTHS = (8, 16, 32)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One kernel's registry entry.
+
+    Attributes:
+        name: Canonical benchmark name (paper spelling).
+        build: ``build(kernel_width, core_width, num_bars)`` factory.
+        kernel_widths: Data widths this kernel exists at.
+        min_core_width: Narrowest core that can run it (loop kernels
+            hold data-memory pointers in a single word, so they need
+            at least 8-bit words).
+        native_only: True when the kernel refuses data coalescing
+            (decision tree).
+        uses_bars: Whether the kernel needs a settable BAR.
+    """
+
+    name: str
+    build: Callable[..., Program]
+    kernel_widths: tuple[int, ...] = KERNEL_WIDTHS
+    min_core_width: int = 4
+    native_only: bool = False
+    uses_bars: bool = False
+
+    def supports(self, kernel_width: int, core_width: int) -> bool:
+        """Whether this kernel/core pairing is runnable."""
+        if kernel_width not in self.kernel_widths:
+            return False
+        if core_width < self.min_core_width:
+            return False
+        if self.native_only:
+            return core_width == kernel_width
+        return kernel_width % core_width == 0 or core_width % kernel_width == 0
+
+
+#: All seven paper benchmarks, keyed by canonical name.
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    "mult": BenchmarkSpec("mult", mult.build),
+    "div": BenchmarkSpec("div", div.build),
+    "inSort": BenchmarkSpec(
+        "inSort", insort.build, min_core_width=8, uses_bars=True
+    ),
+    "intAvg": BenchmarkSpec("intAvg", intavg.build),
+    "tHold": BenchmarkSpec(
+        "tHold", thold.build, min_core_width=8, uses_bars=True
+    ),
+    "crc8": BenchmarkSpec(
+        "crc8", crc8.build, kernel_widths=(8,), min_core_width=8,
+        native_only=True, uses_bars=True,
+    ),
+    "dTree": BenchmarkSpec(
+        "dTree", dtree.build, min_core_width=8, native_only=True
+    ),
+}
+
+
+def build_benchmark(
+    name: str, kernel_width: int, core_width: int, num_bars: int = 2
+) -> Program:
+    """Build one registered benchmark at one configuration.
+
+    Raises:
+        ProgramError: If the benchmark does not exist or the
+            configuration is unsupported.
+    """
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        raise ProgramError(f"unknown benchmark {name!r}")
+    if not spec.supports(kernel_width, core_width):
+        raise ProgramError(
+            f"{name}{kernel_width} does not run on a {core_width}-bit core"
+        )
+    return spec.build(kernel_width, core_width, num_bars)
+
+
+def runnable_configurations(name: str) -> list[tuple[int, int]]:
+    """All (kernel_width, core_width) pairs a benchmark supports."""
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        raise ProgramError(f"unknown benchmark {name!r}")
+    return [
+        (kernel_width, core_width)
+        for kernel_width in spec.kernel_widths
+        for core_width in CORE_WIDTHS
+        if spec.supports(kernel_width, core_width)
+    ]

@@ -1,0 +1,79 @@
+"""Threshold kernel: count array elements at or above a threshold.
+
+A BAR-indexed loop over the 16-element array; each iteration points
+BAR 1 at the current element, trial-subtracts the threshold into a
+scratch word, and bumps the count when no borrow occurred
+(element >= threshold).  The native-width form compares with a single
+CMP -- no scratch traffic at all.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.isa.program import Program
+from repro.isa.spec import MemOperand, Mnemonic
+from repro.programs.builder import KernelBuilder
+from repro.programs.common import ARRAY_ELEMENTS, deterministic_values
+
+
+def default_inputs(kernel_width: int) -> tuple[list[int], int]:
+    """Deterministic default (values, threshold) pair."""
+    values = deterministic_values(
+        seed=0x70 + kernel_width, count=ARRAY_ELEMENTS, bits=kernel_width
+    )
+    threshold = 1 << (kernel_width - 1)
+    return values, threshold
+
+
+def build(
+    kernel_width: int,
+    core_width: int,
+    num_bars: int = 2,
+    values: list[int] | None = None,
+    threshold: int | None = None,
+) -> Program:
+    """Build the threshold kernel; the count lands in ``count``."""
+    if num_bars < 2:
+        raise ProgramError("tHold needs at least one settable BAR")
+    default_values, default_threshold = default_inputs(kernel_width)
+    values = default_values if values is None else values
+    threshold = default_threshold if threshold is None else threshold
+
+    builder = KernelBuilder(
+        f"tHold{kernel_width}", kernel_width, core_width, num_bars
+    )
+    wpv = builder.words_per_value
+    arr = builder.alloc("arr", elements=len(values), init=values)
+    thresh = builder.alloc("threshold", init=threshold)
+    count = builder.alloc("count", init=0, scalar=True)
+    ptr = builder.alloc("ptr", scalar=True, init=arr.base)
+    remaining = builder.alloc("remaining", scalar=True, init=len(values))
+    step = builder.alloc("step", scalar=True, init=wpv)
+    scratch = builder.alloc("scratch") if wpv > 1 else None
+    one = builder.one
+
+    builder.label("loop")
+    builder.setbar(1, ptr)
+    if wpv == 1:
+        builder.op(Mnemonic.CMP, MemOperand(0, bar=1), thresh.word(0))
+    else:
+        for word in range(wpv):
+            builder.op(Mnemonic.XOR, scratch.word(word), scratch.word(word))
+            builder.op(Mnemonic.OR, scratch.word(word), MemOperand(word, bar=1))
+        builder.mw_sub(scratch, thresh)
+    builder.branch(Mnemonic.BRN, "below", mask=2)  # C == 0: element < thresh
+    builder.op(Mnemonic.ADD, count.word(0), one.word(0))
+    builder.label("below")
+    builder.op(Mnemonic.ADD, ptr.word(0), step.word(0))
+    builder.op(Mnemonic.SUB, remaining.word(0), one.word(0))
+    builder.branch(Mnemonic.BRN, "loop", mask=4)  # while remaining != 0
+    builder.halt()
+    return builder.finish(
+        description=f"count of {kernel_width}-bit elements >= threshold "
+        f"on a {core_width}-bit core"
+    )
+
+
+def reference(values: list[int], threshold: int) -> int:
+    """Golden model: elements at or above the threshold."""
+    return sum(1 for value in values if value >= threshold)

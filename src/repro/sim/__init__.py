@@ -1,0 +1,22 @@
+"""Instruction-set simulation of TP-ISA programs.
+
+:mod:`repro.sim.machine` executes programs functionally and collects
+the dynamic statistics (instruction counts, memory traffic, branch
+behaviour) that drive the application-level energy and execution-time
+models of Section 8.  :mod:`repro.sim.pipeline` converts those
+statistics into cycle counts for 1-, 2-, and 3-stage pipeline
+configurations using the paper's stall-on-hazard policy.
+"""
+
+from repro.sim.machine import ExecutionStats, Machine, RunResult
+from repro.sim.pipeline import PipelineModel, cycles_for
+from repro.sim.trace import FetchTrace
+
+__all__ = [
+    "ExecutionStats",
+    "Machine",
+    "RunResult",
+    "PipelineModel",
+    "cycles_for",
+    "FetchTrace",
+]

@@ -1,0 +1,343 @@
+"""Functional TP-ISA instruction-set simulator.
+
+The :class:`Machine` executes a :class:`~repro.isa.program.Program`
+with exact architectural semantics (modular arithmetic at the
+configured datawidth, carry-chained coalescing operations, BAR-relative
+addressing) and records the dynamic statistics the evaluation flow
+needs.  It also tracks the hazard events from which
+:mod:`repro.sim.pipeline` derives multi-stage cycle counts.
+
+Halting convention: a taken unconditional branch to its own address
+(the assembler's ``HALT``) stops execution, as does the PC running off
+the end of the program.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.isa.spec import Flag, Instruction, MemOperand, Mnemonic
+
+#: Safety valve for runaway programs.
+DEFAULT_MAX_STEPS = 5_000_000
+
+
+@dataclass
+class ExecutionStats:
+    """Dynamic statistics of one program run.
+
+    Attributes:
+        instructions: Dynamic instruction count.
+        fetches: Instruction-memory accesses (one per instruction).
+        memory_reads: Data-memory read accesses.
+        memory_writes: Data-memory write accesses.
+        branches: Dynamic branch count.
+        taken_branches: Branches that redirected the PC.
+        raw_hazards: Adjacent read-after-write address collisions
+            (instruction *i+1* reads an address *i* wrote) -- the
+            events that stall a 3-stage pipeline.
+        mnemonic_counts: Dynamic count per mnemonic.
+        touched_addresses: Set of data addresses read or written.
+    """
+
+    instructions: int = 0
+    fetches: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    read_phases: int = 0
+    write_phases: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    raw_hazards: int = 0
+    mnemonic_counts: Counter = field(default_factory=Counter)
+    touched_addresses: set = field(default_factory=set)
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.memory_reads + self.memory_writes
+
+    def data_words_used(self) -> int:
+        """Number of distinct data words the run touched."""
+        return len(self.touched_addresses)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Machine.run`."""
+
+    halted: bool
+    stats: ExecutionStats
+    final_pc: int
+
+
+class Machine:
+    """TP-ISA architectural simulator.
+
+    Args:
+        program: The program image to execute.
+        mem_size: Data-memory words available (defaults to the full
+            256-word architectural space).
+        num_bars: Number of base-address registers (defaults to the
+            program's declared configuration).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        mem_size: int = 256,
+        num_bars: int | None = None,
+        fetch_trace=None,
+    ) -> None:
+        if mem_size < 1 or mem_size > 256:
+            raise SimulationError(f"mem_size {mem_size} out of range (1..256)")
+        self.program = program
+        self.mem_size = mem_size
+        self.num_bars = num_bars if num_bars is not None else program.num_bars
+        if self.num_bars < 1:
+            raise SimulationError("need at least BAR[0]")
+        self.width = program.datawidth
+        self.mask = (1 << self.width) - 1
+        self.fetch_trace = fetch_trace
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the architectural reset state and reload data."""
+        self.pc = 0
+        self.flags = 0
+        self.bars = [0] * self.num_bars
+        self.memory = [0] * self.mem_size
+        for address, value in self.program.data.items():
+            if address >= self.mem_size:
+                raise SimulationError(
+                    f"initial data at {address} exceeds memory size {self.mem_size}"
+                )
+            self.memory[address] = value & self.mask
+        self.stats = ExecutionStats()
+        self.halted = False
+        self._last_write: int | None = None
+
+    # -- memory helpers ----------------------------------------------------
+
+    def effective_address(self, operand: MemOperand) -> int:
+        """BAR-relative address resolution (modulo the 8-bit space)."""
+        if operand.bar >= self.num_bars:
+            raise SimulationError(
+                f"operand uses BAR {operand.bar} but core has {self.num_bars}"
+            )
+        address = (self.bars[operand.bar] + operand.offset) & 0xFF
+        if address >= self.mem_size:
+            raise SimulationError(
+                f"effective address {address} exceeds memory size {self.mem_size}"
+            )
+        return address
+
+    def _read(self, operand: MemOperand) -> tuple[int, int]:
+        address = self.effective_address(operand)
+        self.stats.memory_reads += 1
+        self.stats.touched_addresses.add(address)
+        return self.memory[address], address
+
+    def _write(self, address: int, value: int) -> None:
+        self.memory[address] = value & self.mask
+        self.stats.memory_writes += 1
+        self.stats.touched_addresses.add(address)
+
+    def load(self, symbol_or_address, value: int) -> None:
+        """Poke a data word (symbol name or address) -- harness helper."""
+        address = (
+            self.program.address_of(symbol_or_address)
+            if isinstance(symbol_or_address, str)
+            else symbol_or_address
+        )
+        self.memory[address] = value & self.mask
+
+    def peek(self, symbol_or_address) -> int:
+        """Read a data word (symbol name or address) -- harness helper."""
+        address = (
+            self.program.address_of(symbol_or_address)
+            if isinstance(symbol_or_address, str)
+            else symbol_or_address
+        )
+        return self.memory[address]
+
+    # -- flag helpers -----------------------------------------------------------
+
+    def _set_result_flags(self, result: int, carry: int | None, overflow: int | None) -> None:
+        flags = 0
+        if result >> (self.width - 1):
+            flags |= Flag.S
+        if result == 0:
+            flags |= Flag.Z
+        if carry:
+            flags |= Flag.C
+        if overflow:
+            flags |= Flag.V
+        self.flags = int(flags)
+
+    @property
+    def carry(self) -> int:
+        return 1 if self.flags & Flag.C else 0
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction (no-op once halted)."""
+        if self.halted:
+            return
+        if self.pc >= len(self.program.instructions):
+            self.halted = True
+            return
+        instruction = self.program.instructions[self.pc]
+        self.stats.instructions += 1
+        self.stats.fetches += 1
+        if self.fetch_trace is not None:
+            self.fetch_trace.record(self.pc)
+        self.stats.mnemonic_counts[instruction.mnemonic.value] += 1
+
+        reads = [self.effective_address(op) for op in instruction.memory_reads()]
+        if self._last_write is not None and self._last_write in reads:
+            self.stats.raw_hazards += 1
+        # Port-parallel phase accounting: both operands of an M-type
+        # instruction are read through the dual-port RAM in one access
+        # window; the writeback is a second window.
+        if reads:
+            self.stats.read_phases += 1
+        if instruction.memory_write() is not None:
+            self.stats.write_phases += 1
+
+        next_pc = (self.pc + 1) & 0xFF
+        write_address: int | None = None
+        mnemonic = instruction.mnemonic
+
+        if mnemonic in _ADD_FAMILY:
+            write_address = self._execute_add_family(instruction)
+        elif mnemonic in _LOGIC_FAMILY:
+            write_address = self._execute_logic(instruction)
+        elif mnemonic is Mnemonic.NOT:
+            value, _ = self._read(instruction.src)
+            address = self.effective_address(instruction.dst)
+            result = (~value) & self.mask
+            self._set_result_flags(result, carry=0, overflow=0)
+            self._write(address, result)
+            write_address = address
+        elif mnemonic in _ROTATE_FAMILY:
+            write_address = self._execute_rotate(instruction)
+        elif mnemonic is Mnemonic.STORE:
+            if instruction.imm > self.mask:
+                raise SimulationError(
+                    f"STORE immediate {instruction.imm} exceeds {self.width}-bit width"
+                )
+            address = self.effective_address(instruction.dst)
+            self._write(address, instruction.imm)
+            write_address = address
+        elif mnemonic is Mnemonic.SETBAR:
+            if instruction.bar_index >= self.num_bars:
+                raise SimulationError(
+                    f"SETBAR {instruction.bar_index} but core has {self.num_bars} BARs"
+                )
+            value, _ = self._read(instruction.src)
+            self.bars[instruction.bar_index] = value & 0xFF
+        else:  # branch
+            self.stats.branches += 1
+            tested = self.flags & instruction.mask
+            taken = tested != 0 if mnemonic is Mnemonic.BR else tested == 0
+            if taken:
+                self.stats.taken_branches += 1
+                if instruction.target == self.pc and instruction.mask == 0:
+                    self.halted = True  # HALT convention
+                next_pc = instruction.target
+
+        self._last_write = write_address
+        self.pc = next_pc
+
+    def _execute_add_family(self, instruction: Instruction) -> int | None:
+        a, dst_address = self._read(instruction.dst)
+        b, _ = self._read(instruction.src)
+        mnemonic = instruction.mnemonic
+        subtract = mnemonic in (Mnemonic.SUB, Mnemonic.CMP, Mnemonic.SBB)
+        b_eff = (~b) & self.mask if subtract else b
+        if mnemonic in (Mnemonic.ADC, Mnemonic.SBB):
+            cin = self.carry
+        else:
+            cin = 1 if subtract else 0
+        total = a + b_eff + cin
+        result = total & self.mask
+        carry = total >> self.width
+        sign_bit = 1 << (self.width - 1)
+        overflow = 1 if ((~(a ^ b_eff)) & (a ^ result)) & sign_bit else 0
+        self._set_result_flags(result, carry, overflow)
+        if instruction.spec.writes:
+            self._write(dst_address, result)
+            return dst_address
+        return None
+
+    def _execute_logic(self, instruction: Instruction) -> int | None:
+        a, dst_address = self._read(instruction.dst)
+        b, _ = self._read(instruction.src)
+        mnemonic = instruction.mnemonic
+        if mnemonic in (Mnemonic.AND, Mnemonic.TEST):
+            result = a & b
+        elif mnemonic is Mnemonic.OR:
+            result = a | b
+        else:
+            result = a ^ b
+        self._set_result_flags(result, carry=0, overflow=0)
+        if instruction.spec.writes:
+            self._write(dst_address, result)
+            return dst_address
+        return None
+
+    def _execute_rotate(self, instruction: Instruction) -> int:
+        value, _ = self._read(instruction.src)
+        address = self.effective_address(instruction.dst)
+        width = self.width
+        msb = 1 << (width - 1)
+        mnemonic = instruction.mnemonic
+        if mnemonic is Mnemonic.RL:
+            result = ((value << 1) | (value >> (width - 1))) & self.mask
+            carry = 1 if value & msb else 0
+        elif mnemonic is Mnemonic.RLC:
+            result = ((value << 1) | self.carry) & self.mask
+            carry = 1 if value & msb else 0
+        elif mnemonic is Mnemonic.RR:
+            result = (value >> 1) | ((value & 1) << (width - 1))
+            carry = value & 1
+        elif mnemonic is Mnemonic.RRC:
+            result = (value >> 1) | (self.carry << (width - 1))
+            carry = value & 1
+        else:  # RRA: arithmetic shift right
+            result = (value >> 1) | (value & msb)
+            carry = value & 1
+        self._set_result_flags(result, carry, overflow=0)
+        self._write(address, result)
+        return address
+
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> RunResult:
+        """Run until halt or ``max_steps``.
+
+        Raises:
+            SimulationError: If the step budget is exhausted before the
+                program halts (runaway loop).
+        """
+        for _ in range(max_steps):
+            if self.halted:
+                break
+            self.step()
+        else:
+            if not self.halted:
+                raise SimulationError(
+                    f"{self.program.name}: no halt within {max_steps} steps"
+                )
+        return RunResult(halted=self.halted, stats=self.stats, final_pc=self.pc)
+
+
+_ADD_FAMILY = frozenset(
+    {Mnemonic.ADD, Mnemonic.ADC, Mnemonic.SUB, Mnemonic.CMP, Mnemonic.SBB}
+)
+_LOGIC_FAMILY = frozenset({Mnemonic.AND, Mnemonic.TEST, Mnemonic.OR, Mnemonic.XOR})
+_ROTATE_FAMILY = frozenset(
+    {Mnemonic.RL, Mnemonic.RLC, Mnemonic.RR, Mnemonic.RRC, Mnemonic.RRA}
+)

@@ -1,0 +1,82 @@
+"""Pipeline cycle model for 1-, 2-, and 3-stage TP-ISA cores.
+
+The paper's cores resolve all data and control hazards by stalling
+(Section 5.2: "worst case CPI being equal to the number of pipeline
+stages").  The stage assignments are:
+
+* **1 stage** -- fetch/read/execute/write in one cycle.  CPI = 1.
+* **2 stages** -- Fetch | Read+Execute+Write.  A taken branch redirects
+  fetch one cycle late: 1 bubble.  Memory reads and writes are in the
+  same stage, so there are no data hazards.
+* **3 stages** -- Fetch | Read | Execute+Write.  A taken branch costs
+  2 bubbles; an instruction reading an address the previous one writes
+  must stall 1 cycle (read-after-write through memory).
+
+Cycle counts are derived from :class:`~repro.sim.machine.ExecutionStats`
+hazard event counts rather than re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.machine import ExecutionStats
+
+#: Pipeline depths the paper sweeps.
+SUPPORTED_DEPTHS = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Hazard cost model for one pipeline depth."""
+
+    stages: int
+    branch_penalty: int
+    raw_penalty: int
+
+    def cycles(self, stats: ExecutionStats) -> int:
+        """Total cycles to execute the run described by ``stats``.
+
+        Adds the pipeline fill latency, branch bubbles, and RAW stalls
+        to the base one-instruction-per-cycle throughput.
+        """
+        fill = self.stages - 1
+        return (
+            stats.instructions
+            + fill
+            + self.branch_penalty * stats.taken_branches
+            + self.raw_penalty * stats.raw_hazards
+        )
+
+    def cpi(self, stats: ExecutionStats) -> float:
+        """Average cycles per instruction for the run."""
+        if stats.instructions == 0:
+            return float(self.stages)
+        return self.cycles(stats) / stats.instructions
+
+
+_MODELS = {
+    1: PipelineModel(stages=1, branch_penalty=0, raw_penalty=0),
+    2: PipelineModel(stages=2, branch_penalty=1, raw_penalty=0),
+    3: PipelineModel(stages=3, branch_penalty=2, raw_penalty=1),
+}
+
+
+def pipeline_model(stages: int) -> PipelineModel:
+    """The stall model for a ``stages``-deep TP-ISA core."""
+    try:
+        return _MODELS[stages]
+    except KeyError:
+        raise ConfigError(f"unsupported pipeline depth {stages}") from None
+
+
+def cycles_for(stats: ExecutionStats, stages: int) -> int:
+    """Convenience wrapper: cycles for ``stats`` at ``stages`` depth."""
+    return pipeline_model(stages).cycles(stats)
+
+
+def worst_case_cpi(stages: int) -> int:
+    """The paper's bound: worst-case CPI equals the stage count."""
+    model = pipeline_model(stages)
+    return 1 + max(model.branch_penalty, model.raw_penalty)

@@ -1,0 +1,33 @@
+"""Execution tracing hooks for the instruction-set simulator.
+
+The base simulator keeps only aggregate statistics; a
+:class:`FetchTrace` attached to a :class:`~repro.sim.machine.Machine`
+records the dynamic PC stream, which downstream models replay -- e.g.
+the instruction-cache study (:mod:`repro.memory.icache`), the paper's
+suggested remedy for CNT-TFT cores whose execution time is dominated
+by the 302 us ROM access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FetchTrace:
+    """Recorded instruction-fetch addresses, in execution order."""
+
+    addresses: list[int] = field(default_factory=list)
+
+    def record(self, pc: int) -> None:
+        self.addresses.append(pc)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self):
+        return iter(self.addresses)
+
+    def unique_addresses(self) -> int:
+        """Distinct instruction words touched (working-set size)."""
+        return len(set(self.addresses))

@@ -1,0 +1,124 @@
+"""Unit conventions and conversion helpers.
+
+The library stores every physical quantity in SI base units:
+
+* area    -> square metres (m^2)
+* energy  -> joules (J)
+* time    -> seconds (s)
+* power   -> watts (W)
+* voltage -> volts (V)
+* charge  -> coulombs (C); battery capacity is stored in coulombs
+  (1 mAh = 3.6 C).
+
+The paper mixes mm^2 / cm^2, nJ / mJ, and micro/milliseconds; these helpers
+make call sites explicit about the unit of incoming literals and make
+report rendering explicit about the unit of outgoing values.
+"""
+
+from __future__ import annotations
+
+# --- scale factors -------------------------------------------------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+
+# --- input conversions (literal -> SI) -----------------------------------
+
+
+def mm2(value: float) -> float:
+    """Square millimetres to square metres."""
+    return value * 1e-6
+
+
+def cm2(value: float) -> float:
+    """Square centimetres to square metres."""
+    return value * 1e-4
+
+
+def um2(value: float) -> float:
+    """Square micrometres to square metres."""
+    return value * 1e-12
+
+
+def nJ(value: float) -> float:  # noqa: N802 - unit name
+    """Nanojoules to joules."""
+    return value * NANO
+
+
+def mJ(value: float) -> float:  # noqa: N802 - unit name
+    """Millijoules to joules."""
+    return value * MILLI
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * MICRO
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * MILLI
+
+def uW(value: float) -> float:  # noqa: N802 - unit name
+    """Microwatts to watts."""
+    return value * MICRO
+
+
+def mW(value: float) -> float:  # noqa: N802 - unit name
+    """Milliwatts to watts."""
+    return value * MILLI
+
+
+def mAh(value: float, voltage: float = 1.0) -> float:  # noqa: N802
+    """Milliamp-hours at ``voltage`` volts to joules (energy)."""
+    return value * 3.6 * voltage
+
+
+# --- output conversions (SI -> display) ----------------------------------
+
+
+def to_mm2(area_m2: float) -> float:
+    """Square metres to square millimetres."""
+    return area_m2 * 1e6
+
+
+def to_cm2(area_m2: float) -> float:
+    """Square metres to square centimetres."""
+    return area_m2 * 1e4
+
+
+def to_nJ(energy_j: float) -> float:  # noqa: N802 - unit name
+    """Joules to nanojoules."""
+    return energy_j / NANO
+
+
+def to_mJ(energy_j: float) -> float:  # noqa: N802 - unit name
+    """Joules to millijoules."""
+    return energy_j / MILLI
+
+
+def to_us(time_s: float) -> float:
+    """Seconds to microseconds."""
+    return time_s / MICRO
+
+
+def to_ms(time_s: float) -> float:
+    """Seconds to milliseconds."""
+    return time_s / MILLI
+
+
+def to_mW(power_w: float) -> float:  # noqa: N802 - unit name
+    """Watts to milliwatts."""
+    return power_w / MILLI
+
+
+def to_uW(power_w: float) -> float:  # noqa: N802 - unit name
+    """Watts to microwatts."""
+    return power_w / MICRO
+
+
+def to_hours(time_s: float) -> float:
+    """Seconds to hours."""
+    return time_s / 3600.0

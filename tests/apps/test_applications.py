@@ -1,0 +1,74 @@
+"""Tests for the application catalogue and feasibility matching."""
+
+import pytest
+
+from repro.apps.feasibility import assess, coalescing_penalty, feasible_applications
+from repro.apps.requirements import APPLICATIONS, DutyCycle, application_by_name
+from repro.power.battery import battery_by_name
+from repro.units import mW
+
+
+class TestCatalogue:
+    def test_seventeen_applications(self):
+        assert len(APPLICATIONS) == 17
+
+    def test_lookup(self):
+        app = application_by_name("smart bandage")
+        assert app.precision_bits == 8
+        with pytest.raises(KeyError):
+            application_by_name("toaster")
+
+    def test_precisions_within_32_bits(self):
+        """The design-space sweep's widest core covers every app."""
+        assert all(a.precision_bits <= 32 for a in APPLICATIONS)
+
+    def test_duty_fractions_ordered(self):
+        assert (
+            DutyCycle.CONTINUOUS.typical_fraction
+            > DutyCycle.SECONDS.typical_fraction
+            > DutyCycle.MINUTES.typical_fraction
+            > DutyCycle.HOURS.typical_fraction
+        )
+
+
+class TestFeasibility:
+    def test_coalescing_penalty(self):
+        assert coalescing_penalty(8, 8) == 1
+        assert coalescing_penalty(16, 8) == 2
+        assert coalescing_penalty(32, 8) == 4
+        assert coalescing_penalty(8, 32) == 1
+
+    def test_slow_core_fails_fast_applications(self):
+        app = application_by_name("blood pressure")  # needs ~1000 IPS
+        battery = battery_by_name("Blue Spark 30")
+        verdict = assess(app, ips=20.0, datawidth=8, active_power=mW(5), battery=battery)
+        assert not verdict.throughput_ok
+
+    def test_fast_core_serves_slow_applications(self):
+        app = application_by_name("smart bandage")  # 0.01 Hz
+        battery = battery_by_name("Blue Spark 30")
+        verdict = assess(app, ips=20.0, datawidth=8, active_power=mW(5), battery=battery)
+        assert verdict.feasible
+        assert verdict.lifetime_hours > 1.0
+
+    def test_egfet_tp_core_serves_several_table3_apps(self):
+        """Section 4/8 claim: EGFET cores feasibly target low-rate,
+        low-duty applications."""
+        battery = battery_by_name("Molex")
+        feasible = feasible_applications(
+            APPLICATIONS, ips=20.0, datawidth=8, active_power=mW(4), battery=battery
+        )
+        names = {verdict.application for verdict in feasible}
+        assert "Smart Bandage" in names
+        assert "Body Temperature Sensor" in names
+        assert len(names) >= 4
+
+    def test_cnt_core_serves_everything_throughput_wise(self):
+        """Section 4: CNT-TFT cores meet every application's
+        performance requirement."""
+        battery = battery_by_name("Molex")
+        for app in APPLICATIONS:
+            verdict = assess(
+                app, ips=25000.0, datawidth=16, active_power=mW(900), battery=battery
+            )
+            assert verdict.throughput_ok

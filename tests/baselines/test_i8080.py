@@ -1,0 +1,188 @@
+"""Tests for the 8080/Z80 simulator and its benchmark kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.i8080 import (
+    A, B, C, D, E, H, L, BC, DE, HL,
+    Asm8080, I8080, FLAG_CY, FLAG_Z,
+)
+from repro.baselines import kernels_i8080 as kernels
+from repro.errors import SimulationError
+from repro.programs import crc8 as crc8_kernel
+from repro.programs import dtree as dtree_kernel
+
+
+def run_asm(build, **kwargs):
+    asm = Asm8080(**kwargs)
+    build(asm)
+    cpu = I8080(asm.assemble())
+    cpu.run()
+    return cpu
+
+
+class TestCore:
+    def test_mvi_mov(self):
+        def build(asm):
+            asm.mvi(B, 42)
+            asm.mov(A, B)
+            asm.hlt()
+
+        cpu = run_asm(build)
+        assert cpu.regs[A] == 42
+
+    @settings(max_examples=25)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_add_sets_carry(self, a, b):
+        def build(asm):
+            asm.mvi(A, a)
+            asm.mvi(B, b)
+            asm.add(B)
+            asm.hlt()
+
+        cpu = run_asm(build)
+        assert cpu.regs[A] == (a + b) & 0xFF
+        assert bool(cpu.flags & FLAG_CY) == (a + b > 0xFF)
+
+    @settings(max_examples=25)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_sub_borrow(self, a, b):
+        def build(asm):
+            asm.mvi(A, a)
+            asm.mvi(B, b)
+            asm.sub(B)
+            asm.hlt()
+
+        cpu = run_asm(build)
+        assert cpu.regs[A] == (a - b) & 0xFF
+        assert bool(cpu.flags & FLAG_CY) == (a < b)
+
+    def test_memory_via_hl(self):
+        from repro.baselines.i8080 import M
+
+        def build(asm):
+            asm.lxi(HL, 0x200)
+            asm.mvi(M, 99)   # MVI M: store immediate at (HL)
+            asm.mov(A, M)
+            asm.hlt()
+
+        cpu = run_asm(build)
+        assert cpu.memory[0x200] == 99
+        assert cpu.regs[A] == 99
+
+    def test_loop_with_dcr_jnz(self):
+        def build(asm):
+            asm.mvi(B, 5)
+            asm.mvi(A, 0)
+            asm.label("loop")
+            asm.adi(3)
+            asm.dcr(B)
+            asm.jnz("loop")
+            asm.hlt()
+
+        cpu = run_asm(build)
+        assert cpu.regs[A] == 15
+
+    def test_rotates(self):
+        def build(asm):
+            asm.mvi(A, 0b10000001)
+            asm.rrc()
+            asm.hlt()
+
+        cpu = run_asm(build)
+        assert cpu.regs[A] == 0b11000000
+        assert cpu.flags & FLAG_CY
+
+    def test_t_state_accounting(self):
+        def build(asm):
+            asm.mvi(A, 1)  # 7 T
+            asm.hlt()      # 7 T
+
+        cpu = run_asm(build)
+        assert cpu.stats.t_states == 14
+
+    def test_z80_djnz(self):
+        asm = Asm8080(z80=True)
+        asm.mvi(B, 4)
+        asm.mvi(A, 0)
+        asm.label("loop")
+        asm.adi(1)
+        asm.djnz("loop")
+        asm.hlt()
+        cpu = I8080(asm.assemble(), z80_timing=True)
+        cpu.run()
+        assert cpu.regs[A] == 4
+
+    def test_unknown_opcode_raises(self):
+        cpu = I8080(bytes([0xED]))  # Z80 prefix, unimplemented
+        with pytest.raises(SimulationError, match="unimplemented"):
+            cpu.run()
+
+    def test_runaway_raises(self):
+        asm = Asm8080()
+        asm.label("loop")
+        asm.jmp("loop")
+        cpu = I8080(asm.assemble())
+        with pytest.raises(SimulationError, match="halt"):
+            cpu.run(max_steps=50)
+
+
+class TestKernels:
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_mult(self, a, b):
+        _, result = kernels.mult8(a, b).execute()
+        assert result["product"] == (a * b) & 0xFF
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(0, 255), d=st.integers(1, 255))
+    def test_div(self, n, d):
+        _, result = kernels.div8(n, d).execute()
+        assert result["quotient"] == n // d
+        assert result["remainder"] == n % d
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    def test_insort(self, values):
+        _, result = kernels.insort8(values).execute()
+        assert result["sorted"] == sorted(values)
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16))
+    def test_insort16(self, values):
+        _, result = kernels.insort16(values).execute()
+        assert result["sorted"] == sorted(values)
+
+    def test_intavg(self):
+        values = list(range(16))
+        _, result = kernels.intavg8(values).execute()
+        assert result["avg"] == sum(values) // 16
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 255), min_size=16, max_size=16),
+        threshold=st.integers(0, 255),
+    )
+    def test_thold(self, values, threshold):
+        _, result = kernels.thold8(values, threshold).execute()
+        assert result["count"] == sum(1 for v in values if v >= threshold)
+
+    @settings(max_examples=8, deadline=None)
+    @given(stream=st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    def test_crc8(self, stream):
+        _, result = kernels.crc8_16(stream).execute()
+        assert result["crc"] == crc8_kernel.reference(stream)
+
+    @settings(max_examples=10, deadline=None)
+    @given(inputs=st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    def test_dtree_matches_tp_isa_tree(self, inputs):
+        _, result = kernels.dtree8(inputs).execute()
+        assert result["result"] == dtree_kernel.reference(inputs)
+
+    def test_sizes_in_table5_ballpark(self):
+        """Table 5 Z80 column implies ~30-40 byte loop kernels and a
+        ~800-byte decision tree."""
+        assert 20 <= kernels.mult8().size_bytes <= 45
+        assert 20 <= kernels.insort8().size_bytes <= 50
+        assert 700 <= kernels.dtree8().size_bytes <= 900

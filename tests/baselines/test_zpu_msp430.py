@@ -1,0 +1,260 @@
+"""Tests for the ZPU and MSP430 simulators and kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import kernels_msp430 as msp_kernels
+from repro.baselines import kernels_zpu as zpu_kernels
+from repro.baselines.msp430 import (
+    AsmMsp430, Msp430, R4, R5, absolute, imm, indirect, reg,
+)
+from repro.baselines.zpu import AsmZpu, Zpu, CPI
+from repro.errors import SimulationError
+from repro.programs import crc8 as crc8_kernel
+from repro.programs import dtree as dtree_kernel
+
+
+class TestZpuCore:
+    def run_zpu(self, build):
+        asm = AsmZpu()
+        build(asm)
+        cpu = Zpu(asm.assemble())
+        cpu.run()
+        return cpu
+
+    @settings(max_examples=30)
+    @given(value=st.integers(0, 0xFFFFFFFF))
+    def test_im_chains_encode_any_constant(self, value):
+        def build(asm):
+            asm.im(value)
+            asm.im(0x400)
+            asm.store()
+            asm.halt()
+
+        cpu = self.run_zpu(build)
+        assert int.from_bytes(cpu.memory[0x400:0x404], "big") == value
+
+    def test_consecutive_ims_do_not_chain(self):
+        def build(asm):
+            asm.im(1)
+            asm.im(2)   # must push a second value, not extend the first
+            asm.add()
+            asm.im(0x400)
+            asm.store()
+            asm.halt()
+
+        cpu = self.run_zpu(build)
+        assert int.from_bytes(cpu.memory[0x400:0x404], "big") == 3
+
+    @settings(max_examples=20)
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+    def test_stack_arithmetic(self, a, b):
+        def build(asm):
+            asm.im(a)
+            asm.im(b)
+            asm.sub()      # a - b
+            asm.im(0x400)
+            asm.store()
+            asm.halt()
+
+        cpu = self.run_zpu(build)
+        assert int.from_bytes(cpu.memory[0x400:0x404], "big") == (a - b) & 0xFFFFFFFF
+
+    def test_neqbranch_taken_and_not(self):
+        def build(asm):
+            asm.im(1)
+            asm.neqbranch("set")   # taken
+            asm.im(0x400)          # skipped
+            asm.im(99)
+            asm.store()
+            asm.label("set")
+            asm.im(7)
+            asm.im(0x404)
+            asm.store()
+            asm.halt()
+
+        cpu = self.run_zpu(build)
+        assert int.from_bytes(cpu.memory[0x404:0x408], "big") == 7
+        assert int.from_bytes(cpu.memory[0x400:0x404], "big") == 0
+
+    def test_emulate_costs_charged(self):
+        def build(asm):
+            asm.im(3)
+            asm.im(4)
+            asm.sub()   # EMULATE vector
+            asm.halt()
+
+        cpu = self.run_zpu(build)
+        assert cpu.stats.emulated == 1
+        assert cpu.stats.effective_instructions > cpu.stats.instructions
+        assert cpu.stats.cycles == cpu.stats.effective_instructions * CPI
+
+    def test_runaway_raises(self):
+        asm = AsmZpu()
+        asm.label("loop")
+        asm.branch("loop")
+        cpu = Zpu(asm.assemble())
+        with pytest.raises(SimulationError):
+            cpu.run(max_steps=100)
+
+
+class TestZpuKernels:
+    @settings(max_examples=10, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_mult(self, a, b):
+        _, result = zpu_kernels.mult8(a, b).execute()
+        assert result["product"] == (a * b) & 0xFF
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(0, 255), d=st.integers(1, 255))
+    def test_div(self, n, d):
+        _, result = zpu_kernels.div8(n, d).execute()
+        assert (result["quotient"], result["remainder"]) == (n // d, n % d)
+
+    @settings(max_examples=6, deadline=None)
+    @given(values=st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16))
+    def test_insort(self, values):
+        _, result = zpu_kernels.insort(values).execute()
+        assert result["sorted"] == sorted(values)
+
+    @settings(max_examples=6, deadline=None)
+    @given(stream=st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    def test_crc8(self, stream):
+        _, result = zpu_kernels.crc8_16(stream).execute()
+        assert result["crc"] == crc8_kernel.reference(stream)
+
+    @settings(max_examples=8, deadline=None)
+    @given(inputs=st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    def test_dtree(self, inputs):
+        _, result = zpu_kernels.dtree(inputs).execute()
+        assert result["result"] == dtree_kernel.reference(inputs)
+
+    def test_stack_traffic_dominates(self):
+        """The paper's argument against stack ISAs: every operation is
+        memory traffic, so the ZPU's access count dwarfs the 8080's."""
+        from repro.baselines.kernels_i8080 import mult8 as i8080_mult
+
+        zpu_stats, _ = zpu_kernels.mult8().execute()
+        i8080_stats, _ = i8080_mult().execute()
+        zpu_traffic = zpu_stats.memory_reads + zpu_stats.memory_writes
+        i8080_traffic = i8080_stats.memory_reads + i8080_stats.memory_writes
+        assert zpu_traffic > 3 * i8080_traffic
+
+
+class TestMsp430Core:
+    def run_msp(self, build):
+        asm = AsmMsp430()
+        build(asm)
+        program, labels = asm.finish()
+        cpu = Msp430(program, labels)
+        cpu.run()
+        return cpu
+
+    @settings(max_examples=20)
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+    def test_add_and_store(self, a, b):
+        def build(asm):
+            asm.mov(imm(a), reg(R4))
+            asm.add(imm(b), reg(R4))
+            asm.mov(reg(R4), absolute(0x400))
+            asm.halt()
+
+        cpu = self.run_msp(build)
+        assert cpu.read_word(0x400) == (a + b) & 0xFFFF
+
+    def test_autoincrement(self):
+        def build(asm):
+            asm.mov(imm(0x400), reg(R4))
+            asm.mov(indirect(R4, autoincrement=True), reg(R5))
+            asm.add(indirect(R4, autoincrement=True), reg(R5))
+            asm.mov(reg(R5), absolute(0x410))
+            asm.halt()
+
+        asm = AsmMsp430()
+        build(asm)
+        program, labels = asm.finish()
+        cpu = Msp430(program, labels)
+        cpu.write_word(0x400, 30)
+        cpu.write_word(0x402, 12)
+        cpu.run()
+        assert cpu.read_word(0x410) == 42
+
+    def test_constant_generator_saves_words(self):
+        asm = AsmMsp430()
+        asm.add(imm(1), reg(R4))     # CG constant: 1 word
+        asm.add(imm(77), reg(R4))    # real immediate: 2 words
+        assert asm.program[0].words == 1
+        assert asm.program[1].words == 2
+
+    def test_jump_cycles_flat_two(self):
+        asm = AsmMsp430()
+        asm.label("x")
+        asm.jmp("x")
+        assert asm.program[0].cycles == 2
+
+
+class TestMsp430Kernels:
+    @settings(max_examples=10, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_mult(self, a, b):
+        _, result = msp_kernels.mult16(a, b).execute()
+        assert result["product"] == (a * b) & 0xFFFF
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(0, 0xFFFF), d=st.integers(1, 0xFFFF))
+    def test_div(self, n, d):
+        _, result = msp_kernels.div16(n, d).execute()
+        assert (result["quotient"], result["remainder"]) == (n // d, n % d)
+
+    @settings(max_examples=6, deadline=None)
+    @given(values=st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16))
+    def test_insort(self, values):
+        _, result = msp_kernels.insort16(values).execute()
+        assert result["sorted"] == sorted(values)
+
+    @settings(max_examples=6, deadline=None)
+    @given(stream=st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    def test_crc8(self, stream):
+        _, result = msp_kernels.crc8_16(stream).execute()
+        assert result["crc"] == crc8_kernel.reference(stream)
+
+    @settings(max_examples=8, deadline=None)
+    @given(inputs=st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    def test_dtree(self, inputs):
+        _, result = msp_kernels.dtree16(inputs).execute()
+        assert result["result"] == dtree_kernel.reference(inputs)
+
+
+class TestBaselineRuns:
+    def test_section8_light8080_mult_anchor(self):
+        """Section 8: light8080 needs ~tens of seconds and joules for
+        an 8-bit multiply in EGFET (paper: 44.6 s, 3.66 J)."""
+        from repro.baselines.kernels import run_baseline
+
+        run = run_baseline("light8080", "mult")
+        assert 15 < run.time_seconds < 90
+        assert 0.5 < run.core_energy_joules < 8
+
+    def test_section8_insort16_exceeds_battery(self):
+        """Section 8: 16-bit insertion sort takes the 8-bit baselines
+        over 1000 s, and Z80/ZPU past a 108 J battery budget."""
+        from repro.baselines.kernels import run_baseline
+        from repro.power.battery import REFERENCE_BUDGET_J
+
+        for core in ("light8080", "Z80", "ZPU_small"):
+            run = run_baseline(core, "inSort16")
+            assert run.time_seconds > 1000
+            if core in ("Z80", "ZPU_small"):
+                assert run.core_energy_joules > REFERENCE_BUDGET_J
+
+    def test_all_pairings_run(self):
+        from repro.baselines.kernels import (
+            BASELINE_CORES, BENCHMARK_NAMES, run_baseline,
+        )
+
+        for core in BASELINE_CORES:
+            for benchmark in BENCHMARK_NAMES:
+                run = run_baseline(core, benchmark)
+                assert run.size_bytes > 0
+                assert run.cycles > 0

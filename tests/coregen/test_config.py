@@ -1,0 +1,87 @@
+"""Tests for core configurations and program-specific shrinking."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.analysis import analyze_program
+from repro.isa.assembler import assemble
+from repro.isa.spec import Flag
+from repro.coregen.config import (
+    ALL_FLAGS,
+    CoreConfig,
+    program_specific_config,
+    standard_sweep,
+)
+
+
+class TestCoreConfig:
+    def test_standard_instruction_width_is_24(self):
+        assert CoreConfig().instruction_bits == 24
+
+    def test_name_follows_paper_convention(self):
+        config = CoreConfig(datawidth=16, pipeline_stages=3, num_bars=4)
+        assert config.name == "p3_16_4"
+
+    def test_bar_select_bits(self):
+        assert CoreConfig(num_bars=2).bar_select_bits == 1
+        assert CoreConfig(num_bars=4).bar_select_bits == 2
+        assert CoreConfig(num_bars=1, bar_bits=0).bar_select_bits == 0
+
+    def test_offset_bits_shrink_with_bars(self):
+        assert CoreConfig(num_bars=2).offset1_bits == 7
+        assert CoreConfig(num_bars=4).offset1_bits == 6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"datawidth": 12},
+            {"pipeline_stages": 4},
+            {"num_bars": 3},
+            {"pc_bits": 9},
+            {"num_bars": 2, "bar_bits": 0},
+            {"operand1_bits": 1, "num_bars": 4},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            CoreConfig(**kwargs)
+
+    def test_sweep_has_24_points(self):
+        sweep = standard_sweep()
+        assert len(sweep) == 24
+        assert len({c.name for c in sweep}) == 24
+
+
+class TestProgramSpecific:
+    def test_barless_program_loses_bars_and_adder(self):
+        program = assemble(".word x\n.word y\nADD x, y\nHALT\n")
+        config = program_specific_config(CoreConfig(), analyze_program(program))
+        assert config.num_bars == 1
+        assert config.bar_bits == 0
+
+    def test_flags_shrink_to_consumed_set(self):
+        program = assemble(".word x\nloop:\nCMP x, x\nBR loop, Z\nHALT\n")
+        config = program_specific_config(CoreConfig(), analyze_program(program))
+        assert config.flags == (Flag.Z,)
+
+    def test_straightline_program_keeps_no_flags(self):
+        program = assemble(".word x\n.word y\nADD x, y\n")
+        config = program_specific_config(CoreConfig(), analyze_program(program))
+        assert config.flags == ()
+
+    def test_pc_shrinks(self):
+        program = assemble(".word x\nSTORE x, 1\nHALT\n")
+        config = program_specific_config(CoreConfig(), analyze_program(program))
+        assert config.pc_bits <= 2
+
+    def test_instruction_narrower_than_standard(self):
+        program = assemble(".word x\n.word y\nADD x, y\nHALT\n")
+        config = program_specific_config(CoreConfig(), analyze_program(program))
+        assert config.instruction_bits < 24
+
+    def test_datawidth_and_pipeline_preserved(self):
+        program = assemble(".width 16\n.word x\n.word y\nADD x, y\nHALT\n")
+        base = CoreConfig(datawidth=16, pipeline_stages=1)
+        config = program_specific_config(base, analyze_program(program))
+        assert config.datawidth == 16
+        assert config.pipeline_stages == 1

@@ -1,0 +1,109 @@
+"""Differential verification: hypothesis-generated random TP-ISA
+programs executed on the gate-level core vs the ISS.
+
+This is the strongest equivalence evidence in the suite: the programs
+are arbitrary instruction soup (all ALU operations, stores, SETBARs,
+and forward branches -- guaranteed to halt), not hand-written kernels,
+so systematic encode/decode/datapath disagreements cannot hide in
+kernel idioms.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coregen.config import CoreConfig
+from repro.coregen.cosim import cosim_verify
+from repro.isa.program import Program
+from repro.isa.spec import Instruction, MemOperand, Mnemonic
+
+MEM_WORDS = 8  # small data space so operations collide interestingly
+
+ALU_BINARY = [
+    Mnemonic.ADD, Mnemonic.ADC, Mnemonic.SUB, Mnemonic.CMP, Mnemonic.SBB,
+    Mnemonic.AND, Mnemonic.TEST, Mnemonic.OR, Mnemonic.XOR,
+]
+ALU_UNARY = [
+    Mnemonic.NOT, Mnemonic.RL, Mnemonic.RLC, Mnemonic.RR, Mnemonic.RRC,
+    Mnemonic.RRA,
+]
+
+
+def operand(draw, offsets):
+    return MemOperand(offset=draw(offsets), bar=draw(st.integers(0, 1)))
+
+
+@st.composite
+def random_programs(draw, datawidth=8, length=12):
+    offsets = st.integers(0, MEM_WORDS - 1)
+    count = draw(st.integers(3, length))
+    instructions = []
+    for index in range(count):
+        kind = draw(st.integers(0, 9))
+        if kind <= 4:
+            mnemonic = draw(st.sampled_from(ALU_BINARY))
+            instructions.append(Instruction(
+                mnemonic,
+                dst=operand(draw, offsets),
+                src=operand(draw, offsets),
+            ))
+        elif kind <= 6:
+            mnemonic = draw(st.sampled_from(ALU_UNARY))
+            instructions.append(Instruction(
+                mnemonic,
+                dst=operand(draw, offsets),
+                src=operand(draw, offsets),
+            ))
+        elif kind == 7:
+            # STORE's immediate field is architecturally 8 bits.
+            instructions.append(Instruction(
+                Mnemonic.STORE,
+                dst=operand(draw, offsets),
+                imm=draw(st.integers(0, min(255, (1 << datawidth) - 1))),
+            ))
+        elif kind == 8:
+            instructions.append(Instruction(
+                Mnemonic.SETBAR,
+                bar_index=1,
+                src=MemOperand(draw(offsets)),
+            ))
+        else:
+            # Forward branch only: the program always terminates.
+            target = draw(st.integers(index + 1, count))
+            mnemonic = draw(st.sampled_from([Mnemonic.BR, Mnemonic.BRN]))
+            instructions.append(Instruction(
+                mnemonic, target=target, mask=draw(st.integers(0, 15))
+            ))
+    data = {
+        address: draw(st.integers(0, (1 << datawidth) - 1))
+        for address in range(MEM_WORDS)
+    }
+    return Program(
+        name="fuzz",
+        instructions=instructions,
+        datawidth=datawidth,
+        num_bars=2,
+        data=data,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=random_programs())
+def test_random_programs_equivalent_single_stage(program):
+    mismatches = cosim_verify(program, CoreConfig(datawidth=8))
+    assert not mismatches, "; ".join(str(m) for m in mismatches[:5])
+
+
+@settings(max_examples=15, deadline=None)
+@given(program=random_programs(datawidth=16, length=8))
+def test_random_programs_equivalent_16bit(program):
+    mismatches = cosim_verify(program, CoreConfig(datawidth=16))
+    assert not mismatches, "; ".join(str(m) for m in mismatches[:5])
+
+
+@settings(max_examples=12, deadline=None)
+@given(program=random_programs(length=8))
+def test_random_programs_equivalent_three_stage(program):
+    mismatches = cosim_verify(
+        program, CoreConfig(datawidth=8, pipeline_stages=3)
+    )
+    assert not mismatches, "; ".join(str(m) for m in mismatches[:5])

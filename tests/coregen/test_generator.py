@@ -1,0 +1,130 @@
+"""Structural tests for the core generator across the design space."""
+
+import pytest
+
+from repro.netlist.sta import timing_report
+from repro.netlist.stats import area_report
+from repro.netlist.power import power_report
+from repro.netlist.verilog import dump_verilog
+from repro.pdk import cnt_tft_library, egfet_library
+from repro.coregen.config import CoreConfig, standard_sweep
+from repro.coregen.generator import generate_core
+
+
+@pytest.fixture(scope="module")
+def egfet():
+    return egfet_library()
+
+
+class TestElaboration:
+    @pytest.mark.parametrize("config", standard_sweep(), ids=lambda c: c.name)
+    def test_every_sweep_point_elaborates_and_validates(self, config):
+        netlist = generate_core(config)  # validates internally
+        assert netlist.instances
+        for port in ("instr", "rdata_a", "rdata_b", "rst_n"):
+            assert port in netlist.inputs
+        for port in ("pc", "addr_a", "addr_b", "we", "waddr", "wdata"):
+            assert port in netlist.outputs
+
+    def test_port_widths_track_config(self):
+        config = CoreConfig(datawidth=16, num_bars=4)
+        netlist = generate_core(config)
+        assert len(netlist.inputs["instr"]) == 24
+        assert len(netlist.inputs["rdata_a"]) == 16
+        assert len(netlist.outputs["wdata"]) == 16
+        assert len(netlist.outputs["addr_a"]) == 8
+
+    def test_verilog_dump_works(self):
+        text = dump_verilog(generate_core(CoreConfig()))
+        assert "module p1_8_2" in text
+        assert "DFFNRX1" in text
+
+
+class TestDesignSpaceShape(object):
+    """The paper's Figure 7 trends must be emergent properties."""
+
+    def test_area_grows_with_datawidth(self, egfet):
+        areas = [
+            area_report(generate_core(CoreConfig(datawidth=w)), egfet).total
+            for w in (4, 8, 16, 32)
+        ]
+        assert areas == sorted(areas)
+
+    def test_pipeline_registers_cost_area_and_power(self, egfet):
+        by_stage = [
+            generate_core(CoreConfig(datawidth=8, pipeline_stages=s))
+            for s in (1, 2, 3)
+        ]
+        areas = [area_report(n, egfet).total for n in by_stage]
+        energies = [power_report(n, egfet).energy_per_cycle for n in by_stage]
+        dffs = [area_report(n, egfet).dff_count for n in by_stage]
+        assert areas[0] < areas[1] < areas[2]
+        assert energies[0] < energies[1] < energies[2]
+        assert dffs[0] < dffs[1] < dffs[2]
+
+    def test_pipelining_does_not_speed_up_printed_cores(self, egfet):
+        """The key Figure 7 finding: the memory-bounded stage split
+        plus expensive DFF clock-to-Q means multi-stage cores gain no
+        clock frequency -- single-stage dominates."""
+        fmaxes = [
+            timing_report(
+                generate_core(CoreConfig(datawidth=8, pipeline_stages=s)), egfet
+            ).fmax
+            for s in (1, 2, 3)
+        ]
+        assert fmaxes[0] >= fmaxes[1] >= fmaxes[2] * 0.95
+
+    def test_more_bars_cost_area(self, egfet):
+        two = area_report(generate_core(CoreConfig(num_bars=2)), egfet).total
+        four = area_report(generate_core(CoreConfig(num_bars=4)), egfet).total
+        assert four > two
+
+    def test_wider_cores_are_slower(self, egfet):
+        fmaxes = [
+            timing_report(generate_core(CoreConfig(datawidth=w)), egfet).fmax
+            for w in (4, 8, 16, 32)
+        ]
+        assert fmaxes == sorted(fmaxes, reverse=True)
+
+    def test_cnt_cores_are_orders_of_magnitude_faster(self, egfet):
+        netlist = generate_core(CoreConfig())
+        egfet_fmax = timing_report(netlist, egfet).fmax
+        cnt_fmax = timing_report(netlist, cnt_tft_library()).fmax
+        assert cnt_fmax > 300 * egfet_fmax
+
+    def test_smallest_tp_core_much_smaller_than_light8080(self, egfet):
+        """Section 5.2: the smallest 8-bit TP-ISA core is ~5x smaller
+        than the light8080 (11.15 cm^2 in EGFET)."""
+        from repro.units import cm2
+
+        smallest = area_report(generate_core(CoreConfig(datawidth=8)), egfet).total
+        assert smallest < cm2(11.15) / 3.5
+
+
+class TestProgramSpecificShrink:
+    def test_ps_core_smaller_than_standard(self, egfet):
+        from repro.isa.analysis import analyze_program
+        from repro.programs import build_benchmark
+        from repro.coregen.config import program_specific_config
+
+        program = build_benchmark("mult", 8, 8)
+        base = CoreConfig(datawidth=8)
+        ps = program_specific_config(base, analyze_program(program))
+        base_area = area_report(generate_core(base), egfet).total
+        ps_area = area_report(generate_core(ps), egfet).total
+        assert ps_area < base_area
+
+    def test_barless_core_loses_address_adders(self, egfet):
+        base = generate_core(CoreConfig(num_bars=2))
+        barless = generate_core(
+            CoreConfig(num_bars=1, bar_bits=0, operand1_bits=8, operand2_bits=8)
+        )
+        assert (
+            area_report(barless, egfet).gate_count
+            < area_report(base, egfet).gate_count
+        )
+
+    def test_flagless_core_loses_flag_registers(self, egfet):
+        flagless = generate_core(CoreConfig(flags=()))
+        names = [flagless.net_name(i.output) for i in flagless.instances]
+        assert not any(name.startswith("flag_") for name in names)

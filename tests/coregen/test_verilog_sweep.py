@@ -1,0 +1,25 @@
+"""Verilog emission is valid for every sweep configuration."""
+
+import re
+
+import pytest
+
+from repro.coregen.config import standard_sweep
+from repro.coregen.generator import generate_core
+from repro.netlist.verilog import dump_verilog
+
+
+@pytest.mark.parametrize("config", standard_sweep(), ids=lambda c: c.name)
+def test_verilog_emits_for_every_sweep_point(config):
+    netlist = generate_core(config)
+    text = dump_verilog(netlist)
+    assert text.startswith(f"module {config.name} (")
+    assert text.rstrip().endswith("endmodule")
+    # Every placed instance appears exactly once.
+    instance_lines = re.findall(r"^\s+[A-Z0-9]+X1 u\d+ \(", text, re.MULTILINE)
+    assert len(instance_lines) == len(netlist.instances)
+    # All instance names unique.
+    names = re.findall(r" (u\d+) \(", text)
+    assert len(names) == len(set(names))
+    # Clock present (there are always flops).
+    assert ".CK(clk)" in text

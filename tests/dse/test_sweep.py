@@ -1,0 +1,93 @@
+"""Tests for the Figure 7 design-space sweep and Pareto analysis."""
+
+import pytest
+
+from repro.baselines.specs import BASELINE_SPECS
+from repro.dse.pareto import dominates, pareto_front
+from repro.dse.sweep import evaluate_design, sweep_design_space
+from repro.coregen.config import CoreConfig
+
+
+@pytest.fixture(scope="module")
+def egfet_sweep():
+    return sweep_design_space("EGFET")
+
+
+class TestSweep:
+    def test_24_points(self, egfet_sweep):
+        assert len(egfet_sweep) == 24
+        assert len({p.name for p in egfet_sweep}) == 24
+
+    def test_fastest_core_is_p1_4_x(self, egfet_sweep):
+        """Section 5.2: the fastest TP-ISA core is p1_4_4, over 38%
+        faster than the fastest pre-existing core (light8080)."""
+        fastest = max(egfet_sweep, key=lambda p: p.fmax)
+        assert fastest.config.pipeline_stages == 1
+        assert fastest.config.datawidth == 4
+        light8080_fmax = BASELINE_SPECS["light8080"].egfet.fmax
+        assert fastest.fmax > 1.3 * light8080_fmax
+
+    def test_slowest_core_still_beats_z80_and_msp430(self, egfet_sweep):
+        slowest = min(egfet_sweep, key=lambda p: p.fmax)
+        assert slowest.fmax > BASELINE_SPECS["Z80"].egfet.fmax
+        assert slowest.fmax > BASELINE_SPECS["openMSP430"].egfet.fmax
+
+    def test_largest_tp_core_smaller_than_smallest_baseline(self, egfet_sweep):
+        """Section 5.2: even p3_32_4 is smaller than the light8080."""
+        largest = max(egfet_sweep, key=lambda p: p.area)
+        assert largest.area < BASELINE_SPECS["light8080"].egfet.area
+
+    def test_order_of_magnitude_power_and_area_vs_baselines(self, egfet_sweep):
+        """The headline claim: best cores beat pre-existing ones by at
+        least 10x in area and power at comparable width."""
+        best8 = min(
+            (p for p in egfet_sweep if p.config.datawidth == 8),
+            key=lambda p: p.area,
+        )
+        light = BASELINE_SPECS["light8080"].egfet
+        assert light.area / best8.area > 3.5
+        assert light.power / best8.power_at_fmax > 8
+
+    def test_single_stage_dominates_at_every_width(self, egfet_sweep):
+        """Figure 7's key architectural insight."""
+        for width in (4, 8, 16, 32):
+            points = [p for p in egfet_sweep if p.config.datawidth == width]
+            front = pareto_front(
+                points, lambda p: (p.area, p.power_at_fmax, 1.0 / p.fmax)
+            )
+            assert all(p.config.pipeline_stages == 1 for p in front), [
+                p.name for p in front
+            ]
+
+    def test_registers_significant_fraction_of_area_and_power(self, egfet_sweep):
+        """Section 5.2: 'registers consume a significant fraction of
+        overall area and power'."""
+        for point in egfet_sweep:
+            assert point.sequential_area / point.area > 0.05
+            if point.config.pipeline_stages > 1:
+                assert point.sequential_area / point.area > 0.15
+
+    def test_results_cached(self):
+        first = evaluate_design(CoreConfig(), "EGFET")
+        second = evaluate_design(CoreConfig(), "EGFET")
+        assert first is second
+
+    @pytest.mark.slow
+    def test_cnt_sweep_much_faster_same_shape(self, egfet_sweep):
+        cnt = sweep_design_space("CNT-TFT")
+        for egfet_point, cnt_point in zip(egfet_sweep, cnt):
+            assert cnt_point.fmax > 100 * egfet_point.fmax
+            assert cnt_point.area < egfet_point.area
+
+
+class TestPareto:
+    def test_dominates(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (2, 2))
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (2, 2))
+
+    def test_front_extraction(self):
+        items = [(1, 4), (2, 2), (4, 1), (3, 3), (4, 4)]
+        front = pareto_front(items, lambda item: item)
+        assert set(front) == {(1, 4), (2, 2), (4, 1)}

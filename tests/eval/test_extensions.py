@@ -1,0 +1,90 @@
+"""Tests for the extension studies (instruction cache, throttling)."""
+
+import pytest
+
+from repro.eval.extensions import (
+    evaluate_with_icache,
+    throttle_power,
+    throttled_operating_point,
+)
+from repro.eval.system import evaluate_system
+from repro.memory.icache import icache_cost, simulate_icache
+from repro.errors import MemoryModelError
+from repro.pdk import egfet_library
+from repro.power.battery import battery_by_name
+from repro.programs import build_benchmark
+from repro.units import mW
+
+
+class TestCacheSimulator:
+    def test_loop_trace_hits_after_first_pass(self):
+        trace = list(range(8)) * 10  # 8-instruction loop, 10 passes
+        result = simulate_icache(trace, words=8)
+        assert result.misses == 8
+        assert result.hits == 72
+
+    def test_too_small_cache_thrashes(self):
+        trace = list(range(8)) * 10
+        result = simulate_icache(trace, words=4)
+        assert result.hit_rate == 0.0  # direct-mapped conflict misses
+
+    def test_straightline_trace_never_hits(self):
+        result = simulate_icache(range(100), words=16)
+        assert result.hits == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(MemoryModelError):
+            simulate_icache([0], words=3)
+
+    def test_cost_scales_with_words(self):
+        library = egfet_library()
+        small = icache_cost(library, 8, 24)
+        large = icache_cost(library, 64, 24)
+        assert large.area > 4 * small.area
+
+
+class TestICacheStudy:
+    def test_cnt_loop_kernels_speed_up(self):
+        """The paper's future-work hypothesis holds: a loop cache hides
+        the 302 us CNT ROM latency for loop-dominated kernels."""
+        study = evaluate_with_icache(build_benchmark("crc8", 8, 8), 32, "CNT-TFT")
+        assert study.hit_rate > 0.9
+        assert study.speedup > 1.1
+
+    def test_straightline_dtree_does_not_benefit(self):
+        study = evaluate_with_icache(build_benchmark("dTree", 8, 8), 32, "CNT-TFT")
+        assert study.hit_rate == 0.0
+        assert study.speedup < 1.0
+
+    def test_egfet_never_benefits(self):
+        """On EGFET the core cycle dominates and latch storage is
+        ruinously expensive -- the cache is a strict loss."""
+        study = evaluate_with_icache(build_benchmark("mult", 8, 8), 32, "EGFET")
+        assert study.speedup < 1.0
+        assert study.area_overhead > 0.5
+
+
+class TestThrottling:
+    def test_within_budget_unthrottled(self):
+        battery = battery_by_name("Blue Spark 30")
+        point = throttle_power(mW(5), 1.0, battery)
+        assert not point.throttled
+        assert point.throttled_time_per_iteration == 1.0
+
+    def test_cnt_core_power_must_throttle(self):
+        """Section 8: CNT cores at nominal frequency out-draw printed
+        batteries and must be clocked down."""
+        from repro.dse.sweep import evaluate_design
+        from repro.coregen.config import CoreConfig
+
+        battery = battery_by_name("Blue Spark 30")
+        cnt = evaluate_design(CoreConfig(datawidth=8), "CNT-TFT")
+        point = throttle_power(cnt.power_at_fmax, 1.0, battery)
+        assert point.throttled
+        assert point.throttled_time_per_iteration > 1.0
+
+    def test_system_wrapper(self):
+        metrics = evaluate_system(build_benchmark("mult", 8, 8))
+        battery = battery_by_name("Molex")
+        point = throttled_operating_point(metrics, battery)
+        assert point.nominal_power == pytest.approx(metrics.average_power)

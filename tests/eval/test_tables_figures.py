@@ -1,0 +1,72 @@
+"""Consistency tests for the table/figure regeneration layer."""
+
+import pytest
+
+from repro.eval import figures, tables
+from repro.eval.report import render_table, render_series
+
+
+class TestTables:
+    @pytest.mark.parametrize(
+        "table,expected_rows",
+        [
+            (tables.table1_technologies, 9),
+            (tables.table2_standard_cells, 11),
+            (tables.table3_applications, 17),
+            (tables.table4_baseline_cores, 4),
+            (tables.table6_memory_devices, 6),
+            (tables.table7_program_specific, 7),
+        ],
+    )
+    def test_row_counts_and_shape(self, table, expected_rows):
+        headers, rows = table()
+        assert len(rows) == expected_rows
+        assert all(len(row) == len(headers) for row in rows)
+
+    def test_table5_covers_all_cores_and_benchmarks(self):
+        headers, rows = tables.table5_imem_overhead()
+        assert len(rows) == 4
+        assert len(headers) == 1 + 2 * len(tables.TABLE5_BENCHMARKS)
+
+    def test_table8_structure(self):
+        headers, rows = tables.table8_battery_iterations()
+        assert len(rows) == 7
+        assert headers[1:] == (
+            "8-bit STD", "8-bit PS", "16-bit STD", "16-bit PS",
+            "32-bit STD", "32-bit PS",
+        )
+
+    def test_rendering_is_aligned(self):
+        text = render_table("T", ("a", "bee"), [(1, 2.5), (333, "x")])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[2:5]}) == 1
+
+    def test_render_series(self):
+        text = render_series("S", [(1.0, 2.0)], ("x", "y"))
+        assert "S" in text and "x" in text
+
+
+class TestFigures:
+    def test_fig6_covers_all_instructions(self):
+        rows = figures.fig6_isa_listing()
+        assert len(rows) == 19
+        mnemonics = {row[0] for row in rows}
+        assert {"ADD", "SETBAR", "BRN", "RRA"} <= mnemonics
+
+    def test_fig4_series_structure(self):
+        series = figures.fig4_lifetime()
+        assert len(series) == 16
+        for s in series:
+            assert len(s.points) == len(figures.DUTY_FRACTIONS)
+
+    def test_fig8_core_roster_filters_by_support(self):
+        # crc8 runs on the 8-bit cores only, plus its PS system.
+        results = figures.fig8_benchmark("crc8", 8)
+        names = [m.core_name for m in results]
+        assert all(name.split("_")[1] == "8" for name in names)
+        assert names[-1].endswith("_ps")
+
+    def test_fig8_dtree_native_only(self):
+        results = figures.fig8_benchmark("dTree", 16)
+        assert all(m.core_name.split("_")[1] == "16" for m in results)

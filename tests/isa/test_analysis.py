@@ -1,0 +1,87 @@
+"""Tests for the program-specific ISA static analysis (Section 7)."""
+
+from repro.isa.analysis import analyze_program, flags_consumed
+from repro.isa.assembler import assemble
+from repro.isa.spec import Flag
+
+
+class TestPcWidth:
+    def test_small_program_small_pc(self):
+        program = assemble(".word x\nSTORE x, 1\nHALT\n")
+        assert analyze_program(program).pc_bits == 1
+
+    def test_sixteen_instructions_need_four_bits(self):
+        body = "\n".join(["STORE x, 1"] * 15) + "\nHALT\n"
+        program = assemble(".word x\n" + body)
+        assert analyze_program(program).pc_bits == 4
+
+    def test_seventeen_instructions_need_five_bits(self):
+        body = "\n".join(["STORE x, 1"] * 16) + "\nHALT\n"
+        program = assemble(".word x\n" + body)
+        assert analyze_program(program).pc_bits == 5
+
+
+class TestBarInventory:
+    def test_no_bars_when_only_absolute_addressing(self):
+        program = assemble(".word x\n.word y\nADD x, y\nHALT\n")
+        analysis = analyze_program(program)
+        assert analysis.num_bars == 0
+        assert analysis.bar_bits is None
+
+    def test_bars_counted_when_used(self):
+        program = assemble(".array buf 16\nSETBAR 1, 8\nADD b1:0, b1:1\nHALT\n")
+        analysis = analyze_program(program)
+        assert analysis.num_bars == 1
+        assert analysis.bar_bits is not None
+
+    def test_bar_bits_track_data_footprint(self):
+        program = assemble("SETBAR 1, 0\nADD b1:0, b1:1\nHALT\n")
+        small = analyze_program(program, data_words=4)
+        large = analyze_program(program, data_words=200)
+        assert small.bar_bits < large.bar_bits
+
+
+class TestFlagInventory:
+    def test_branch_masks_counted(self):
+        program = assemble(".word x\nloop:\nCMP x, x\nBR loop, Z\nHALT\n")
+        assert flags_consumed(program) == frozenset({Flag.Z})
+
+    def test_carry_chain_counts_carry(self):
+        program = assemble(".word x\n.word y\nADD x, y\nADC x, y\nHALT\n")
+        assert Flag.C in flags_consumed(program)
+
+    def test_setting_flags_alone_does_not_count(self):
+        """ADD sets all four flags but consumes none."""
+        program = assemble(".word x\n.word y\nADD x, y\n")
+        assert flags_consumed(program) == frozenset()
+
+    def test_straightline_no_flags(self):
+        program = assemble(".word x\nSTORE x, 1\n")
+        analysis = analyze_program(program)
+        assert analysis.num_flags == 0
+
+
+class TestInstructionShrink:
+    def test_instruction_never_exceeds_24_bits(self):
+        source = (
+            ".width 8\n.bars 2\n.array buf 100\n"
+            "SETBAR 1, 99\nADD b1:60, b1:61\nSTORE buf+90, 255\nHALT\n"
+        )
+        analysis = analyze_program(assemble(source))
+        assert analysis.instruction_bits <= 24
+
+    def test_tiny_program_shrinks_well_below_24(self):
+        program = assemble(".word x\n.word y\nADD x, y\nHALT\n")
+        analysis = analyze_program(program)
+        assert analysis.instruction_bits < 16
+
+    def test_larger_addresses_cost_operand_bits(self):
+        small = analyze_program(assemble(".word x\n.word y\nADD x, y\nHALT\n"))
+        wide_source = ".array buf 120\nADD buf+100, buf+110\nHALT\n"
+        wide = analyze_program(assemble(wide_source))
+        assert wide.operand1_bits > small.operand1_bits
+
+    def test_halt_only_program(self):
+        analysis = analyze_program(assemble("HALT\n"))
+        assert analysis.pc_bits == 0
+        assert analysis.instruction_bits >= 8  # opcode + control survive

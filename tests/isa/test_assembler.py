@@ -1,0 +1,124 @@
+"""Tests for the two-pass assembler and disassembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.spec import Flag, MemOperand, Mnemonic
+
+
+class TestDirectives:
+    def test_width_and_bars(self):
+        program = assemble(".width 16\n.bars 4\nHALT\n")
+        assert program.datawidth == 16
+        assert program.num_bars == 4
+
+    def test_word_allocation_sequential(self):
+        program = assemble(".word a 3\n.word b\n.word c 9\nHALT\n")
+        assert program.symbols == {"a": 0, "b": 1, "c": 2}
+        assert program.data == {0: 3, 2: 9}
+
+    def test_array_allocation_with_init(self):
+        program = assemble(".array buf 4 10 20\n.word after\nHALT\n")
+        assert program.symbols == {"buf": 0, "after": 4}
+        assert program.data == {0: 10, 1: 20}
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus 1\n")
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate data symbol"):
+            assemble(".word a\n.word a\n")
+
+
+class TestInstructions:
+    def test_basic_memory_memory(self):
+        program = assemble(".word x\n.word y\nADD x, y\n")
+        [add] = program.instructions
+        assert add.mnemonic is Mnemonic.ADD
+        assert add.dst == MemOperand(0)
+        assert add.src == MemOperand(1)
+
+    def test_bar_relative_operand(self):
+        program = assemble("ADD b1:3, b1:4\n")
+        [add] = program.instructions
+        assert add.dst == MemOperand(offset=3, bar=1)
+
+    def test_symbol_plus_offset(self):
+        program = assemble(".array buf 8\nADD buf+2, buf+3\n")
+        [add] = program.instructions
+        assert add.dst.offset == 2
+
+    def test_store_and_setbar(self):
+        program = assemble(".word x\n.word ptr\nSTORE x, 0x1F\nSETBAR 1, ptr\n")
+        store, setbar = program.instructions
+        assert store.imm == 0x1F
+        assert setbar.bar_index == 1
+        assert setbar.src == MemOperand(1)  # ptr's address
+
+    def test_branch_with_flag_letters(self):
+        source = "loop:\nBR loop, CZ\nBRN loop, 0\n"
+        program = assemble(source)
+        br, brn = program.instructions
+        assert br.target == 0
+        assert br.mask == int(Flag.C | Flag.Z)
+        assert brn.mask == 0
+
+    def test_forward_label(self):
+        program = assemble("BRN done, 0\nHALT\ndone:\nHALT\n")
+        assert program.instructions[0].target == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("FROB x, y\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 2 operands"):
+            assemble(".word x\nADD x\n")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("; comment\n\nFROB x, y\n")
+        assert excinfo.value.line == 3
+
+
+class TestPseudoInstructions:
+    def test_halt_is_self_branch(self):
+        program = assemble("HALT\n")
+        [halt] = program.instructions
+        assert halt.mnemonic is Mnemonic.BRN
+        assert halt.target == 0
+        assert halt.mask == 0
+
+    def test_mov_expands_to_xor_or(self):
+        program = assemble(".word a\n.word b\nMOV a, b\n")
+        xor, or_ = program.instructions
+        assert xor.mnemonic is Mnemonic.XOR
+        assert xor.dst == xor.src == MemOperand(0)
+        assert or_.mnemonic is Mnemonic.OR
+        assert or_.src == MemOperand(1)
+
+    def test_labels_account_for_pseudo_sizes(self):
+        source = ".word a\n.word b\nMOV a, b\ntarget:\nHALT\nBRN target, 0\n"
+        program = assemble(source)
+        assert program.instructions[3].target == 2
+
+
+class TestDisassembler:
+    def test_round_trip_through_text(self):
+        source = (
+            ".width 8\n.bars 2\n.word x 1\n.word y 2\n"
+            "loop:\nADD x, y\nADC b1:3, y\nCMP x, y\nBR loop, Z\n"
+            "STORE x, 200\nSETBAR 1, y\nRRA x, x\nHALT\n"
+        )
+        program = assemble(source, name="rt")
+        text = disassemble_program(program)
+        for expected in ("ADD 0, 1", "ADC b1:3, 1", "BR 0, Z", "STORE 0, 200",
+                         "SETBAR 1, 1", "RRA 0, 0", "BRN 7, 0"):
+            assert expected in text
+
+    def test_mask_letters(self):
+        program = assemble("x:\nBR x, SZCV\n")
+        assert disassemble(program.instructions[0]) == "BR 0, SZCV"

@@ -1,0 +1,128 @@
+"""Round-trip and format tests for the 24-bit TP-ISA encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa.encoding import (
+    INSTRUCTION_BITS,
+    decode,
+    decode_operand,
+    encode,
+    encode_operand,
+    encode_program,
+)
+from repro.isa.spec import Instruction, MemOperand, Mnemonic, OP_TABLE, UNARY_OPS
+
+
+def m_type_instructions(num_bars):
+    offset_bits = 8 - (num_bars - 1).bit_length()
+    mnemonics = [m for m, s in OP_TABLE.items() if s.fmt == "M"]
+    operand = st.builds(
+        MemOperand,
+        offset=st.integers(0, (1 << offset_bits) - 1),
+        bar=st.integers(0, num_bars - 1),
+    )
+    return st.builds(
+        Instruction,
+        mnemonic=st.sampled_from(mnemonics),
+        dst=operand,
+        src=operand,
+    )
+
+
+class TestOperandField:
+    def test_two_bar_split(self):
+        field = encode_operand(MemOperand(offset=5, bar=1), num_bars=2)
+        assert field == 0x80 | 5
+        assert decode_operand(field, num_bars=2) == MemOperand(offset=5, bar=1)
+
+    def test_four_bar_split(self):
+        field = encode_operand(MemOperand(offset=5, bar=3), num_bars=4)
+        assert field == (3 << 6) | 5
+        assert decode_operand(field, num_bars=4) == MemOperand(offset=5, bar=3)
+
+    def test_single_bar_uses_whole_byte(self):
+        field = encode_operand(MemOperand(offset=200), num_bars=1)
+        assert field == 200
+
+    def test_offset_overflow_rejected(self):
+        with pytest.raises(IsaError):
+            encode_operand(MemOperand(offset=128), num_bars=2)
+
+    def test_bar_overflow_rejected(self):
+        with pytest.raises(IsaError):
+            encode_operand(MemOperand(offset=0, bar=2), num_bars=2)
+
+    def test_non_power_of_two_bars_rejected(self):
+        with pytest.raises(IsaError):
+            encode_operand(MemOperand(offset=0), num_bars=3)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150)
+    @given(instruction=m_type_instructions(2))
+    def test_m_type_round_trip_2bar(self, instruction):
+        word = encode(instruction, num_bars=2)
+        assert 0 <= word < (1 << INSTRUCTION_BITS)
+        assert decode(word, num_bars=2) == instruction
+
+    @settings(max_examples=150)
+    @given(instruction=m_type_instructions(4))
+    def test_m_type_round_trip_4bar(self, instruction):
+        word = encode(instruction, num_bars=4)
+        assert decode(word, num_bars=4) == instruction
+
+    @settings(max_examples=60)
+    @given(offset=st.integers(0, 127), imm=st.integers(0, 255))
+    def test_store_round_trip(self, offset, imm):
+        instruction = Instruction(Mnemonic.STORE, dst=MemOperand(offset), imm=imm)
+        assert decode(encode(instruction)) == instruction
+
+    @settings(max_examples=60)
+    @given(bar=st.integers(1, 3), pointer=st.integers(0, 255))
+    def test_setbar_round_trip(self, bar, pointer):
+        instruction = Instruction(
+            Mnemonic.SETBAR, bar_index=bar, src=MemOperand(pointer)
+        )
+        assert decode(encode(instruction, num_bars=4), num_bars=4) == instruction
+
+    @settings(max_examples=60)
+    @given(
+        target=st.integers(0, 255),
+        mask=st.integers(0, 15),
+        mnemonic=st.sampled_from([Mnemonic.BR, Mnemonic.BRN]),
+    )
+    def test_branch_round_trip(self, target, mask, mnemonic):
+        instruction = Instruction(mnemonic, target=target, mask=mask)
+        assert decode(encode(instruction)) == instruction
+
+
+class TestFormat:
+    def test_opcode_in_top_nibble(self):
+        add = Instruction(Mnemonic.ADD, dst=MemOperand(0), src=MemOperand(0))
+        assert (encode(add) >> 20) == OP_TABLE[Mnemonic.ADD].opcode
+
+    def test_add_family_shares_opcode(self):
+        specs = [OP_TABLE[m] for m in (Mnemonic.ADD, Mnemonic.ADC, Mnemonic.SUB, Mnemonic.CMP, Mnemonic.SBB)]
+        assert len({s.opcode for s in specs}) == 1
+        assert len({s.control_bits for s in specs}) == 5
+
+    def test_undefined_word_rejected(self):
+        with pytest.raises(IsaError):
+            decode(0xF00000)  # opcode 15 undefined
+
+    def test_out_of_range_word_rejected(self):
+        with pytest.raises(IsaError):
+            decode(1 << 24)
+
+    def test_encode_program_produces_24bit_words(self):
+        instructions = [
+            Instruction(Mnemonic.STORE, dst=MemOperand(0), imm=1),
+            Instruction(Mnemonic.ADD, dst=MemOperand(0), src=MemOperand(0)),
+            Instruction(Mnemonic.BRN, target=2, mask=0),
+        ]
+        words = encode_program(instructions)
+        assert len(words) == 3
+        assert all(0 <= w < (1 << 24) for w in words)

@@ -1,0 +1,48 @@
+"""Toolchain round-trip tests: disassemble -> reassemble -> identical
+binaries, over every generated benchmark kernel."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble_program
+from repro.isa.encoding import encode_program
+from repro.programs import BENCHMARKS, build_benchmark, runnable_configurations
+
+
+def reassemble(program):
+    """Feed the disassembly listing back through the assembler."""
+    lines = []
+    for line in disassemble_program(program).splitlines():
+        if line.startswith(";"):
+            continue
+        if ":" in line and line.lstrip()[0].isdigit():
+            # Strip the "  12:  " address prefix; keep directives.
+            line = line.split(":", 1)[1]
+        lines.append(line.strip())
+    return assemble("\n".join(lines), name=program.name)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_disassembly_reassembles_identically(name):
+    kernel_width, core_width = runnable_configurations(name)[0]
+    program = build_benchmark(name, kernel_width, core_width)
+    rebuilt = reassemble(program)
+    assert rebuilt.datawidth == program.datawidth
+    assert rebuilt.num_bars == program.num_bars
+    assert encode_program(rebuilt.instructions, program.num_bars) == \
+        encode_program(program.instructions, program.num_bars)
+
+
+def test_roundtrip_preserves_every_mnemonic():
+    source = (
+        ".width 8\n.bars 2\n.word x 1\n.word y 2\n.word p 0\n"
+        "start:\n"
+        "ADD x, y\nADC x, y\nSUB x, y\nCMP x, y\nSBB x, y\n"
+        "AND x, y\nTEST x, y\nOR x, y\nXOR x, y\nNOT x, y\n"
+        "RL x, x\nRLC x, x\nRR x, x\nRRC x, x\nRRA x, x\n"
+        "STORE x, 42\nSETBAR 1, p\n"
+        "BR start, SZCV\nBRN 18, 0\n"
+    )
+    program = assemble(source, name="all_ops")
+    rebuilt = reassemble(program)
+    assert encode_program(rebuilt.instructions) == encode_program(program.instructions)

@@ -1,0 +1,121 @@
+"""Tests for the TP-ISA specification tables."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.spec import (
+    CARRY_CONSUMERS,
+    Flag,
+    Instruction,
+    MemOperand,
+    Mnemonic,
+    OP_TABLE,
+    UNARY_OPS,
+)
+
+
+class TestOpTable:
+    def test_all_nineteen_instructions_present(self):
+        assert len(OP_TABLE) == 19
+        assert set(OP_TABLE) == set(Mnemonic)
+
+    def test_opcode_control_pairs_unique(self):
+        pairs = [(s.opcode, s.control_bits) for s in OP_TABLE.values()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_writeback_bit_matches_memory_write(self):
+        for mnemonic, spec in OP_TABLE.items():
+            if spec.fmt == "M" or mnemonic is Mnemonic.STORE:
+                assert spec.writes == bool(spec.w)
+
+    def test_compare_and_test_do_not_write(self):
+        assert not OP_TABLE[Mnemonic.CMP].writes
+        assert not OP_TABLE[Mnemonic.TEST].writes
+
+    def test_branches_flagged(self):
+        assert OP_TABLE[Mnemonic.BR].b == 1
+        assert OP_TABLE[Mnemonic.BRN].b == 1
+        assert all(
+            spec.b == 0
+            for m, spec in OP_TABLE.items()
+            if m not in (Mnemonic.BR, Mnemonic.BRN)
+        )
+
+    def test_carry_consumers_have_c_bit(self):
+        for mnemonic in CARRY_CONSUMERS:
+            assert OP_TABLE[mnemonic].c == 1
+
+    def test_subset_relation_to_light8080_msp430(self):
+        """Section 5.1: arithmetic/logic ops are a strict subset of the
+        baselines' -- i.e. nothing exotic like popcount or barrel
+        shifts appears in the table."""
+        names = {m.value for m in Mnemonic}
+        assert "POPCNT" not in names
+        assert "SHL" not in names and "SHR" not in names
+
+
+class TestInstructionValidation:
+    def test_m_type_requires_both_operands(self):
+        with pytest.raises(IsaError):
+            Instruction(Mnemonic.ADD, dst=MemOperand(0))
+
+    def test_store_requires_immediate(self):
+        with pytest.raises(IsaError):
+            Instruction(Mnemonic.STORE, dst=MemOperand(0))
+        with pytest.raises(IsaError):
+            Instruction(Mnemonic.STORE, dst=MemOperand(0), imm=300)
+
+    def test_setbar_zero_rejected(self):
+        """BAR[0] is hardwired to zero (Section 5.2)."""
+        with pytest.raises(IsaError, match="hardwired"):
+            Instruction(Mnemonic.SETBAR, bar_index=0, src=MemOperand(5))
+
+    def test_setbar_pointer_must_be_absolute(self):
+        with pytest.raises(IsaError, match="absolute"):
+            Instruction(Mnemonic.SETBAR, bar_index=1, src=MemOperand(5, bar=1))
+
+    def test_setbar_reads_its_pointer(self):
+        setbar = Instruction(Mnemonic.SETBAR, bar_index=1, src=MemOperand(5))
+        assert setbar.memory_reads() == [MemOperand(5)]
+        assert setbar.memory_write() is None
+
+    def test_branch_ranges(self):
+        with pytest.raises(IsaError):
+            Instruction(Mnemonic.BR, target=256, mask=0)
+        with pytest.raises(IsaError):
+            Instruction(Mnemonic.BR, target=0, mask=16)
+
+    def test_negative_operand_rejected(self):
+        with pytest.raises(IsaError):
+            MemOperand(-1)
+
+    def test_memory_reads_binary_vs_unary(self):
+        binary = Instruction(Mnemonic.ADD, dst=MemOperand(1), src=MemOperand(2))
+        unary = Instruction(Mnemonic.NOT, dst=MemOperand(1), src=MemOperand(2))
+        assert len(binary.memory_reads()) == 2
+        assert len(unary.memory_reads()) == 1
+        assert unary.memory_reads()[0].offset == 2
+
+    def test_memory_write_only_when_w(self):
+        compare = Instruction(Mnemonic.CMP, dst=MemOperand(1), src=MemOperand(2))
+        add = Instruction(Mnemonic.ADD, dst=MemOperand(1), src=MemOperand(2))
+        assert compare.memory_write() is None
+        assert add.memory_write().offset == 1
+
+
+def test_flag_positions():
+    assert int(Flag.V) == 1
+    assert int(Flag.C) == 2
+    assert int(Flag.Z) == 4
+    assert int(Flag.S) == 8
+
+
+def test_unary_ops_are_rotates_and_not():
+    assert UNARY_OPS == {
+        Mnemonic.NOT,
+        Mnemonic.RL,
+        Mnemonic.RLC,
+        Mnemonic.RR,
+        Mnemonic.RRC,
+        Mnemonic.RRA,
+    }

@@ -1,0 +1,206 @@
+"""Tests for the TPC compiler: compiled programs vs Python semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_tpc
+from repro.lang.compiler import CompileError
+from repro.sim import Machine
+
+
+def run(source, datawidth=8, **pokes):
+    program = compile_tpc(source, datawidth=datawidth)
+    machine = Machine(program)
+    for symbol, value in pokes.items():
+        machine.load(symbol, value)
+    machine.run()
+    return machine
+
+
+class TestExpressions:
+    @settings(max_examples=30)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_arithmetic_wraps_at_width(self, a, b):
+        machine = run("var a\nvar b\nvar r\nr = a + b\n", a=a, b=b)
+        assert machine.peek("r") == (a + b) & 0xFF
+
+    @settings(max_examples=30)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), c=st.integers(0, 255))
+    def test_left_associativity(self, a, b, c):
+        machine = run("var a\nvar b\nvar c\nvar r\nr = a - b ^ c\n", a=a, b=b, c=c)
+        assert machine.peek("r") == (((a - b) & 0xFF) ^ c) & 0xFF
+
+    @settings(max_examples=30)
+    @given(a=st.integers(0, 255), k=st.integers(0, 7))
+    def test_shifts_are_logical(self, a, k):
+        machine = run(f"var a\nvar l\nvar r\nl = a << {k}\nr = a >> {k}\n", a=a)
+        assert machine.peek("l") == (a << k) & 0xFF
+        assert machine.peek("r") == a >> k
+
+    @settings(max_examples=20)
+    @given(a=st.integers(0, 255))
+    def test_bitwise_not(self, a):
+        machine = run("var a\nvar r\nr = ~a\n", a=a)
+        assert machine.peek("r") == (~a) & 0xFF
+
+    def test_constants_pooled_in_data(self):
+        program = compile_tpc("var x\nx = 5 + 5 + 5\n")
+        # One pooled slot for 5, not three.
+        fives = [a for a, v in program.data.items() if v == 5]
+        assert len(fives) == 1
+
+    def test_aliasing_safe(self):
+        machine = run("var x\nx = x + x\n", x=7)
+        assert machine.peek("x") == 14
+
+    def test_self_assignment_is_identity(self):
+        """Fuzzer-found regression: `c = c` must not zero c (the
+        XOR/OR copy idiom is destructive on self-copies)."""
+        machine = run("var c = 1\nc = c\n")
+        assert machine.peek("c") == 1
+
+    def test_program_too_large_rejected(self):
+        source = "var x\n" + "x = x + 1\n" * 90  # 3 instrs each > 256
+        with pytest.raises(CompileError, match="8-bit PC"):
+            compile_tpc(source)
+
+    @settings(max_examples=15)
+    @given(a=st.integers(0, 65535), b=st.integers(0, 65535))
+    def test_sixteen_bit_width(self, a, b):
+        machine = run("var a\nvar b\nvar r\nr = a ^ b\n", datawidth=16, a=a, b=b)
+        assert machine.peek("r") == a ^ b
+
+
+class TestControlFlow:
+    @settings(max_examples=25)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255),
+           op=st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+    def test_all_relations(self, a, b, op):
+        source = f"var a\nvar b\nvar r\nif a {op} b {{ r = 1 }} else {{ r = 2 }}\n"
+        machine = run(source, a=a, b=b)
+        expected = {
+            "==": a == b, "!=": a != b, "<": a < b,
+            "<=": a <= b, ">": a > b, ">=": a >= b,
+        }[op]
+        assert machine.peek("r") == (1 if expected else 2)
+
+    @settings(max_examples=15)
+    @given(n=st.integers(0, 30))
+    def test_while_loop(self, n):
+        source = (
+            "var n\nvar total = 0\n"
+            "while n != 0 { total = total + n n = n - 1 }\n"
+        )
+        machine = run(source, n=n)
+        assert machine.peek("total") == (n * (n + 1) // 2) & 0xFF
+
+    def test_nested_control(self):
+        source = """
+        var i = 0
+        var evens = 0
+        var odds = 0
+        while i < 10 {
+            if (i & 1) == 0 { evens = evens + 1 } else { odds = odds + 1 }
+            i = i + 1
+        }
+        """
+        machine = run(source)
+        assert machine.peek("evens") == 5
+        assert machine.peek("odds") == 5
+
+
+class TestArrays:
+    def test_read_write_dynamic_index(self):
+        source = """
+        var a[8]
+        var i = 0
+        while i < 8 { a[i] = i << 1 i = i + 1 }
+        var x
+        x = a[3] + a[7]
+        """
+        machine = run(source)
+        assert machine.peek("x") == 6 + 14
+
+    def test_bubble_sort_compiles_and_sorts(self):
+        source = """
+        var a[8] = {9, 3, 7, 1, 8, 2, 6, 4}
+        var i = 0
+        var j = 0
+        var t = 0
+        while i < 8 {
+            j = 0
+            while j < 7 {
+                if a[j] > a[j + 1] {
+                    t = a[j]
+                    a[j] = a[j + 1]
+                    a[j + 1] = t
+                }
+                j = j + 1
+            }
+            i = i + 1
+        }
+        """
+        program = compile_tpc(source, name="bubble")
+        machine = Machine(program)
+        machine.run()
+        base = program.address_of("a")
+        assert [machine.peek(base + k) for k in range(8)] == [1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_array_without_index_rejected(self):
+        with pytest.raises(CompileError, match="without an index"):
+            compile_tpc("var a[4]\nvar x\nx = a\n")
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(CompileError, match="not an array"):
+            compile_tpc("var x\nvar y\ny = x[0]\n")
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_tpc("x = 1\nvar x\n" if False else "x = 1\n")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_tpc("var x\nvar x\n")
+
+    def test_constant_too_wide(self):
+        with pytest.raises(CompileError, match="exceeds"):
+            compile_tpc("var x\nx = 300\n")
+
+    def test_data_memory_overflow(self):
+        with pytest.raises(CompileError, match="256-word"):
+            compile_tpc("var a[200]\nvar b[100]\n")
+
+
+class TestIntegration:
+    def test_compiled_program_cosimulates(self):
+        """A compiled TPC program is a first-class citizen: it runs on
+        the gate-level core identically to the ISS."""
+        from repro.coregen.cosim import cosim_verify
+
+        program = compile_tpc(
+            "var n = 9\nvar total = 0\n"
+            "while n != 0 { total = total + n n = n - 1 }\n",
+            name="tpc_sum",
+        )
+        assert cosim_verify(program) == []
+
+    def test_compiled_program_shrinks_program_specific(self):
+        from repro.isa.analysis import analyze_program
+
+        program = compile_tpc("var x = 1\nx = x + 1\n")
+        analysis = analyze_program(program)
+        assert analysis.instruction_bits < 24
+
+    def test_compiled_program_evaluates_as_system(self):
+        from repro.eval.system import evaluate_system
+
+        program = compile_tpc(
+            "var n = 5\nvar f = 1\n"
+            "while n != 0 { f = f + f n = n - 1 }\n",
+            name="tpc_pow2",
+        )
+        metrics = evaluate_system(program)
+        assert metrics.total_energy > 0

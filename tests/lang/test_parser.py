@@ -1,0 +1,89 @@
+"""Tests for the TPC tokenizer and parser."""
+
+import pytest
+
+from repro.lang.parser import (
+    Assign, Binary, Condition, If, Index, Name, Number, ParseError, Unary,
+    VarDecl, While, parse, tokenize,
+)
+
+
+class TestTokenizer:
+    def test_numbers_in_three_bases(self):
+        tokens = tokenize("10 0x1F 0b101")
+        assert [t.text for t in tokens[:-1]] == ["10", "0x1F", "0b101"]
+
+    def test_comments_and_whitespace_skipped(self):
+        tokens = tokenize("a = 1 # set a\nb = 2\n")
+        assert [t.text for t in tokens[:-1]] == ["a", "=", "1", "b", "=", "2"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a << 1 <= == != >>")
+        texts = [t.text for t in tokens[:-1]]
+        assert "<<" in texts and "<=" in texts and "==" in texts
+
+    def test_stray_character_rejected(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a = $")
+
+
+class TestDeclarations:
+    def test_scalar_with_init(self):
+        module = parse("var x = 7\n")
+        assert module.declarations == (VarDecl("x", init=(7,)),)
+
+    def test_array_with_initializers(self):
+        module = parse("var a[4] = {1, 2, 3}\n")
+        [decl] = module.declarations
+        assert decl.is_array and decl.length == 4 and decl.init == (1, 2, 3)
+
+    def test_too_many_initializers_rejected(self):
+        with pytest.raises(ParseError, match="initializers"):
+            parse("var a[2] = {1, 2, 3}\n")
+
+
+class TestStatements:
+    def test_assignment_tree(self):
+        module = parse("var x\nvar y\nx = y + 2 & 3\n")
+        [assign] = module.statements
+        assert isinstance(assign, Assign)
+        # Left associative, no precedence: (y + 2) & 3.
+        assert assign.value == Binary("&", Binary("+", Name("y"), Number(2)), Number(3))
+
+    def test_parentheses_override(self):
+        module = parse("var x\nx = 1 + (2 & 3)\n")
+        [assign] = module.statements
+        assert assign.value == Binary("+", Number(1), Binary("&", Number(2), Number(3)))
+
+    def test_if_else(self):
+        module = parse("var x\nif x < 3 { x = 1 } else { x = 2 }\n")
+        [node] = module.statements
+        assert isinstance(node, If)
+        assert node.condition == Condition("<", Name("x"), Number(3))
+        assert len(node.then_body) == 1 and len(node.else_body) == 1
+
+    def test_while_with_array(self):
+        module = parse("var a[4]\nvar i\nwhile i != 4 { a[i] = i i = i + 1 }\n")
+        [loop] = module.statements
+        assert isinstance(loop, While)
+        assert isinstance(loop.body[0].target, Index)
+
+    def test_unary_not(self):
+        module = parse("var x\nx = ~x\n")
+        assert module.statements[0].value == Unary(Name("x"))
+
+    def test_shift_amount_must_be_constant(self):
+        with pytest.raises(ParseError, match="constant"):
+            parse("var x\nvar y\nx = x << y\n")
+
+    def test_condition_requires_comparison(self):
+        with pytest.raises(ParseError, match="comparison"):
+            parse("var x\nif x { x = 1 }\n")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse("var x\nwhile x != 0 { x = x - 1\n")

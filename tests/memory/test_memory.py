@@ -1,0 +1,122 @@
+"""Tests for the printed memory-array models against Section 6 anchors."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory import CrosspointRom, SramArray, WormMemory
+from repro.memory.adc import adc_for_depth, quantization_levels
+from repro.memory.devices import (
+    CNT_MEMORY_DEVICES,
+    EGFET_MEMORY_DEVICES,
+    memory_devices,
+)
+from repro.units import mm2, to_mm2, us
+
+
+class TestDeviceTables:
+    def test_table6_values_locked(self):
+        ram = EGFET_MEMORY_DEVICES["ram_bit"]
+        assert ram.area == pytest.approx(mm2(0.84))
+        assert ram.delay == pytest.approx(2.5e-3)
+        rom = EGFET_MEMORY_DEVICES["rom_bit"]
+        assert rom.area == pytest.approx(mm2(0.05))
+
+    def test_rom_beats_ram_by_published_ratios(self):
+        """Section 6 headline: 5.77x power, 16.8x area, 2.42x delay."""
+        ram = EGFET_MEMORY_DEVICES["ram_bit"]
+        rom = EGFET_MEMORY_DEVICES["rom_bit"]
+        assert ram.active_power / rom.active_power == pytest.approx(5.77, rel=0.01)
+        assert ram.area / rom.area == pytest.approx(16.8, rel=0.01)
+        assert ram.delay / rom.delay == pytest.approx(2.42, rel=0.01)
+
+    def test_cnt_rom_delay_anchored_to_302us(self):
+        assert CNT_MEMORY_DEVICES["rom_bit"].delay == pytest.approx(us(302))
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(MemoryModelError):
+            memory_devices("TTL")
+
+
+class TestCrosspointRom:
+    def test_published_16x9_example(self):
+        """Section 6: 9 sub-blocks, 220 transistors, 52 pull-ups,
+        20.42 mm^2."""
+        rom = CrosspointRom(words=16, bits_per_word=9)
+        assert rom.subblocks == 9
+        assert rom.transistors == pytest.approx(220, abs=5)
+        assert rom.pullup_resistors == pytest.approx(52, abs=4)
+        assert to_mm2(rom.area) == pytest.approx(20.42, rel=0.02)
+
+    def test_half_the_area_of_worm(self):
+        rom = CrosspointRom(words=16, bits_per_word=9)
+        worm = WormMemory(16, 9)
+        assert worm.area / rom.area > 2.0
+        assert worm.transistors > rom.transistors + rom.pullup_resistors
+
+    def test_mlc_reduces_area_about_30_percent(self):
+        """Section 8 (dTree-ROMopt): 2-bit MLC on a 256-word program
+        cuts instruction-memory area by almost 30%."""
+        base = CrosspointRom(256, 24)
+        mlc = CrosspointRom(256, 24, bits_per_cell=2)
+        reduction = 1 - mlc.area / base.area
+        assert 0.2 < reduction < 0.35
+
+    def test_mlc_needs_adcs_and_more_delay(self):
+        base = CrosspointRom(256, 24)
+        mlc = CrosspointRom(256, 24, bits_per_cell=2)
+        assert mlc.read_delay > base.read_delay
+        assert mlc.read_energy > base.read_energy
+
+    def test_scaling_with_words(self):
+        small = CrosspointRom(32, 24)
+        large = CrosspointRom(256, 24)
+        assert large.area > small.area
+        assert large.transistors > small.transistors
+
+    def test_average_power_includes_static(self):
+        rom = CrosspointRom(64, 24)
+        assert rom.average_power(0.0) == pytest.approx(rom.static_power)
+        assert rom.average_power(10.0) > rom.static_power
+
+    @pytest.mark.parametrize("kwargs", [
+        {"words": 0, "bits_per_word": 24},
+        {"words": 257, "bits_per_word": 24},
+        {"words": 16, "bits_per_word": 0},
+        {"words": 16, "bits_per_word": 24, "bits_per_cell": 3},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(MemoryModelError):
+            CrosspointRom(**kwargs)
+
+
+class TestSram:
+    def test_table5_accounting(self):
+        """Table 5 reproduces as bits x cell: a 32-word, 16-bit RAM
+        is ~4.3 cm^2 burning ~9.8 mW when continuously accessed."""
+        ram = SramArray(words=32, bits_per_word=16)
+        assert to_mm2(ram.area) == pytest.approx(430, rel=0.01)
+        assert ram.worst_case_power == pytest.approx(9.84e-3, rel=0.02)
+
+    def test_energy_scales_with_width_not_depth(self):
+        narrow = SramArray(words=64, bits_per_word=8)
+        wide = SramArray(words=64, bits_per_word=32)
+        deep = SramArray(words=256, bits_per_word=8)
+        assert wide.access_energy == pytest.approx(4 * narrow.access_energy)
+        assert deep.access_energy == pytest.approx(narrow.access_energy)
+        assert deep.static_power > narrow.static_power
+
+    def test_invalid_rejected(self):
+        with pytest.raises(MemoryModelError):
+            SramArray(words=0, bits_per_word=8)
+
+
+class TestAdc:
+    def test_depths(self):
+        assert adc_for_depth(2).name.startswith("2-bit ADC")
+        assert adc_for_depth(4).name.startswith("4-bit ADC")
+        with pytest.raises(MemoryModelError):
+            adc_for_depth(3)
+
+    def test_levels(self):
+        assert quantization_levels(2) == 4
+        assert quantization_levels(4) == 16

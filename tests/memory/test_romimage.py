@@ -1,0 +1,85 @@
+"""Tests for the print-ready ROM dot map and Intel HEX artifacts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IsaError, MemoryModelError
+from repro.isa.hexfile import dump_hex, load_hex
+from repro.memory.romimage import dot_map
+from repro.coregen.config import CoreConfig
+from repro.coregen.isa_map import encode_program_for_core
+from repro.programs import build_benchmark
+
+
+class TestDotMap:
+    @settings(max_examples=30)
+    @given(words=st.lists(st.integers(0, 0xFFFFFF), min_size=1, max_size=64))
+    def test_readback_matches_image(self, words):
+        image = dot_map(words, bits_per_word=24)
+        for address, word in enumerate(words):
+            assert image.word(address) == word
+
+    @settings(max_examples=30)
+    @given(words=st.lists(st.integers(0, 0xFFFFFF), min_size=1, max_size=64))
+    def test_dot_count_is_popcount(self, words):
+        image = dot_map(words, bits_per_word=24)
+        assert image.printed_dots == sum(bin(w).count("1") for w in words)
+
+    def test_real_program_dot_map(self):
+        program = build_benchmark("mult", 8, 8)
+        words = encode_program_for_core(program, CoreConfig(datawidth=8))
+        image = dot_map(words, bits_per_word=24)
+        assert 0.0 < image.dot_density < 1.0
+        art = image.render(subblock=0)
+        assert "#" in art or "." in art
+        assert art.count("\n") == image.rom.rows + 1
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(MemoryModelError):
+            dot_map([1 << 24], bits_per_word=24)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MemoryModelError):
+            dot_map([], bits_per_word=24)
+
+    def test_bad_subblock_rejected(self):
+        image = dot_map([1], bits_per_word=4)
+        with pytest.raises(MemoryModelError):
+            image.render(subblock=9)
+
+
+class TestIntelHex:
+    @settings(max_examples=40)
+    @given(words=st.lists(st.integers(0, 0xFFFFFF), min_size=1, max_size=80))
+    def test_round_trip(self, words):
+        assert load_hex(dump_hex(words)) == words
+
+    @settings(max_examples=20)
+    @given(words=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=40))
+    def test_round_trip_16bit_words(self, words):
+        text = dump_hex(words, bits_per_word=16)
+        assert load_hex(text, bits_per_word=16) == words
+
+    def test_format_is_standard(self):
+        text = dump_hex([0x123456])
+        lines = text.splitlines()
+        # 03 (count) 0000 (addr) 00 (type) 123456 (data) 61 (checksum)
+        assert lines[0] == ":0300000012345661"
+        assert lines[-1] == ":00000001FF"
+
+    def test_checksum_validation(self):
+        text = dump_hex([0x123456]).replace("61", "62", 1)
+        with pytest.raises(IsaError, match="checksum"):
+            load_hex(text)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(IsaError):
+            load_hex("not hex at all")
+        with pytest.raises(IsaError, match="start code"):
+            load_hex("0300000012345647")
+
+    def test_real_program_exports(self):
+        program = build_benchmark("crc8", 8, 8)
+        words = encode_program_for_core(program, CoreConfig(datawidth=8))
+        assert load_hex(dump_hex(words)) == words

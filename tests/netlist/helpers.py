@@ -1,0 +1,15 @@
+"""Shared helpers for netlist tests: build and evaluate small circuits."""
+
+from __future__ import annotations
+
+from repro.netlist.core import Netlist
+from repro.netlist.sim import CycleSimulator
+
+
+def evaluate(netlist: Netlist, **input_values: int) -> dict[str, int]:
+    """Settle a combinational netlist and return all output bus values."""
+    simulator = CycleSimulator(netlist)
+    for name, value in input_values.items():
+        simulator.set_input(name, value)
+    simulator.settle()
+    return {name: simulator.read_output(name) for name in netlist.outputs}

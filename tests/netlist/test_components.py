@@ -1,0 +1,231 @@
+"""Property-based and unit tests for datapath components.
+
+Every arithmetic component is compared against plain integer semantics
+across hypothesis-generated operand values.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.netlist.components import (
+    add_subtract,
+    bitwise,
+    decoder,
+    equals_const,
+    incrementer,
+    is_zero,
+    mux_bus,
+    mux_tree,
+    ripple_adder,
+    rotate_left,
+    rotate_right,
+    zero_extend,
+)
+from repro.netlist.core import CONST0, CONST1, Netlist, constant_bus
+from tests.netlist.helpers import evaluate
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+values = st.integers(min_value=0, max_value=MASK)
+
+
+def build_io(width=WIDTH):
+    n = Netlist("t")
+    a = n.input_bus("a", width)
+    b = n.input_bus("b", width)
+    return n, a, b
+
+
+@settings(max_examples=60)
+@given(a=values, b=values, cin=st.integers(0, 1))
+def test_ripple_adder_matches_integer_addition(a, b, cin):
+    n, abus, bbus = build_io()
+    cin_net = n.input_bus("cin", 1)
+    total, cout = ripple_adder(n, abus.nets, bbus.nets, cin_net[0])
+    n.output_bus("sum", total.nets)
+    n.output_bus("cout", [cout])
+    out = evaluate(n, a=a, b=b, cin=cin)
+    expected = a + b + cin
+    assert out["sum"] == expected & MASK
+    assert out["cout"] == expected >> WIDTH
+
+
+@settings(max_examples=60)
+@given(a=values, b=values)
+def test_subtract_matches_twos_complement(a, b):
+    n, abus, bbus = build_io()
+    total, cout, _ = add_subtract(n, abus.nets, bbus.nets, subtract=CONST1)
+    n.output_bus("diff", total.nets)
+    n.output_bus("cout", [cout])
+    out = evaluate(n, a=a, b=b)
+    assert out["diff"] == (a - b) & MASK
+    # Carry-out is the "no borrow" indicator.
+    assert out["cout"] == (1 if a >= b else 0)
+
+
+@settings(max_examples=60)
+@given(a=values, b=values, carry=st.integers(0, 1))
+def test_add_with_carry_chains_words(a, b, carry):
+    """ADC semantics: the architectural carry feeds the chain."""
+    n, abus, bbus = build_io()
+    carry_net = n.input_bus("carry", 1)
+    total, cout, _ = add_subtract(
+        n, abus.nets, bbus.nets, subtract=CONST0,
+        carry_in=carry_net[0], use_carry_in=CONST1,
+    )
+    n.output_bus("sum", total.nets)
+    n.output_bus("cout", [cout])
+    out = evaluate(n, a=a, b=b, carry=carry)
+    expected = a + b + carry
+    assert out["sum"] == expected & MASK
+    assert out["cout"] == expected >> WIDTH
+
+
+@settings(max_examples=40)
+@given(a=values, b=values, carry=st.integers(0, 1))
+def test_subtract_with_borrow(a, b, carry):
+    """SBB semantics: carry flag = NOT borrow feeds the chain."""
+    n, abus, bbus = build_io()
+    carry_net = n.input_bus("carry", 1)
+    total, cout, _ = add_subtract(
+        n, abus.nets, bbus.nets, subtract=CONST1,
+        carry_in=carry_net[0], use_carry_in=CONST1,
+    )
+    n.output_bus("diff", total.nets)
+    out = evaluate(n, a=a, b=b, carry=carry)
+    borrow = 1 - carry
+    assert out["diff"] == (a - b - borrow) & MASK
+
+
+def test_signed_overflow_flag():
+    n, abus, bbus = build_io()
+    total, _, overflow = add_subtract(n, abus.nets, bbus.nets, subtract=CONST0)
+    n.output_bus("sum", total.nets)
+    n.output_bus("v", [overflow])
+    # 0x7F + 0x01 overflows signed 8-bit.
+    assert evaluate(n, a=0x7F, b=0x01)["v"] == 1
+    # 0x10 + 0x10 does not.
+    assert evaluate(n, a=0x10, b=0x10)["v"] == 0
+    # -128 + -1 overflows.
+    assert evaluate(n, a=0x80, b=0xFF)["v"] == 1
+
+
+@settings(max_examples=40)
+@given(a=values)
+def test_incrementer(a):
+    n = Netlist("t")
+    abus = n.input_bus("a", WIDTH)
+    n.output_bus("inc", incrementer(n, abus.nets).nets)
+    assert evaluate(n, a=a)["inc"] == (a + 1) & MASK
+
+
+@settings(max_examples=40)
+@given(a=values, b=values, op=st.sampled_from(["and", "or", "xor"]))
+def test_bitwise_ops(a, b, op):
+    n, abus, bbus = build_io()
+    n.output_bus("y", bitwise(n, op, abus.nets, bbus.nets).nets)
+    expected = {"and": a & b, "or": a | b, "xor": a ^ b}[op]
+    assert evaluate(n, a=a, b=b)["y"] == expected
+
+
+def test_bitwise_rejects_unknown_op():
+    n, abus, bbus = build_io()
+    with pytest.raises(MappingError):
+        bitwise(n, "nandify", abus.nets, bbus.nets)
+
+
+@settings(max_examples=40)
+@given(a=values)
+def test_rotates_are_pure_wiring(a):
+    n = Netlist("t")
+    abus = n.input_bus("a", WIDTH)
+    n.output_bus("rl", rotate_left(abus.nets))
+    n.output_bus("rr", rotate_right(abus.nets))
+    before = len(n.instances)
+    out = evaluate(n, a=a)
+    assert len(n.instances) == before == 0
+    assert out["rl"] == ((a << 1) | (a >> (WIDTH - 1))) & MASK
+    assert out["rr"] == ((a >> 1) | ((a & 1) << (WIDTH - 1))) & MASK
+
+
+@settings(max_examples=30)
+@given(a=values)
+def test_is_zero_and_equals_const(a):
+    n = Netlist("t")
+    abus = n.input_bus("a", WIDTH)
+    n.output_bus("z", [is_zero(n, abus.nets)])
+    n.output_bus("is42", [equals_const(n, abus.nets, 42)])
+    out = evaluate(n, a=a)
+    assert out["z"] == (1 if a == 0 else 0)
+    assert out["is42"] == (1 if a == 42 else 0)
+
+
+@settings(max_examples=30)
+@given(s=st.integers(0, 1), a=values, b=values)
+def test_mux_bus(s, a, b):
+    n, abus, bbus = build_io()
+    sbus = n.input_bus("s", 1)
+    n.output_bus("y", mux_bus(n, sbus[0], abus.nets, bbus.nets).nets)
+    assert evaluate(n, s=s, a=a, b=b)["y"] == (b if s else a)
+
+
+@settings(max_examples=30)
+@given(select=st.integers(0, 3), data=st.lists(values, min_size=4, max_size=4))
+def test_mux_tree_power_of_two(select, data):
+    n = Netlist("t")
+    sbus = n.input_bus("s", 2)
+    choices = [constant_bus(n, v, WIDTH) for v in data]
+    n.output_bus("y", mux_tree(n, sbus.nets, [c.nets for c in choices]).nets)
+    assert evaluate(n, s=select)["y"] == data[select]
+
+
+@settings(max_examples=30)
+@given(select=st.integers(0, 2), data=st.lists(values, min_size=3, max_size=3))
+def test_mux_tree_non_power_of_two_reads_zero_beyond(select, data):
+    n = Netlist("t")
+    sbus = n.input_bus("s", 2)
+    choices = [constant_bus(n, v, WIDTH) for v in data]
+    n.output_bus("y", mux_tree(n, sbus.nets, [c.nets for c in choices]).nets)
+    assert evaluate(n, s=select)["y"] == data[select]
+    assert evaluate(n, s=3)["y"] == 0
+
+
+@settings(max_examples=20)
+@given(value=st.integers(0, 15))
+def test_decoder_one_hot(value):
+    n = Netlist("t")
+    sbus = n.input_bus("s", 4)
+    n.output_bus("onehot", decoder(n, sbus.nets).nets)
+    assert evaluate(n, s=value)["onehot"] == 1 << value
+
+
+def test_decoder_partial_outputs():
+    n = Netlist("t")
+    sbus = n.input_bus("s", 3)
+    hot = decoder(n, sbus.nets, count=5)
+    assert len(hot) == 5
+    n.output_bus("onehot", hot.nets)
+    assert evaluate(n, s=4)["onehot"] == 0b10000
+    assert evaluate(n, s=6)["onehot"] == 0
+
+
+def test_zero_extend_pads_with_constants():
+    n = Netlist("t")
+    abus = n.input_bus("a", 3)
+    padded = zero_extend(abus.nets, 6)
+    assert len(padded) == 6
+    assert padded[3:] == [CONST0] * 3
+    with pytest.raises(MappingError):
+        zero_extend(abus.nets, 2)
+
+
+def test_width_mismatches_rejected():
+    n = Netlist("t")
+    a = n.input_bus("a", 4)
+    b = n.input_bus("b", 5)
+    with pytest.raises(MappingError):
+        ripple_adder(n, a.nets, b.nets)
+    with pytest.raises(MappingError):
+        mux_bus(n, CONST0, a.nets, b.nets)

@@ -1,0 +1,166 @@
+"""Unit tests for the netlist builder: folding, CSE, validation."""
+
+import pytest
+
+from repro.errors import MappingError, NetlistError
+from repro.netlist.core import CONST0, CONST1, Netlist, constant_bus
+from tests.netlist.helpers import evaluate
+
+
+class TestConstantFolding:
+    def test_not_of_constants(self):
+        n = Netlist("t")
+        assert n.not_(CONST0) == CONST1
+        assert n.not_(CONST1) == CONST0
+        assert not n.instances
+
+    def test_double_inversion_cancels(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        assert n.not_(n.not_(a)) == a
+        assert len(n.instances) == 1  # only the inner inverter
+
+    @pytest.mark.parametrize(
+        "op,identity,absorber",
+        [("and_", CONST1, CONST0), ("or_", CONST0, CONST1)],
+    )
+    def test_identity_and_absorbing_elements(self, op, identity, absorber):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        assert getattr(n, op)(a, identity) == a
+        assert getattr(n, op)(a, absorber) == absorber
+        assert not n.instances
+
+    def test_xor_folds(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        assert n.xor_(a, a) == CONST0
+        assert n.xor_(a, CONST0) == a
+        # XOR with 1 becomes an inverter.
+        inverted = n.xor_(a, CONST1)
+        assert n.driver_of(inverted).cell == "INVX1"
+
+    def test_idempotent_inputs(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        assert n.and_(a, a) == a
+        assert n.or_(a, a) == a
+
+    def test_mux_folding(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        b = n.input_bus("b", 1)[0]
+        s = n.input_bus("s", 1)[0]
+        assert n.mux(CONST0, a, b) == a
+        assert n.mux(CONST1, a, b) == b
+        assert n.mux(s, a, a) == a
+        assert n.mux(s, CONST0, CONST1) == s
+
+
+class TestCommonSubexpressionElimination:
+    def test_identical_gates_shared(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        b = n.input_bus("b", 1)[0]
+        first = n.and_(a, b)
+        second = n.and_(b, a)  # symmetric: same gate
+        assert first == second
+        assert len(n.instances) == 1
+
+    def test_distinct_gates_not_shared(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        b = n.input_bus("b", 1)[0]
+        assert n.and_(a, b) != n.or_(a, b)
+        assert len(n.instances) == 2
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_two_input_gates_truth_tables(self, a, b):
+        n = Netlist("t")
+        ab = n.input_bus("a", 1)
+        bb = n.input_bus("b", 1)
+        n.output_bus("and_", [n.and_(ab[0], bb[0])])
+        n.output_bus("or_", [n.or_(ab[0], bb[0])])
+        n.output_bus("xor_", [n.xor_(ab[0], bb[0])])
+        n.output_bus("nand", [n.nand(ab[0], bb[0])])
+        n.output_bus("nor", [n.nor(ab[0], bb[0])])
+        n.output_bus("xnor", [n.xnor(ab[0], bb[0])])
+        out = evaluate(n, a=a, b=b)
+        assert out["and_"] == (a & b)
+        assert out["or_"] == (a | b)
+        assert out["xor_"] == (a ^ b)
+        assert out["nand"] == 1 - (a & b)
+        assert out["nor"] == 1 - (a | b)
+        assert out["xnor"] == 1 - (a ^ b)
+
+    @pytest.mark.parametrize("s", [0, 1])
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_mux_semantics(self, s, a, b):
+        n = Netlist("t")
+        sb = n.input_bus("s", 1)
+        ab = n.input_bus("a", 1)
+        bb = n.input_bus("b", 1)
+        n.output_bus("y", [n.mux(sb[0], ab[0], bb[0])])
+        assert evaluate(n, s=s, a=a, b=b)["y"] == (b if s else a)
+
+    def test_reductions(self):
+        n = Netlist("t")
+        bus = n.input_bus("a", 5)
+        n.output_bus("all", [n.and_many(bus.nets)])
+        n.output_bus("any", [n.or_many(bus.nets)])
+        n.output_bus("parity", [n.xor_many(bus.nets)])
+        assert evaluate(n, a=0b11111) == {"all": 1, "any": 1, "parity": 1}
+        assert evaluate(n, a=0b00000) == {"all": 0, "any": 0, "parity": 0}
+        assert evaluate(n, a=0b10110)["parity"] == 1
+
+
+class TestStructure:
+    def test_duplicate_input_bus_rejected(self):
+        n = Netlist("t")
+        n.input_bus("a", 2)
+        with pytest.raises(NetlistError):
+            n.input_bus("a", 2)
+
+    def test_two_drivers_rejected(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        out = n.net("y")
+        n.add_instance("INVX1", (a,), out)
+        with pytest.raises(NetlistError):
+            n.add_instance("INVX1", (a,), out)
+
+    def test_validate_catches_floating_input(self):
+        n = Netlist("t")
+        floating = n.net("floating")
+        n.add_instance("INVX1", (floating,))
+        with pytest.raises(NetlistError, match="floating"):
+            n.validate()
+
+    def test_validate_catches_bad_arity(self):
+        n = Netlist("t")
+        a = n.input_bus("a", 1)[0]
+        n.add_instance("NAND2X1", (a,))
+        with pytest.raises(NetlistError, match="expects 2"):
+            n.validate()
+
+    def test_constant_bus_encoding(self):
+        n = Netlist("t")
+        bus = constant_bus(n, 0b1010, 4)
+        assert bus.nets == [CONST0, CONST1, CONST0, CONST1]
+
+    def test_constant_bus_overflow_rejected(self):
+        n = Netlist("t")
+        with pytest.raises(MappingError):
+            constant_bus(n, 16, 4)
+
+    def test_registers_use_reset_flops(self):
+        n = Netlist("t")
+        d = n.input_bus("d", 4)
+        q = n.register(d.nets, name="r")
+        assert len(q) == 4
+        assert all(n.driver_of(net).cell == "DFFNRX1" for net in q)
+        assert "rst_n" in n.inputs

@@ -1,0 +1,72 @@
+"""Tests for activity-based power estimation."""
+
+import pytest
+
+from repro.netlist.core import Netlist
+from repro.netlist.power import (
+    PAPER_ACTIVITY_FACTOR,
+    measured_power_report,
+    power_report,
+)
+from repro.pdk import egfet_library
+
+
+def small_design():
+    n = Netlist("t")
+    a = n.input_bus("a", 1)[0]
+    b = n.input_bus("b", 1)[0]
+    gate = n.and_(a, b)
+    n.dff_r(gate)
+    n.output_bus("y", [gate])
+    return n
+
+
+class TestFlatActivity:
+    def test_energy_is_activity_scaled_cell_sum(self):
+        library = egfet_library()
+        n = small_design()
+        report = power_report(n, library, activity=1.0)
+        expected = (
+            library.cell("AND2X1").energy + library.cell("DFFNRX1").energy
+        )
+        assert report.energy_per_cycle == pytest.approx(expected)
+
+    def test_default_activity_matches_paper(self):
+        report = power_report(small_design(), egfet_library())
+        assert report.activity == PAPER_ACTIVITY_FACTOR
+
+    def test_power_scales_with_frequency(self):
+        report = power_report(small_design(), egfet_library())
+        assert report.power_at(20.0) == pytest.approx(2 * report.power_at(10.0))
+
+    def test_sequential_split(self):
+        library = egfet_library()
+        report = power_report(small_design(), library, activity=1.0)
+        assert report.sequential_energy == pytest.approx(library.cell("DFFNRX1").energy)
+        assert 0 < report.sequential_fraction < 1
+
+    def test_empty_netlist_zero_power(self):
+        n = Netlist("empty")
+        a = n.input_bus("a", 1)
+        n.output_bus("y", [a[0]])
+        report = power_report(n, egfet_library())
+        assert report.energy_per_cycle == 0.0
+        assert report.sequential_fraction == 0.0
+
+
+class TestMeasuredActivity:
+    def test_measured_counts_scale_energy(self):
+        library = egfet_library()
+        n = small_design()
+        # Instance 0 is the AND gate, instance 1 the flop.
+        toggles = {0: 5, 1: 10}
+        report = measured_power_report(n, library, toggles, cycles=10)
+        expected = (
+            library.cell("AND2X1").energy * 0.5
+            + library.cell("DFFNRX1").energy * 1.0
+        )
+        assert report.energy_per_cycle == pytest.approx(expected)
+
+    def test_no_toggles_means_no_energy(self):
+        report = measured_power_report(small_design(), egfet_library(), {}, cycles=100)
+        assert report.energy_per_cycle == 0.0

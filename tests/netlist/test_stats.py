@@ -1,0 +1,55 @@
+"""Tests for area and composition statistics."""
+
+import pytest
+
+from repro.netlist.core import Netlist
+from repro.netlist.stats import area_report, cell_histogram
+from repro.pdk import cnt_tft_library, egfet_library
+
+
+def mixed_design():
+    n = Netlist("t")
+    a = n.input_bus("a", 1)[0]
+    b = n.input_bus("b", 1)[0]
+    gate = n.xor_(a, b)
+    n.dff_r(gate)
+    n.dff_r(n.and_(a, b))
+    n.output_bus("y", [gate])
+    return n
+
+
+def test_histogram_counts_cells():
+    histogram = cell_histogram(mixed_design())
+    assert histogram["XOR2X1"] == 1
+    assert histogram["AND2X1"] == 1
+    assert histogram["DFFNRX1"] == 2
+
+
+def test_area_report_sums_library_areas():
+    library = egfet_library()
+    report = area_report(mixed_design(), library)
+    expected = (
+        library.cell("XOR2X1").area
+        + library.cell("AND2X1").area
+        + 2 * library.cell("DFFNRX1").area
+    )
+    assert report.total == pytest.approx(expected)
+    assert report.gate_count == 4
+    assert report.dff_count == 2
+    assert report.sequential + report.combinational == pytest.approx(report.total)
+
+
+def test_sequential_fraction_dominated_by_dffs_in_egfet():
+    report = area_report(mixed_design(), egfet_library())
+    assert report.sequential_fraction > 0.5
+
+
+def test_device_counts_positive_for_egfet():
+    report = area_report(mixed_design(), egfet_library())
+    assert report.transistors > 0
+    assert report.resistors > 0
+
+
+def test_cnt_design_has_no_resistors():
+    report = area_report(mixed_design(), cnt_tft_library())
+    assert report.resistors == 0

@@ -1,0 +1,44 @@
+"""Tests for structural Verilog emission."""
+
+from repro.netlist.components import ripple_adder
+from repro.netlist.core import Netlist
+from repro.netlist.verilog import dump_verilog
+
+
+def test_combinational_module_structure():
+    n = Netlist("adder4")
+    a = n.input_bus("a", 4)
+    b = n.input_bus("b", 4)
+    total, cout = ripple_adder(n, a.nets, b.nets)
+    n.output_bus("sum", total.nets)
+    n.output_bus("cout", [cout])
+    text = dump_verilog(n)
+    assert text.startswith("module adder4 (")
+    assert "input wire [3:0] a;" in text
+    assert "output wire [3:0] sum;" in text
+    assert "XOR2X1" in text and "NAND2X1" in text
+    assert text.rstrip().endswith("endmodule")
+    # Every instance is uniquely named.
+    names = [line.split()[1] for line in text.splitlines() if line.strip().startswith(("XOR", "NAND", "AND", "OR2", "INV"))]
+    assert len(names) == len(set(names))
+
+
+def test_sequential_module_gets_clock():
+    n = Netlist("reg1")
+    d = n.input_bus("d", 1)
+    q = n.dff_r(d[0])
+    n.output_bus("q", [q])
+    text = dump_verilog(n)
+    assert "input wire clk;" in text
+    assert ".CK(clk)" in text
+    assert "DFFNRX1" in text
+
+
+def test_constants_rendered_as_literals():
+    n = Netlist("consts")
+    a = n.input_bus("a", 1)
+    n.output_bus("y", [n.and_(a[0], a[0])])
+    from repro.netlist.core import CONST1
+    n.output_bus("one", [CONST1])
+    text = dump_verilog(n)
+    assert "1'b1" in text

@@ -1,0 +1,104 @@
+"""Unit tests for the standard-cell data structures."""
+
+import pytest
+
+from repro.errors import PDKError, UnknownCellError
+from repro.pdk.cells import CellKind, CellLibrary, StandardCell, build_cells
+
+
+def make_cell(**overrides):
+    base = dict(
+        name="INVX1",
+        kind=CellKind.COMBINATIONAL,
+        area=1e-6,
+        energy=1e-9,
+        rise_delay=1e-3,
+        fall_delay=2e-4,
+        inputs=1,
+        transistors=1,
+        resistors=1,
+    )
+    base.update(overrides)
+    return StandardCell(**base)
+
+
+class TestStandardCell:
+    def test_worst_delay_is_max_of_edges(self):
+        cell = make_cell(rise_delay=3.0, fall_delay=1.0)
+        assert cell.worst_delay == 3.0
+
+    def test_mean_delay_averages_edges(self):
+        cell = make_cell(rise_delay=3.0, fall_delay=1.0)
+        assert cell.mean_delay == pytest.approx(2.0)
+
+    def test_sequential_flag(self):
+        assert make_cell(kind=CellKind.SEQUENTIAL, inputs=2).is_sequential
+        assert not make_cell().is_sequential
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("area", 0.0), ("energy", -1.0), ("rise_delay", 0.0), ("fall_delay", -2.0), ("inputs", 0)],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(PDKError):
+            make_cell(**{field: value})
+
+
+class TestCellLibrary:
+    def make_library(self):
+        cells = {"INVX1": make_cell(), "DFFX1": make_cell(name="DFFX1", kind=CellKind.SEQUENTIAL, inputs=2, area=5e-6)}
+        return CellLibrary(
+            name="TEST",
+            vdd=1.0,
+            logic_family="tr",
+            printing_route="inkjet",
+            cells=cells,
+            mobility=100.0,
+            feature_length=1e-6,
+        )
+
+    def test_lookup_and_contains(self):
+        library = self.make_library()
+        assert library.cell("INVX1").name == "INVX1"
+        assert "DFFX1" in library
+        assert "NAND2X1" not in library
+
+    def test_unknown_cell_raises_with_context(self):
+        library = self.make_library()
+        with pytest.raises(UnknownCellError) as excinfo:
+            library.cell("NAND9000")
+        assert excinfo.value.name == "NAND9000"
+        assert excinfo.value.library == "TEST"
+
+    def test_kind_partitions(self):
+        library = self.make_library()
+        assert [c.name for c in library.sequential_cells()] == ["DFFX1"]
+        assert [c.name for c in library.combinational_cells()] == ["INVX1"]
+
+    def test_dff_inverter_ratio(self):
+        library = self.make_library()
+        assert library.dff_to_inverter_area_ratio() == pytest.approx(5.0)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(PDKError):
+            CellLibrary(
+                name="EMPTY",
+                vdd=1.0,
+                logic_family="tr",
+                printing_route="inkjet",
+                cells={},
+                mobility=1.0,
+                feature_length=1e-6,
+            )
+
+    def test_iteration_and_len(self):
+        library = self.make_library()
+        assert len(library) == 2
+        assert {c.name for c in library} == {"INVX1", "DFFX1"}
+
+
+def test_build_cells_round_trips_rows():
+    rows = {"INVX1": (CellKind.COMBINATIONAL, 1e-6, 1e-9, 1e-3, 2e-4, 1, 1, 1)}
+    cells = build_cells(rows)
+    assert cells["INVX1"].area == 1e-6
+    assert cells["INVX1"].inputs == 1

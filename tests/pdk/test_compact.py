@@ -1,0 +1,111 @@
+"""Tests for the transistor-resistor compact model and its calibration."""
+
+import math
+
+import pytest
+
+from repro.errors import PDKError
+from repro.pdk import cnt_tft_library, egfet_library
+from repro.pdk.compact import (
+    DeviceParams,
+    GateTopology,
+    STANDARD_TOPOLOGIES,
+    estimate_all,
+    estimate_gate,
+)
+from repro.pdk.characterize import (
+    calibrate_cnt,
+    calibrate_egfet,
+    compare_library,
+    worst_log_error,
+)
+
+
+def make_params(**overrides):
+    base = dict(
+        mobility=1e-2,
+        cox=3e-2,
+        width=200e-6,
+        length=40e-6,
+        vth=0.17,
+        vdd=1.0,
+        contact_degradation=100.0,
+        pullup_ratio=7.0,
+        hold_time=0.05,
+    )
+    base.update(overrides)
+    return DeviceParams(**base)
+
+
+class TestDeviceParams:
+    def test_on_current_positive_and_degraded(self):
+        clean = make_params(contact_degradation=1.0)
+        dirty = make_params(contact_degradation=10.0)
+        assert dirty.on_current == pytest.approx(clean.on_current / 10.0)
+
+    def test_pullup_exceeds_on_resistance(self):
+        params = make_params()
+        assert params.pullup_resistance > params.on_resistance
+
+    def test_vdd_below_vth_rejected(self):
+        with pytest.raises(PDKError):
+            make_params(vdd=0.1, vth=0.17)
+
+    def test_degradation_below_one_rejected(self):
+        with pytest.raises(PDKError):
+            make_params(contact_degradation=0.5)
+
+
+class TestGateEstimates:
+    def test_rise_slower_than_fall_for_resistor_load(self):
+        params = make_params()
+        estimate = estimate_gate(params, STANDARD_TOPOLOGIES["INVX1"])
+        assert estimate.rise_delay > estimate.fall_delay
+
+    def test_more_stages_cost_more_delay(self):
+        params = make_params()
+        inv = estimate_gate(params, STANDARD_TOPOLOGIES["INVX1"])
+        and2 = estimate_gate(params, STANDARD_TOPOLOGIES["AND2X1"])
+        assert and2.rise_delay > inv.rise_delay
+
+    def test_fanout_increases_delay(self):
+        params = make_params()
+        topo = STANDARD_TOPOLOGIES["NAND2X1"]
+        light = estimate_gate(params, topo, fanout=1.0)
+        heavy = estimate_gate(params, topo, fanout=4.0)
+        assert heavy.rise_delay > light.rise_delay
+
+    def test_estimate_all_covers_topologies(self):
+        estimates = estimate_all(make_params())
+        assert set(estimates) == set(STANDARD_TOPOLOGIES)
+
+
+class TestCalibration:
+    def test_egfet_inverter_anchored_exactly(self):
+        library = egfet_library()
+        params = calibrate_egfet(library)
+        comparisons = compare_library(library, params)
+        inv = comparisons["INVX1"]
+        assert inv.rise_ratio == pytest.approx(1.0, rel=1e-6)
+        assert inv.fall_ratio == pytest.approx(1.0, rel=1e-6)
+        assert inv.energy_ratio == pytest.approx(1.0, rel=1e-3)
+
+    def test_egfet_library_consistent_with_rc_model(self):
+        """Every EGFET cell's delay within one order of magnitude of
+        the first-order RC prediction from its topology."""
+        library = egfet_library()
+        comparisons = compare_library(library, calibrate_egfet(library))
+        assert worst_log_error(comparisons) < 1.0
+
+    def test_cnt_library_consistent_with_rc_model(self):
+        library = cnt_tft_library()
+        comparisons = compare_library(library, calibrate_cnt(library))
+        # Pseudo-CMOS asymmetries are larger; allow a wider band.
+        assert worst_log_error(comparisons) < 2.0
+
+    def test_dff_energy_predicted_to_dominate(self):
+        """The compact model reproduces the DFF-vs-INV energy gap that
+        drives the paper's single-stage-pipeline conclusion."""
+        library = egfet_library()
+        estimates = estimate_all(calibrate_egfet(library))
+        assert estimates["DFFX1"].energy > 3 * estimates["INVX1"].energy

@@ -1,0 +1,44 @@
+"""Round-trip tests for the Liberty-style serialization."""
+
+import pytest
+
+from repro.errors import PDKError
+from repro.pdk import cnt_tft_library, dump_liberty, egfet_library, load_liberty
+
+
+@pytest.mark.parametrize("factory", [egfet_library, cnt_tft_library])
+def test_round_trip_preserves_everything(factory):
+    original = factory()
+    restored = load_liberty(dump_liberty(original))
+    assert restored.name == original.name
+    assert restored.vdd == original.vdd
+    assert restored.logic_family == original.logic_family
+    assert set(restored.cells) == set(original.cells)
+    for name, cell in original.cells.items():
+        loaded = restored.cell(name)
+        assert loaded.kind == cell.kind
+        assert loaded.area == pytest.approx(cell.area)
+        assert loaded.energy == pytest.approx(cell.energy)
+        assert loaded.rise_delay == pytest.approx(cell.rise_delay)
+        assert loaded.fall_delay == pytest.approx(cell.fall_delay)
+        assert loaded.inputs == cell.inputs
+        assert loaded.transistors == cell.transistors
+        assert loaded.resistors == cell.resistors
+
+
+def test_dump_is_human_readable():
+    text = dump_liberty(egfet_library())
+    assert 'library ("EGFET")' in text
+    assert 'cell ("DFFX1")' in text
+    assert "voltage : 1.0;" in text
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(PDKError):
+        load_liberty("not a library at all")
+
+
+def test_load_rejects_missing_cell_attribute():
+    text = dump_liberty(egfet_library()).replace("rise_delay", "wrong_name", 1)
+    with pytest.raises(PDKError):
+        load_liberty(text)

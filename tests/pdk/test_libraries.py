@@ -1,0 +1,102 @@
+"""Tests locking the published Table 2 characteristics into the libraries."""
+
+import pytest
+
+from repro.pdk import cnt_tft_library, egfet_library
+from repro.units import mm2, nJ, us
+
+EXPECTED_CELLS = {
+    "INVX1",
+    "NAND2X1",
+    "NOR2X1",
+    "AND2X1",
+    "OR2X1",
+    "XOR2X1",
+    "XNOR2X1",
+    "LATCHX1",
+    "DFFX1",
+    "DFFNRX1",
+    "TSBUFX1",
+}
+
+
+@pytest.fixture(scope="module")
+def egfet():
+    return egfet_library()
+
+
+@pytest.fixture(scope="module")
+def cnt():
+    return cnt_tft_library()
+
+
+class TestEgfetLibrary:
+    def test_cell_roster_matches_paper(self, egfet):
+        assert set(egfet.cells) == EXPECTED_CELLS
+
+    def test_supply_voltage_is_1v(self, egfet):
+        assert egfet.vdd == 1.0
+
+    def test_table2_spot_values(self, egfet):
+        inv = egfet.cell("INVX1")
+        assert inv.area == pytest.approx(mm2(0.224))
+        assert inv.energy == pytest.approx(nJ(9.8))
+        assert inv.rise_delay == pytest.approx(us(1212))
+        assert inv.fall_delay == pytest.approx(us(174))
+        dff = egfet.cell("DFFX1")
+        assert dff.area == pytest.approx(mm2(1.41))
+        assert dff.energy == pytest.approx(nJ(2360))
+
+    def test_dff_dominates_inverter(self, egfet):
+        """The paper's key architectural driver: DFFs are very expensive."""
+        assert egfet.dff_to_inverter_area_ratio() > 6.0
+        ratio = egfet.cell("DFFX1").energy / egfet.cell("INVX1").energy
+        assert ratio > 200
+
+    def test_rise_slower_than_fall(self, egfet):
+        """Resistor pull-ups make rising edges the slow ones."""
+        for cell in egfet:
+            assert cell.rise_delay > cell.fall_delay
+
+    def test_resistor_counts_present(self, egfet):
+        """Transistor-resistor logic uses printed pull-up resistors."""
+        assert all(cell.resistors >= 1 for cell in egfet)
+
+
+class TestCntLibrary:
+    def test_cell_roster_matches_paper(self, cnt):
+        assert set(cnt.cells) == EXPECTED_CELLS
+
+    def test_supply_voltage_is_3v(self, cnt):
+        assert cnt.vdd == 3.0
+
+    def test_table2_spot_values(self, cnt):
+        nand = cnt.cell("NAND2X1")
+        assert nand.area == pytest.approx(mm2(0.003))
+        assert nand.energy == pytest.approx(nJ(10.01))
+        assert nand.rise_delay == pytest.approx(us(0.088))
+        assert nand.fall_delay == pytest.approx(us(7.99))
+
+    def test_pseudo_cmos_has_no_resistors(self, cnt):
+        assert all(cell.resistors == 0 for cell in cnt)
+
+    def test_registers_relatively_more_expensive_than_egfet(self, cnt, egfet):
+        """Section 8: CNT cores gain more from PS-ISA because CNT
+        registers are costlier *relative to logic* than EGFET ones."""
+        cnt_ratio = cnt.cell("DFFX1").area / cnt.cell("NAND2X1").area
+        egfet_ratio = egfet.cell("DFFX1").area / egfet.cell("NAND2X1").area
+        assert cnt_ratio > egfet_ratio
+
+
+class TestCrossTechnology:
+    def test_cnt_cells_much_smaller(self, egfet, cnt):
+        for name in EXPECTED_CELLS:
+            assert cnt.cell(name).area < egfet.cell(name).area / 10
+
+    def test_cnt_cells_much_faster(self, egfet, cnt):
+        for name in EXPECTED_CELLS:
+            assert cnt.cell(name).worst_delay < egfet.cell(name).worst_delay / 50
+
+    def test_libraries_are_cached_singletons(self):
+        assert egfet_library() is egfet_library()
+        assert cnt_tft_library() is cnt_tft_library()

@@ -1,0 +1,93 @@
+"""Tests for printed batteries and the duty-cycle lifetime model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.battery import (
+    PRINTED_BATTERIES,
+    PrintedBattery,
+    REFERENCE_BUDGET_J,
+    battery_by_name,
+)
+from repro.power.lifetime import (
+    average_power,
+    lifetime_curve,
+    lifetime_hours,
+    max_iterations,
+)
+from repro.units import mW
+
+
+class TestBatteries:
+    def test_catalogue_has_four_figure45_batteries(self):
+        assert len(PRINTED_BATTERIES) == 4
+        names = " ".join(b.name for b in PRINTED_BATTERIES)
+        for expected in ("Molex", "Blue Spark 30", "Zinergy", "Blue Spark 10"):
+            assert expected in names
+
+    def test_reference_budget_is_108_joules(self):
+        """Section 4: 30 mA x 3.6 ks x 1 V."""
+        assert REFERENCE_BUDGET_J == pytest.approx(108.0)
+
+    def test_lookup_by_partial_name(self):
+        assert battery_by_name("zinergy").capacity_mah == 12.0
+        with pytest.raises(ConfigError):
+            battery_by_name("duracell")
+
+    def test_batteries_needed_for_heavy_loads(self):
+        """Section 4: printed batteries max out near 30 mW, so the
+        124 mW openMSP430 needs several in parallel."""
+        battery = battery_by_name("Blue Spark 30")
+        assert battery.batteries_needed(mW(124.4)) >= 4
+        assert battery.batteries_needed(mW(10)) == 1
+
+    def test_invalid_battery_rejected(self):
+        with pytest.raises(ConfigError):
+            PrintedBattery("broken", 0.0, 1.5, 0.01)
+
+
+class TestLifetime:
+    def test_legacy_cores_die_within_hours_at_full_duty(self):
+        """Figures 4-5 headline: every pre-existing core drains every
+        battery within a few hours at duty 1.0 (under 2 h on all but
+        the largest battery; the 90 mAh Molex stretches the frugal
+        light8080 to ~3 h)."""
+        from repro.baselines.specs import BASELINE_SPECS
+
+        for spec in BASELINE_SPECS.values():
+            for technology in ("EGFET", "CNT-TFT"):
+                power = spec.point(technology).power
+                for battery in PRINTED_BATTERIES:
+                    hours = lifetime_hours(battery, power, 1.0)
+                    assert hours < 4.0
+                    if battery.capacity_mah <= 30:
+                        assert hours < 2.0
+
+    def test_duty_cycling_scales_lifetime(self):
+        battery = PRINTED_BATTERIES[0]
+        full = lifetime_hours(battery, mW(40), 1.0)
+        tenth = lifetime_hours(battery, mW(40), 0.1)
+        assert tenth == pytest.approx(10 * full)
+
+    def test_idle_power_caps_the_gain(self):
+        battery = PRINTED_BATTERIES[0]
+        gated = lifetime_hours(battery, mW(40), 0.01)
+        leaky = lifetime_hours(battery, mW(40), 0.01, idle_power=mW(4))
+        assert leaky < gated
+
+    def test_curve_is_monotonic(self):
+        battery = PRINTED_BATTERIES[1]
+        curve = lifetime_curve(battery, mW(40), [1.0, 0.5, 0.1, 0.01])
+        hours = [h for _, h in curve]
+        assert hours == sorted(hours)
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(ConfigError):
+            average_power(mW(1), 0.0)
+        with pytest.raises(ConfigError):
+            average_power(mW(1), 1.5)
+
+    def test_max_iterations(self):
+        assert max_iterations(108.0, 0.0128) == int(108.0 / 0.0128)
+        with pytest.raises(ConfigError):
+            max_iterations(108.0, 0.0)

@@ -1,0 +1,153 @@
+"""Unit tests for the kernel code-generation infrastructure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProgramError
+from repro.isa.spec import Mnemonic
+from repro.programs.builder import (
+    KernelBuilder,
+    pack_value,
+    read_value,
+    unpack_words,
+    write_value,
+)
+from repro.sim.machine import Machine
+
+
+class TestAllocation:
+    def test_values_span_words_per_value(self):
+        builder = KernelBuilder("t", kernel_width=32, core_width=8)
+        assert builder.words_per_value == 4
+        var = builder.alloc("x", init=0x12345678)
+        assert builder.data == {0: 0x78, 1: 0x56, 2: 0x34, 3: 0x12}
+        assert var.words == 4
+
+    def test_scalars_are_one_word(self):
+        builder = KernelBuilder("t", 32, 8)
+        counter = builder.alloc("i", scalar=True, init=3)
+        assert counter.words == 1
+
+    def test_wide_core_narrow_kernel(self):
+        builder = KernelBuilder("t", kernel_width=8, core_width=32)
+        assert builder.words_per_value == 1
+        assert builder.value_bits == 32
+
+    def test_incompatible_widths_rejected(self):
+        with pytest.raises(ProgramError):
+            KernelBuilder("t", kernel_width=24, core_width=16)
+
+    def test_duplicate_names_rejected(self):
+        builder = KernelBuilder("t", 8, 8)
+        builder.alloc("x")
+        with pytest.raises(ProgramError):
+            builder.alloc("x")
+
+    def test_oversized_init_rejected(self):
+        builder = KernelBuilder("t", 8, 8)
+        with pytest.raises(ProgramError):
+            builder.alloc("x", init=256)
+
+    def test_counter_width_tracks_value(self):
+        narrow = KernelBuilder("t", 8, 4)
+        assert narrow.alloc_counter("c8", 8).words == 1   # 8 fits 4 bits? no: needs 4 bits -> 1 word
+        wide = KernelBuilder("t2", 32, 4)
+        assert wide.alloc_counter("c32", 32).words == 2   # 32 needs 6 bits
+
+
+class TestLabels:
+    def test_forward_fixups_resolve(self):
+        builder = KernelBuilder("t", 8, 8)
+        x = builder.alloc("x", init=1)
+        builder.branch(Mnemonic.BRN, "end", mask=0)
+        builder.op(Mnemonic.ADD, x.word(0), x.word(0))
+        builder.label("end")
+        builder.halt()
+        program = builder.finish()
+        assert program.instructions[0].target == 2
+
+    def test_undefined_label_rejected(self):
+        builder = KernelBuilder("t", 8, 8)
+        builder.jump("nowhere")
+        with pytest.raises(ProgramError, match="undefined label"):
+            builder.finish()
+
+    def test_duplicate_label_rejected(self):
+        builder = KernelBuilder("t", 8, 8)
+        builder.label("a")
+        with pytest.raises(ProgramError):
+            builder.label("a")
+
+
+class TestMultiWordMacros:
+    def run_builder(self, builder):
+        machine = Machine(builder.finish())
+        machine.run()
+        return machine
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(0, 0xFFFFFFFF), b=st.integers(0, 0xFFFFFFFF))
+    def test_mw_add_32_on_8(self, a, b):
+        builder = KernelBuilder("t", 32, 8)
+        va = builder.alloc("a", init=a)
+        vb = builder.alloc("b", init=b)
+        builder.mw_add(va, vb)
+        builder.halt()
+        machine = self.run_builder(builder)
+        assert read_value(machine, va) == (a + b) & 0xFFFFFFFF
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(0, 0xFFFF))
+    def test_mw_shifts_roundtrip(self, a):
+        builder = KernelBuilder("t", 16, 8)
+        var = builder.alloc("v", init=a)
+        builder.mw_shift_left(var)
+        builder.mw_shift_right(var)
+        builder.halt()
+        machine = self.run_builder(builder)
+        # Left then right shift clears the MSB (it fell off the top).
+        assert read_value(machine, var) == (a << 1 & 0xFFFF) >> 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(0, 0xFFFF))
+    def test_mw_copy_and_zero(self, a):
+        builder = KernelBuilder("t", 16, 8)
+        src = builder.alloc("s", init=a)
+        dst = builder.alloc("d", init=0xBEEF)
+        builder.mw_copy(dst, src)
+        builder.mw_zero(src)
+        builder.halt()
+        machine = self.run_builder(builder)
+        assert read_value(machine, dst) == a
+        assert read_value(machine, src) == 0
+
+    def test_dec_and_branch_multiword_counter(self):
+        """A 4-bit core counting down from 32: two-word borrow chain."""
+        builder = KernelBuilder("t", 32, 4)
+        count = builder.alloc_counter("count", 20)
+        tally = builder.alloc("tally", init=0, scalar=True)
+        one = builder.one
+        builder.label("loop")
+        builder.op(Mnemonic.ADD, tally.word(0), one.word(0))
+        builder.dec_and_branch_nonzero(count, "loop")
+        builder.halt()
+        machine = self.run_builder(builder)
+        # tally wraps at 4 bits: 20 mod 16 = 4.
+        assert machine.peek(tally.base) == 20 % 16
+
+
+class TestPacking:
+    @settings(max_examples=30)
+    @given(value=st.integers(0, 0xFFFFFFFF), width=st.sampled_from([4, 8, 16]))
+    def test_pack_unpack_roundtrip(self, value, width):
+        words = pack_value(value, 32 // width, width)
+        assert unpack_words(words, width) == value
+
+    def test_write_read_value(self):
+        builder = KernelBuilder("t", 16, 8)
+        var = builder.alloc("v", init=0)
+        builder.halt()
+        machine = Machine(builder.finish())
+        write_value(machine, var, 0xABCD)
+        assert read_value(machine, var) == 0xABCD

@@ -1,0 +1,267 @@
+"""Functional verification of every benchmark kernel at every
+supported (kernel width, core width) configuration, against Python
+golden models.  These tests are the ground truth that the paper's
+energy/latency numbers are computed over *correct* programs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProgramError
+from repro.programs import build_benchmark, runnable_configurations
+from repro.programs import crc8, div, dtree, insort, intavg, mult, thold
+from repro.programs.builder import read_value, unpack_words
+from repro.sim.machine import Machine
+
+
+def run(program):
+    machine = Machine(program, num_bars=max(2, program.num_bars))
+    machine.run()
+    return machine
+
+
+def read_multiword(machine, program, symbol, words):
+    base = program.address_of(symbol)
+    return unpack_words(
+        [machine.peek(base + i) for i in range(words)], machine.width
+    )
+
+
+def words_per_value(kernel_width, core_width):
+    return max(1, kernel_width // core_width)
+
+
+class TestMult:
+    @pytest.mark.parametrize("kernel_width,core_width", runnable_configurations("mult"))
+    def test_default_inputs_all_configs(self, kernel_width, core_width):
+        a, b = mult.DEFAULT_INPUTS[kernel_width]
+        program = mult.build(kernel_width, core_width)
+        machine = run(program)
+        wpv = words_per_value(kernel_width, core_width)
+        result = read_multiword(machine, program, "product", wpv)
+        mask = (1 << kernel_width) - 1
+        assert result & mask == mult.reference(a, b, kernel_width)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF))
+    def test_random_16bit_on_8bit_core(self, a, b):
+        program = mult.build(16, 8, a=a, b=b)
+        machine = run(program)
+        result = read_multiword(machine, program, "product", 2)
+        assert result == mult.reference(a, b, 16)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_random_8bit_on_4bit_core(self, a, b):
+        """Deep coalescing plus a multi-word loop counter."""
+        program = mult.build(8, 4, a=a, b=b)
+        machine = run(program)
+        result = read_multiword(machine, program, "product", 2)
+        assert result == mult.reference(a, b, 8)
+
+
+class TestDiv:
+    @pytest.mark.parametrize("kernel_width,core_width", runnable_configurations("div"))
+    def test_default_inputs_all_configs(self, kernel_width, core_width):
+        dividend, divisor = div.DEFAULT_INPUTS[kernel_width]
+        program = div.build(kernel_width, core_width)
+        machine = run(program)
+        wpv = words_per_value(kernel_width, core_width)
+        quotient = read_multiword(machine, program, "quotient", wpv)
+        remainder = read_multiword(machine, program, "remainder", wpv)
+        assert (quotient, remainder) == div.reference(dividend, divisor, kernel_width)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dividend=st.integers(0, 0xFFFF), divisor=st.integers(1, 0xFFFF))
+    def test_random_16bit_on_8bit_core(self, dividend, divisor):
+        program = div.build(16, 8, dividend=dividend, divisor=divisor)
+        machine = run(program)
+        quotient = read_multiword(machine, program, "quotient", 2)
+        remainder = read_multiword(machine, program, "remainder", 2)
+        assert (quotient, remainder) == div.reference(dividend, divisor, 16)
+
+    @settings(max_examples=15, deadline=None)
+    @given(dividend=st.integers(0, 255), divisor=st.integers(1, 255))
+    def test_random_8bit_on_32bit_core(self, dividend, divisor):
+        """Wider-than-kernel core runs the kernel directly."""
+        program = div.build(8, 32, dividend=dividend, divisor=divisor)
+        machine = run(program)
+        quotient = read_multiword(machine, program, "quotient", 1)
+        remainder = read_multiword(machine, program, "remainder", 1)
+        assert (quotient, remainder) == div.reference(dividend, divisor, 8)
+
+
+class TestInsort:
+    @pytest.mark.parametrize("kernel_width,core_width", runnable_configurations("inSort"))
+    def test_default_inputs_all_configs(self, kernel_width, core_width):
+        values = insort.default_inputs(kernel_width)
+        program = insort.build(kernel_width, core_width)
+        machine = run(program)
+        wpv = words_per_value(kernel_width, core_width)
+        base = program.address_of("arr")
+        sorted_values = [
+            unpack_words(
+                [machine.peek(base + e * wpv + w) for w in range(wpv)],
+                machine.width,
+            )
+            for e in range(len(values))
+        ]
+        assert sorted_values == insort.reference(values)
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    def test_random_8bit(self, values):
+        program = insort.build(8, 8, values=values)
+        machine = run(program)
+        base = program.address_of("arr")
+        result = [machine.peek(base + i) for i in range(16)]
+        assert result == sorted(values)
+
+    @settings(max_examples=10, deadline=None)
+    @given(values=st.lists(st.integers(0, 0xFFFF), min_size=16, max_size=16))
+    def test_random_16bit_on_8bit_core(self, values):
+        """Multi-word comparisons through the borrow chain."""
+        program = insort.build(16, 8, values=values)
+        machine = run(program)
+        base = program.address_of("arr")
+        result = [
+            machine.peek(base + 2 * i) | (machine.peek(base + 2 * i + 1) << 8)
+            for i in range(16)
+        ]
+        assert result == sorted(values)
+
+    def test_requires_settable_bar(self):
+        with pytest.raises(ProgramError):
+            insort.build(8, 8, num_bars=1)
+
+
+class TestIntAvg:
+    @pytest.mark.parametrize("kernel_width,core_width", runnable_configurations("intAvg"))
+    def test_default_inputs_all_configs(self, kernel_width, core_width):
+        values = intavg.default_inputs(kernel_width)
+        program = intavg.build(kernel_width, core_width)
+        machine = run(program)
+        wpv = words_per_value(kernel_width, core_width)
+        result = read_multiword(machine, program, "avg", wpv)
+        # Default inputs never wrap, so the truncated mean is exact.
+        assert result == sum(values) // len(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    def test_wrapping_semantics_native_8bit(self, values):
+        program = intavg.build(8, 8, values=values)
+        machine = run(program)
+        assert machine.peek(program.address_of("avg")) == intavg.reference_truncated(values, 8)
+
+
+class TestThold:
+    @pytest.mark.parametrize("kernel_width,core_width", runnable_configurations("tHold"))
+    def test_default_inputs_all_configs(self, kernel_width, core_width):
+        values, threshold = thold.default_inputs(kernel_width)
+        program = thold.build(kernel_width, core_width)
+        machine = run(program)
+        assert machine.peek(program.address_of("count")) == thold.reference(values, threshold)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 255), min_size=16, max_size=16),
+        threshold=st.integers(0, 255),
+    )
+    def test_random_8bit(self, values, threshold):
+        program = thold.build(8, 8, values=values, threshold=threshold)
+        machine = run(program)
+        assert machine.peek(program.address_of("count")) == thold.reference(values, threshold)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 0xFFFFFFFF), min_size=16, max_size=16),
+        threshold=st.integers(0, 0xFFFFFFFF),
+    )
+    def test_random_32bit_on_8bit_core(self, values, threshold):
+        program = thold.build(32, 8, values=values, threshold=threshold)
+        machine = run(program)
+        assert machine.peek(program.address_of("count")) == thold.reference(values, threshold)
+
+
+class TestCrc8:
+    def test_default_stream(self):
+        stream = crc8.default_inputs()
+        program = crc8.build()
+        machine = run(program)
+        assert machine.peek(program.address_of("crc")) == crc8.reference(stream)
+
+    @settings(max_examples=20, deadline=None)
+    @given(stream=st.lists(st.integers(0, 255), min_size=16, max_size=16))
+    def test_random_streams(self, stream):
+        program = crc8.build(stream=stream)
+        machine = run(program)
+        assert machine.peek(program.address_of("crc")) == crc8.reference(stream)
+
+    def test_known_vector(self):
+        """CRC-8/ATM of '123456789' is 0xF4 (standard check value)."""
+        stream = [ord(c) for c in "123456789"] + [0] * 7
+        # Pad changes the value; check the 9-byte prefix via reference
+        # only -- the kernel always processes 16 bytes.
+        program = crc8.build(stream=stream)
+        machine = run(program)
+        assert machine.peek(program.address_of("crc")) == crc8.reference(stream)
+        assert crc8.reference([ord(c) for c in "123456789"]) == 0xF4
+
+    def test_rejects_other_widths(self):
+        with pytest.raises(ProgramError):
+            crc8.build(16, 16)
+
+
+class TestDtree:
+    @pytest.mark.parametrize("width", [8, 16, 32])
+    def test_default_inputs(self, width):
+        inputs = dtree.default_inputs(width)
+        program = dtree.build(width, width)
+        machine = run(program)
+        assert machine.peek(program.address_of("result")) == dtree.reference(inputs)
+
+    def test_uses_exactly_256_words(self):
+        """The paper designed dTree to fill all 256 instruction words."""
+        assert dtree.build(8, 8).static_size == 256
+
+    @settings(max_examples=25, deadline=None)
+    @given(inputs=st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    def test_random_inputs_follow_reference_path(self, inputs):
+        program = dtree.build(8, 8, inputs=inputs)
+        machine = run(program)
+        assert machine.peek(program.address_of("result")) == dtree.reference(inputs)
+
+    def test_rejects_coalescing(self):
+        with pytest.raises(ProgramError, match="coalescing"):
+            dtree.build(32, 16)
+
+    def test_thresholds_not_in_data_memory(self):
+        """Thresholds live in STORE immediates, not the data image."""
+        program = dtree.build(8, 8)
+        data_addresses = set(program.data)
+        assert data_addresses <= set(range(dtree.NUM_INPUTS + 2))
+
+
+class TestRegistry:
+    def test_all_benchmarks_registered(self):
+        from repro.programs import BENCHMARKS
+
+        assert set(BENCHMARKS) == {"mult", "div", "inSort", "intAvg", "tHold", "crc8", "dTree"}
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ProgramError):
+            build_benchmark("sha256", 8, 8)
+
+    def test_unsupported_configuration_rejected(self):
+        with pytest.raises(ProgramError):
+            build_benchmark("dTree", 32, 16)
+
+    def test_every_config_builds_and_fits_architecture(self):
+        from repro.programs import BENCHMARKS
+
+        for name in BENCHMARKS:
+            for kernel_width, core_width in runnable_configurations(name):
+                program = build_benchmark(name, kernel_width, core_width)
+                assert program.static_size <= 256
+                assert all(0 <= a < 256 for a in program.data)

@@ -1,0 +1,59 @@
+"""Tests for the pipeline cycle model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.assembler import assemble
+from repro.sim.machine import ExecutionStats, Machine
+from repro.sim.pipeline import cycles_for, pipeline_model, worst_case_cpi
+
+
+def stats(instructions=0, taken=0, raw=0):
+    s = ExecutionStats()
+    s.instructions = instructions
+    s.taken_branches = taken
+    s.raw_hazards = raw
+    return s
+
+
+class TestCycleCounts:
+    def test_single_stage_cpi_is_one(self):
+        s = stats(instructions=100, taken=30, raw=20)
+        assert cycles_for(s, 1) == 100
+        assert pipeline_model(1).cpi(s) == pytest.approx(1.0)
+
+    def test_two_stage_pays_branch_bubbles(self):
+        s = stats(instructions=100, taken=30, raw=20)
+        assert cycles_for(s, 2) == 100 + 1 + 30
+
+    def test_three_stage_pays_branches_and_raw(self):
+        s = stats(instructions=100, taken=30, raw=20)
+        assert cycles_for(s, 3) == 100 + 2 + 60 + 20
+
+    def test_worst_case_cpi_equals_stage_count(self):
+        """Section 5.2: 'worst case CPI being equal to the number of
+        pipeline stages'."""
+        for stages in (1, 2, 3):
+            assert worst_case_cpi(stages) == stages
+
+    def test_unsupported_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            pipeline_model(4)
+
+    def test_empty_run_cpi_defined(self):
+        assert pipeline_model(3).cpi(stats()) == 3.0
+
+
+class TestAgainstSimulator:
+    def test_memory_memory_code_stalls_deeper_pipelines(self):
+        """Back-to-back dependent memory-memory ops are the common case
+        in TP-ISA code, so 3-stage cores lose CPI to RAW stalls."""
+        source = (
+            ".word a\n.word b\n.word c\n"
+            "ADD a, b\nADD c, a\nADD b, c\nADD a, b\nHALT\n"
+        )
+        machine = Machine(assemble(source))
+        machine.run()
+        s = machine.stats
+        assert s.raw_hazards == 3
+        assert cycles_for(s, 3) > cycles_for(s, 2) > cycles_for(s, 1)

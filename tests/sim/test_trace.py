@@ -1,0 +1,66 @@
+"""Tests for fetch tracing and its consumers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.sim import FetchTrace, Machine
+from repro.sim.pipeline import cycles_for, pipeline_model
+
+
+class TestFetchTrace:
+    def test_trace_matches_fetch_count(self):
+        source = ".word i 3\n.word one 1\nloop:\nSUB i, one\nBRN loop, Z\nHALT\n"
+        trace = FetchTrace()
+        machine = Machine(assemble(source), fetch_trace=trace)
+        machine.run()
+        assert len(trace) == machine.stats.fetches
+
+    def test_trace_records_loop_structure(self):
+        source = ".word i 2\n.word one 1\nloop:\nSUB i, one\nBRN loop, Z\nHALT\n"
+        trace = FetchTrace()
+        machine = Machine(assemble(source), fetch_trace=trace)
+        machine.run()
+        assert trace.addresses == [0, 1, 0, 1, 2]
+        assert trace.unique_addresses() == 3
+
+    def test_untraced_machine_unaffected(self):
+        machine = Machine(assemble("HALT\n"))
+        machine.run()
+        assert machine.fetch_trace is None
+
+
+class TestPipelineProperties:
+    @settings(max_examples=40)
+    @given(
+        instructions=st.integers(1, 10_000),
+        taken=st.integers(0, 2_000),
+        raw=st.integers(0, 2_000),
+    )
+    def test_cycles_monotone_in_depth(self, instructions, taken, raw):
+        """Deeper pipelines never take fewer cycles for the same run."""
+        from repro.sim.machine import ExecutionStats
+
+        stats = ExecutionStats()
+        stats.instructions = instructions
+        stats.taken_branches = min(taken, instructions)
+        stats.raw_hazards = min(raw, instructions)
+        cycles = [cycles_for(stats, depth) for depth in (1, 2, 3)]
+        assert cycles == sorted(cycles)
+
+    @settings(max_examples=40)
+    @given(instructions=st.integers(1, 10_000), taken=st.integers(0, 2_000))
+    def test_cpi_bounded_by_stage_count(self, instructions, taken):
+        from repro.sim.machine import ExecutionStats
+
+        stats = ExecutionStats()
+        stats.instructions = instructions
+        # Branches and memory-reading (RAW-stalling) instructions are
+        # disjoint sets, so their hazard counts share the instruction
+        # budget -- this is what makes CPI <= stages hold.
+        stats.taken_branches = min(taken, instructions)
+        stats.raw_hazards = instructions - stats.taken_branches
+        for depth in (1, 2, 3):
+            cpi = pipeline_model(depth).cpi(stats)
+            fill = (depth - 1) / instructions
+            assert cpi <= depth + fill + 1e-9

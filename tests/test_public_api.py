@@ -1,0 +1,58 @@
+"""Tests for the top-level package API and the CLI."""
+
+import pytest
+
+import repro
+from repro.__main__ import TARGETS, main
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_flow_through_public_names(self):
+        program = repro.assemble(
+            ".word x 2\n.word y 3\nADD x, y\nHALT\n", name="api"
+        )
+        machine = repro.Machine(program)
+        machine.run()
+        assert machine.peek("x") == 5
+
+        config = repro.CoreConfig(datawidth=8)
+        netlist = repro.generate_core(config)
+        assert netlist.instances
+
+        metrics = repro.evaluate_system(program, config)
+        assert metrics.total_energy > 0
+
+        assert repro.egfet_library().vdd == 1.0
+        assert repro.cnt_tft_library().vdd == 3.0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "table8" in capsys.readouterr().out
+
+    def test_single_table(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "1-bit ROM" in out
+
+    def test_multiple_targets(self, capsys):
+        assert main(["table1", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "EGFET" in out and "Smart Bandage" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["table99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_every_target_runs(self, capsys):
+        for target in TARGETS:
+            assert main([target]) == 0
+        assert capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+@pytest.mark.parametrize(
+    "forward,backward,value",
+    [
+        (units.mm2, units.to_mm2, 0.224),
+        (units.cm2, units.to_cm2, 11.15),
+        (units.nJ, units.to_nJ, 2360.0),
+        (units.mJ, units.to_mJ, 3.5),
+        (units.us, units.to_us, 6149.0),
+        (units.ms, units.to_ms, 2.5),
+        (units.mW, units.to_mW, 41.7),
+        (units.uW, units.to_uW, 16.0),
+    ],
+)
+def test_round_trip(forward, backward, value):
+    assert backward(forward(value)) == pytest.approx(value)
+
+
+def test_area_scales_consistent():
+    assert units.cm2(1.0) == pytest.approx(units.mm2(100.0))
+    assert units.mm2(1.0) == pytest.approx(units.um2(1e6))
+
+
+def test_battery_energy_budget_matches_paper():
+    """Section 4: a 30 mAh, 1 V battery stores 108 J."""
+    assert units.mAh(30, voltage=1.0) == pytest.approx(108.0)
+
+
+def test_hours_conversion():
+    assert units.to_hours(7200.0) == pytest.approx(2.0)
