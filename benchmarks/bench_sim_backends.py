@@ -1,0 +1,135 @@
+"""Benchmark: interpreted vs compiled gate-level simulation backends.
+
+Times lock-step co-simulation (the hot loop behind every headline
+result: Figure 7/8 verification, fault campaigns, measured-activity
+power) on the standard sweep cores with both backends, plus a sampled
+fault campaign with the interpreted, per-fault compiled, and
+bit-parallel batched engines.  Results are written to
+``BENCH_sim.json`` at the repository root so the speedup is tracked
+across PRs.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_sim_backends.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.coregen.config import CoreConfig
+from repro.coregen.cosim import CoSimHarness
+from repro.coregen.fault_test import run_fault_campaign
+from repro.programs import build_benchmark
+
+#: Cores timed for co-simulation throughput (name -> config).
+COSIM_CONFIGS = (
+    CoreConfig(datawidth=4),
+    CoreConfig(datawidth=8),
+    CoreConfig(datawidth=8, pipeline_stages=3),
+    CoreConfig(datawidth=16),
+    CoreConfig(datawidth=32),
+)
+
+#: Wall-clock floor per measurement, seconds.
+MIN_DURATION = 0.25
+
+
+def _program_for(config: CoreConfig):
+    kernel_width = max(8, config.datawidth)
+    return build_benchmark("mult", kernel_width, config.datawidth)
+
+
+def _cosim_rate(config: CoreConfig, backend: str) -> float:
+    """Steady-state co-simulation throughput in cycles/second."""
+    program = _program_for(config)
+    harness = CoSimHarness(program, config, backend=backend)
+    for _ in range(5):  # warm-up (and compile, for the compiled backend)
+        harness.step()
+    cycles = 0
+    elapsed = 0.0
+    chunk = 32
+    while elapsed < MIN_DURATION:
+        start = time.perf_counter()
+        for _ in range(chunk):
+            harness.step()
+        elapsed += time.perf_counter() - start
+        cycles += chunk
+        chunk = min(4 * chunk, 4096)
+    return cycles / elapsed
+
+
+def bench_cosim() -> dict:
+    """Per-core interpreted vs compiled cycles/second and speedup."""
+    results = {}
+    for config in COSIM_CONFIGS:
+        interpreted = _cosim_rate(config, "interpreted")
+        compiled = _cosim_rate(config, "compiled")
+        results[config.name] = {
+            "interpreted_cycles_per_s": round(interpreted, 1),
+            "compiled_cycles_per_s": round(compiled, 1),
+            "speedup": round(compiled / interpreted, 2),
+        }
+        print(
+            f"cosim {config.name:>9}: interpreted {interpreted:8.0f} c/s, "
+            f"compiled {compiled:8.0f} c/s, speedup {compiled / interpreted:5.1f}x"
+        )
+    return results
+
+
+def bench_fault_campaign() -> dict:
+    """Sampled stuck-at campaign wall time per backend (identical results)."""
+    program = build_benchmark("mult", 8, 8)
+    results = {}
+    reference = None
+    for backend in ("interpreted", "compiled", "batched"):
+        start = time.perf_counter()
+        campaign = run_fault_campaign(
+            program, stride=24, max_faults=40, backend=backend
+        )
+        elapsed = time.perf_counter() - start
+        outcome = (campaign.total, campaign.detected, campaign.undetected_sites)
+        if reference is None:
+            reference = outcome
+        elif outcome != reference:
+            raise AssertionError(f"{backend} campaign diverged from interpreted")
+        results[backend] = {
+            "seconds": round(elapsed, 3),
+            "faults": campaign.total,
+            "detected": campaign.detected,
+        }
+        print(
+            f"fault campaign [{backend:>11}]: {campaign.total} faults in "
+            f"{elapsed:6.2f}s ({campaign.detected} detected)"
+        )
+    for backend in ("compiled", "batched"):
+        results[backend]["speedup"] = round(
+            results["interpreted"]["seconds"] / max(1e-9, results[backend]["seconds"]), 2
+        )
+    return results
+
+
+def main() -> int:
+    """Run both benchmarks and write ``BENCH_sim.json``."""
+    report = {
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "cosim": bench_cosim(),
+        "fault_campaign": bench_fault_campaign(),
+    }
+    headline = report["cosim"]["p1_8_2"]["speedup"]
+    report["headline_speedup_p1_8_2"] = headline
+    out = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nheadline cosim speedup (p1_8_2): {headline}x -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

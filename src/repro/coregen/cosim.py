@@ -43,6 +43,39 @@ class CoSimMismatch:
         )
 
 
+def architectural_nets(
+    netlist,
+) -> tuple[dict[str, tuple[int, ...]], dict[int, tuple[int, ...]]]:
+    """Index flag and BAR flop nets of a generated core by name.
+
+    Returns ``(flag_nets, bar_nets)``: flag nets keyed by flag name
+    (e.g. ``"Z"``), BAR buses keyed by BAR index with nets LSB-first.
+    Built in one pass over the net table so per-query name scans --
+    which run once per verification -- are avoided.
+    """
+    flag_nets: dict[str, list[int]] = {}
+    bar_bits: dict[int, list[tuple[int, int]]] = {}
+    for net in range(netlist.net_count):
+        name = netlist.net_name(net)
+        if name.startswith("flag_") and name.endswith("[0]"):
+            flag_nets.setdefault(name[len("flag_"):-len("[0]")], []).append(net)
+        elif name.startswith("bar"):
+            prefix, bracket, bit = name.partition("[")
+            index = prefix[len("bar"):]
+            if bracket and index.isdigit() and bit.endswith("]"):
+                bar_bits.setdefault(int(index), []).append(
+                    (int(bit[:-1]), net)
+                )
+    bar_nets = {
+        index: tuple(net for _, net in sorted(bits))
+        for index, bits in bar_bits.items()
+    }
+    return (
+        {flag: tuple(nets) for flag, nets in flag_nets.items()},
+        bar_nets,
+    )
+
+
 class CoSimHarness:
     """Drives one generated core against behavioural memories.
 
@@ -50,9 +83,17 @@ class CoSimHarness:
         program: The program image to run.
         config: Core configuration; defaults to a standard single-stage
             core matching the program's datawidth and BAR count.
+        backend: Gate-level simulation backend; the compiled backend is
+            the default (bit-exact with the interpreter, an order of
+            magnitude faster -- see ``docs/MODELS.md``).
     """
 
-    def __init__(self, program: Program, config: CoreConfig | None = None) -> None:
+    def __init__(
+        self,
+        program: Program,
+        config: CoreConfig | None = None,
+        backend: str = "compiled",
+    ) -> None:
         if config is None:
             config = CoreConfig(
                 datawidth=program.datawidth,
@@ -62,7 +103,8 @@ class CoSimHarness:
         self.program = program
         self.config = config
         self.netlist = generate_core(config)
-        self.sim = CycleSimulator(self.netlist)
+        self.sim = CycleSimulator(self.netlist, backend=backend)
+        self._flag_nets, self._bar_nets = architectural_nets(self.netlist)
         self.rom = encode_program_for_core(program, config)
         self.memory = [0] * config.data_memory_words()
         mask = (1 << config.datawidth) - 1
@@ -119,35 +161,24 @@ class CoSimHarness:
         return self.sim.read_output("pc")
 
     def flag(self, flag: Flag) -> int:
-        nets = [
-            net
-            for net in range(self.netlist.net_count)
-            if self.netlist.net_name(net) == f"flag_{flag.name}[0]"
-        ]
+        """Current value of one architectural flag's flop."""
+        nets = self._flag_nets.get(flag.name)
         if not nets:
             return 0
         return self.sim.read_flop_bus(nets)
 
     def bar(self, index: int) -> int:
+        """Current value of settable BAR ``index`` (0 is hardwired)."""
         if index == 0 or index >= self.config.num_bars:
             return 0
-        nets = [
-            net
-            for net in range(self.netlist.net_count)
-            if self.netlist.net_name(net).startswith(f"bar{index}[")
-        ]
-        nets.sort(
-            key=lambda net: int(
-                self.netlist.net_name(net).split("[")[1].rstrip("]")
-            )
-        )
-        return self.sim.read_flop_bus(nets)
+        return self.sim.read_flop_bus(self._bar_nets.get(index, ()))
 
 
 def cosim_verify(
     program: Program,
     config: CoreConfig | None = None,
     max_cycles: int = 200_000,
+    backend: str = "compiled",
 ) -> list[CoSimMismatch]:
     """Run ``program`` on both simulators and diff architectural state.
 
@@ -169,7 +200,7 @@ def cosim_verify(
     if not result.halted:
         raise SimulationError(f"{program.name}: ISS did not halt")
 
-    harness = CoSimHarness(program, config)
+    harness = CoSimHarness(program, config, backend=backend)
     pc_mask = (1 << max(1, harness.config.pc_bits)) - 1
     halt_pc = machine.pc & pc_mask
     if harness.config.pipeline_stages == 1:

@@ -5,13 +5,25 @@ measures what fraction of stuck-at faults the program's architectural
 result exposes -- i.e. how good "run the application and check its
 output" is as a post-print test (the only economical test for sub-cent
 printed systems).
+
+Campaigns are embarrassingly parallel across fault sites, and the
+default ``"batched"`` backend exploits that with bit-parallel compiled
+simulation (:class:`repro.netlist.compile.BitParallelSimulator`): each
+bigint lane carries one faulty machine with its own data memory image,
+so one gate evaluation pass advances dozens of fault simulations.  The
+``"compiled"`` and ``"interpreted"`` backends run one fault at a time
+and exist for cross-checking; all three produce identical campaigns.
 """
 
 from __future__ import annotations
 
 from repro.coregen.config import CoreConfig
-from repro.coregen.cosim import CoSimHarness
+from repro.coregen.cosim import CoSimHarness, architectural_nets
+from repro.coregen.generator import generate_core
+from repro.coregen.isa_map import encode_for_core, encode_program_for_core
 from repro.isa.program import Program
+from repro.isa.spec import Instruction, Mnemonic
+from repro.netlist.compile import BitParallelSimulator
 from repro.netlist.faults import (
     FaultCampaign,
     FaultySimulator,
@@ -19,6 +31,9 @@ from repro.netlist.faults import (
     enumerate_fault_sites,
 )
 from repro.sim.machine import Machine
+
+#: Fault sites evaluated per bit-parallel pass in batched campaigns.
+DEFAULT_LANES = 48
 
 
 def _signature(harness: CoSimHarness) -> tuple:
@@ -28,14 +43,98 @@ def _signature(harness: CoSimHarness) -> tuple:
     return (tuple(harness.memory), harness.pc, flags, bars)
 
 
-def _run(program: Program, config: CoreConfig, cycles: int, fault=None) -> tuple:
-    harness = CoSimHarness(program, config)
+def _run(
+    program: Program,
+    config: CoreConfig,
+    cycles: int,
+    fault=None,
+    backend: str = "compiled",
+) -> tuple:
+    harness = CoSimHarness(program, config, backend=backend)
     if fault is not None:
-        harness.sim = FaultySimulator(harness.netlist, fault)
+        harness.sim = FaultySimulator(harness.netlist, fault, backend=backend)
         harness.sim.reset()
     for _ in range(cycles):
         harness.step()
     return _signature(harness)
+
+
+def _run_batched(
+    program: Program, config: CoreConfig, cycles: int, faults: list[StuckAtFault]
+) -> list[tuple]:
+    """Architectural signatures of ``len(faults)`` faulty runs at once.
+
+    Mirrors :meth:`CoSimHarness.step` exactly -- three settles with
+    behavioural ROM/RAM provided between them, then writeback -- but
+    every lane carries its own fault and its own data-memory image.
+    """
+    netlist = generate_core(config)
+    rom = encode_program_for_core(program, config)
+    lanes = len(faults)
+    sim = BitParallelSimulator(netlist, lanes, faults=faults)
+    mask = (1 << config.datawidth) - 1
+    base = [0] * config.data_memory_words()
+    for address, value in program.data.items():
+        base[address] = value & mask
+    memories = [list(base) for _ in range(lanes)]
+    halt_words: dict[int, int] = {}
+
+    def provide() -> None:
+        words = []
+        for pc in sim.read_output("pc"):
+            if pc < len(rom):
+                words.append(rom[pc])
+            else:
+                word = halt_words.get(pc)
+                if word is None:
+                    word = halt_words[pc] = encode_for_core(
+                        Instruction(Mnemonic.BRN, target=pc, mask=0), config
+                    )
+                words.append(word)
+        sim.set_input("instr", words)
+        addr_a = sim.read_output("addr_a")
+        addr_b = sim.read_output("addr_b")
+        sim.set_input(
+            "rdata_a", [memories[lane][addr_a[lane]] for lane in range(lanes)]
+        )
+        sim.set_input(
+            "rdata_b", [memories[lane][addr_b[lane]] for lane in range(lanes)]
+        )
+
+    sim.reset()
+    for _ in range(cycles):
+        sim.settle()
+        provide()
+        sim.settle()
+        provide()
+        sim.settle()
+        we = sim.read_output("we")
+        waddr = sim.read_output("waddr")
+        wdata = sim.read_output("wdata")
+        sim.tick()
+        for lane in range(lanes):
+            if we[lane]:
+                memories[lane][waddr[lane]] = wdata[lane]
+
+    sim.settle()
+    pcs = sim.read_output("pc")
+    flag_nets, bar_nets = architectural_nets(netlist)
+    flag_values = [
+        sim.read_nets(flag_nets.get(flag.name, ())) for flag in config.flags
+    ]
+    bar_values = [
+        sim.read_nets(bar_nets.get(index, ()))
+        for index in range(1, config.num_bars)
+    ]
+    return [
+        (
+            tuple(memories[lane]),
+            pcs[lane],
+            tuple(values[lane] for values in flag_values),
+            tuple(values[lane] for values in bar_values),
+        )
+        for lane in range(lanes)
+    ]
 
 
 def run_fault_campaign(
@@ -43,6 +142,8 @@ def run_fault_campaign(
     config: CoreConfig | None = None,
     stride: int = 8,
     max_faults: int | None = None,
+    backend: str = "batched",
+    lanes: int = DEFAULT_LANES,
 ) -> FaultCampaign:
     """Inject sampled stuck-at faults and count detections.
 
@@ -52,6 +153,9 @@ def run_fault_campaign(
         stride: Sample every ``stride``-th instance (full enumeration
             is quadratic in runtime; sampling estimates coverage).
         max_faults: Optional cap on injected faults.
+        backend: ``"batched"`` (default; bit-parallel compiled),
+            ``"compiled"`` (one fault at a time), or ``"interpreted"``.
+        lanes: Faults per bit-parallel pass in batched mode.
 
     A fault is *detected* when the faulty run's architectural
     signature differs from the golden run's after the same cycle
@@ -67,24 +171,47 @@ def run_fault_campaign(
     machine.run()
     cycles = machine.stats.instructions
 
-    golden = _run(program, config, cycles)
+    scalar_backend = "interpreted" if backend == "interpreted" else "compiled"
+    golden = _run(program, config, cycles, backend=scalar_backend)
     sites = enumerate_fault_sites_from_config(program, config, stride)
     if max_faults is not None:
         sites = sites[:max_faults]
 
     detected = 0
     undetected: list[StuckAtFault] = []
-    for fault in sites:
+
+    def judge_scalar(fault: StuckAtFault) -> None:
+        nonlocal detected
         try:
-            outcome = _run(program, config, cycles, fault)
+            outcome = _run(program, config, cycles, fault, scalar_backend)
         except Exception:
             # A fault that wedges the simulation is certainly detected.
             detected += 1
-            continue
+            return
         if outcome != golden:
             detected += 1
         else:
             undetected.append(fault)
+
+    if backend == "batched":
+        for start in range(0, len(sites), lanes):
+            batch = sites[start : start + lanes]
+            try:
+                outcomes = _run_batched(program, config, cycles, batch)
+            except Exception:
+                # Fall back to one-at-a-time so a wedging fault is
+                # attributed to the lane that caused it.
+                for fault in batch:
+                    judge_scalar(fault)
+                continue
+            for fault, outcome in zip(batch, outcomes):
+                if outcome != golden:
+                    detected += 1
+                else:
+                    undetected.append(fault)
+    else:
+        for fault in sites:
+            judge_scalar(fault)
     return FaultCampaign(
         total=len(sites), detected=detected, undetected_sites=tuple(undetected)
     )
@@ -94,5 +221,4 @@ def enumerate_fault_sites_from_config(
     program: Program, config: CoreConfig, stride: int
 ) -> list[StuckAtFault]:
     """Fault sites over the core the campaign will instantiate."""
-    harness = CoSimHarness(program, config)
-    return enumerate_fault_sites(harness.netlist, stride=stride)
+    return enumerate_fault_sites(generate_core(config), stride=stride)

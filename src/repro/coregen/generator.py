@@ -29,6 +29,7 @@ so feedback costs no buffer gates and the netlist stays minimal.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.isa.spec import Flag
 from repro.netlist.components import (
@@ -241,7 +242,17 @@ def generate_core(config: CoreConfig, cse: bool = True) -> Netlist:
     analysis, Verilog dump, or cycle simulation.  ``cse=False``
     disables common-subexpression elimination (ablation of the
     builder's stand-in for logic optimization).
+
+    Results are memoized per ``(config, cse)``: elaboration is pure,
+    the returned netlist is treated as immutable by every analysis,
+    and sharing it lets the simulators reuse one compiled code object
+    across co-simulation harnesses and fault campaigns.
     """
+    return _generate_core(config, cse)
+
+
+@lru_cache(maxsize=128)
+def _generate_core(config: CoreConfig, cse: bool) -> Netlist:
     n = Netlist(config.name, cse=cse)
     n.reset_input()
     flops = _FlopBank(n)

@@ -6,6 +6,14 @@ It exists to *verify* generated cores: the TP-ISA core netlists are run
 instruction-by-instruction against external memory models and their
 architectural state compared with the instruction-set simulator.
 
+Two backends share identical semantics (see ``docs/MODELS.md``):
+
+* ``"interpreted"`` (default) walks the levelized instance list,
+  calling each cell's truth function -- simple and easy to instrument;
+* ``"compiled"`` executes straight-line Python generated from the
+  netlist by :mod:`repro.netlist.compile`, removing the per-gate
+  dispatch overhead (roughly an order of magnitude faster).
+
 External memories (the paper's crosspoint ROM and SRAM) are modelled
 outside the netlist: the harness reads address/control output buses
 after a combinational settle, supplies read data on input buses, and
@@ -14,7 +22,7 @@ the TP-ISA cores, two settles per cycle reach a fixed point (the
 simulator checks this).
 
 Per-instance output toggle counts are recorded for measured-activity
-power analysis.
+power analysis; both backends account toggles identically.
 """
 
 from __future__ import annotations
@@ -24,12 +32,14 @@ from typing import Callable, Mapping, Sequence
 from repro.errors import SimulationError
 from repro.netlist.core import (
     CELL_FUNCTIONS,
-    CONST0,
     CONST1,
     Netlist,
     SEQUENTIAL_CELLS,
 )
 from repro.netlist.sta import _topological_order
+
+#: Supported simulation backends.
+BACKENDS = ("interpreted", "compiled")
 
 
 class CycleSimulator:
@@ -38,26 +48,38 @@ class CycleSimulator:
     Args:
         netlist: A validated, technology-mapped netlist.  Latches are
             not supported (the generated cores are edge-triggered only).
+        backend: ``"interpreted"`` (default) or ``"compiled"``; both
+            are bit-exact including toggle accounting.
     """
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist, backend: str = "interpreted") -> None:
+        if backend not in BACKENDS:
+            raise SimulationError(f"unknown simulation backend {backend!r}")
         netlist.validate()
         for instance in netlist.instances:
             if instance.cell == "LATCHX1":
                 raise SimulationError("level-sensitive latches are not simulatable")
         self.netlist = netlist
+        self.backend = backend
         self._order = _topological_order(netlist)
-        self._values: dict[int, int] = {CONST0: 0, CONST1: 1}
         self._flops = [i for i in netlist.instances if i.cell in SEQUENTIAL_CELLS]
-        self._toggles: dict[int, int] = {}
-        self._prev_comb: dict[int, int] = {}
-        self._instance_index = {id(inst): n for n, inst in enumerate(netlist.instances)}
+        # Positional instance indices (toggle counters are reported per
+        # index into ``netlist.instances``).
+        position = {inst.output: n for n, inst in enumerate(netlist.instances)}
+        self._comb_pos = [position[inst.output] for inst in self._order]
+        self._flop_pos = [position[flop.output] for flop in self._flops]
+        # Flat value table indexed by net id; undriven nets read as 0,
+        # matching the paper cores' reset-to-zero state.
+        self._values: list[int] = [0] * netlist.net_count
+        self._values[CONST1] = 1
+        self._toggles: list[int] = [0] * len(netlist.instances)
+        self._prev_comb: list[int] = [-1] * len(netlist.instances)
         self.cycles = 0
-        for bus in netlist.inputs.values():
-            for net in bus:
-                self._values.setdefault(net, 0)
-        for flop in self._flops:
-            self._values[flop.output] = 0
+        self._compiled = None
+        if backend == "compiled":
+            from repro.netlist.compile import compiled_netlist
+
+            self._compiled = compiled_netlist(netlist)
 
     # -- I/O -------------------------------------------------------------
 
@@ -83,9 +105,10 @@ class CycleSimulator:
         return self._bus_value(nets)
 
     def _bus_value(self, nets: Sequence[int]) -> int:
+        values = self._values
         value = 0
         for i, net in enumerate(nets):
-            value |= self._values.get(net, 0) << i
+            value |= values[net] << i
         return value
 
     # -- phases ------------------------------------------------------------
@@ -93,6 +116,9 @@ class CycleSimulator:
     def settle(self) -> None:
         """Propagate current inputs/state through combinational logic."""
         values = self._values
+        if self._compiled is not None:
+            self._compiled.settle(values, 1)
+            return
         for instance in self._order:
             function = CELL_FUNCTIONS[instance.cell]
             values[instance.output] = function(*(values[n] for n in instance.inputs))
@@ -101,31 +127,34 @@ class CycleSimulator:
         """Advance one clock edge: capture all flip-flop D inputs.
 
         Asynchronous reset (active-low ``rst_n``) overrides capture for
-        DFFNRX1 cells.
+        DFFNRX1 cells.  Combinational toggle accounting happens here:
+        one count per cycle in which a cell's settled output differs
+        from the previous cycle's.
         """
         reset_net = self.netlist.reset_n
-        resetting = reset_net is not None and self._values.get(reset_net, 1) == 0
-        # Combinational toggle accounting: one count per cycle in which
-        # a cell's settled output differs from the previous cycle's.
-        for instance in self._order:
-            value = self._values[instance.output]
-            index = self._instance_index[id(instance)]
-            previous = self._prev_comb.get(index)
-            if previous is not None and previous != value:
-                self._toggles[index] = self._toggles.get(index, 0) + 1
-            self._prev_comb[index] = value
-        captured: list[tuple[int, int]] = []
-        for flop in self._flops:
-            if flop.cell == "DFFNRX1" and resetting:
-                next_value = 0
-            else:
-                next_value = self._values[flop.inputs[0]]
-            captured.append((flop.output, next_value))
-        for (net, next_value), flop in zip(captured, self._flops):
-            if self._values[net] != next_value:
-                index = self._instance_index[id(flop)]
-                self._toggles[index] = self._toggles.get(index, 0) + 1
-            self._values[net] = next_value
+        resetting = reset_net is not None and self._values[reset_net] == 0
+        values = self._values
+        toggles = self._toggles
+        if self._compiled is not None:
+            self._compiled.tick(values, self._prev_comb, toggles, resetting)
+            self.cycles += 1
+            return
+        previous = self._prev_comb
+        for instance, index in zip(self._order, self._comb_pos):
+            value = values[instance.output]
+            before = previous[index]
+            if before != value:
+                if before >= 0:
+                    toggles[index] += 1
+                previous[index] = value
+        captured = [
+            0 if (resetting and flop.cell == "DFFNRX1") else values[flop.inputs[0]]
+            for flop in self._flops
+        ]
+        for flop, index, next_value in zip(self._flops, self._flop_pos, captured):
+            if values[flop.output] != next_value:
+                toggles[index] += 1
+                values[flop.output] = next_value
         self.cycles += 1
 
     def reset(self) -> None:
@@ -169,4 +198,6 @@ class CycleSimulator:
 
     def toggle_counts(self) -> Mapping[int, int]:
         """Output-toggle count per instance index (sequential cells)."""
-        return dict(self._toggles)
+        return {
+            index: count for index, count in enumerate(self._toggles) if count
+        }

@@ -1,0 +1,235 @@
+"""Equivalence suite: compiled simulation backends vs the interpreter.
+
+The compiled backend (and its bit-parallel lane mode) must be
+bit-exact with the reference interpreter -- same output values, same
+flop state, same toggle counts, same fixed-point behaviour -- on every
+configuration of the paper's Figure 7 sweep, under randomized
+stimulus.  Fault injection and fault campaigns must agree across all
+three backends as well.
+"""
+
+import random
+
+import pytest
+
+from repro.coregen.config import CoreConfig, standard_sweep
+from repro.coregen.cosim import cosim_verify
+from repro.coregen.fault_test import run_fault_campaign
+from repro.coregen.generator import generate_core
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.netlist.compile import BitParallelSimulator, compiled_netlist
+from repro.netlist.core import Netlist
+from repro.netlist.faults import FaultySimulator, StuckAtFault, enumerate_fault_sites
+from repro.netlist.sim import CycleSimulator
+
+
+def random_stimulus(netlist, rng, cycle):
+    """One random input assignment; reset pulsed on a few cycles."""
+    stimulus = {
+        name: rng.randrange(1 << len(bus)) for name, bus in netlist.inputs.items()
+    }
+    if "rst_n" in netlist.inputs:
+        stimulus["rst_n"] = 0 if cycle % 11 == 0 else 1
+    return stimulus
+
+
+def drive_lockstep(netlist, sims, cycles, seed):
+    """Drive identical random vectors; compare outputs every cycle."""
+    rng = random.Random(seed)
+    for cycle in range(cycles):
+        stimulus = random_stimulus(netlist, rng, cycle)
+        for sim in sims:
+            for name, value in stimulus.items():
+                sim.set_input(name, value)
+            sim.settle()
+        reference = sims[0]
+        for sim in sims[1:]:
+            for name in netlist.outputs:
+                assert sim.read_output(name) == reference.read_output(name), (
+                    f"cycle {cycle}, output {name}"
+                )
+        for sim in sims:
+            sim.tick()
+
+
+@pytest.mark.parametrize("config", standard_sweep(), ids=lambda c: c.name)
+def test_compiled_matches_interpreter_on_sweep(config):
+    """Values, flop state, and toggle counts agree on all 24 cores."""
+    netlist = generate_core(config)
+    interpreted = CycleSimulator(netlist, backend="interpreted")
+    compiled = CycleSimulator(netlist, backend="compiled")
+    drive_lockstep(netlist, [interpreted, compiled], cycles=20, seed=config.name)
+    assert interpreted._values == compiled._values
+    assert interpreted.toggle_counts() == compiled.toggle_counts()
+    assert interpreted.cycles == compiled.cycles
+
+
+@pytest.mark.parametrize(
+    "config",
+    [CoreConfig(datawidth=8), CoreConfig(datawidth=16, pipeline_stages=2)],
+    ids=lambda c: c.name,
+)
+def test_bit_parallel_matches_scalar_lanes(config):
+    """Each bigint lane behaves exactly like one scalar compiled sim,
+    including per-lane asynchronous reset."""
+    netlist = generate_core(config)
+    lanes = 9
+    parallel = BitParallelSimulator(netlist, lanes)
+    scalars = [CycleSimulator(netlist, backend="compiled") for _ in range(lanes)]
+    rng = random.Random(3)
+    for cycle in range(25):
+        for name, bus in netlist.inputs.items():
+            if name == "rst_n":
+                values = [0 if (cycle + lane) % 9 == 0 else 1 for lane in range(lanes)]
+            else:
+                values = [rng.randrange(1 << len(bus)) for _ in range(lanes)]
+            parallel.set_input(name, values)
+            for lane, sim in enumerate(scalars):
+                sim.set_input(name, values[lane])
+        parallel.settle()
+        for sim in scalars:
+            sim.settle()
+        for name in netlist.outputs:
+            assert parallel.read_output(name) == [
+                sim.read_output(name) for sim in scalars
+            ], f"cycle {cycle}, output {name}"
+        parallel.tick()
+        for sim in scalars:
+            sim.tick()
+
+
+def test_faulty_compiled_matches_interpreter():
+    """Forced-settle fault injection is bit-exact, toggles included."""
+    netlist = generate_core(CoreConfig(datawidth=8))
+    for fault in enumerate_fault_sites(netlist, stride=131):
+        interpreted = FaultySimulator(netlist, fault, backend="interpreted")
+        compiled = FaultySimulator(netlist, fault, backend="compiled")
+        drive_lockstep(
+            netlist, [interpreted, compiled], cycles=12, seed=fault.instance_index
+        )
+        assert interpreted._values == compiled._values, fault
+        assert interpreted.toggle_counts() == compiled.toggle_counts(), fault
+
+
+def test_bit_parallel_fault_lanes_match_scalar_faults():
+    """A lane with a stuck-at fault equals the scalar FaultySimulator."""
+    netlist = generate_core(CoreConfig(datawidth=8))
+    faults = enumerate_fault_sites(netlist, stride=211)
+    lanes = len(faults)
+    parallel = BitParallelSimulator(netlist, lanes, faults=faults)
+    scalars = [
+        FaultySimulator(netlist, fault, backend="compiled") for fault in faults
+    ]
+    rng = random.Random(17)
+    for cycle in range(15):
+        stimulus = random_stimulus(netlist, rng, cycle)
+        for name, value in stimulus.items():
+            parallel.set_input(name, value)
+            for sim in scalars:
+                sim.set_input(name, value)
+        parallel.settle()
+        for sim in scalars:
+            sim.settle()
+        for name in netlist.outputs:
+            assert parallel.read_output(name) == [
+                sim.read_output(name) for sim in scalars
+            ], f"cycle {cycle}, output {name}"
+        parallel.tick()
+        for sim in scalars:
+            sim.tick()
+
+
+class TestFixedPointBehaviour:
+    def feedback_netlist(self):
+        netlist = Netlist("fixture")
+        data_in = netlist.input_bus("mem_rdata", 4)
+        register = netlist.register(data_in.nets, name="r")
+        netlist.output_bus("mem_addr", register.nets)
+        return netlist
+
+    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    def test_step_with_memory_converges(self, backend):
+        netlist = self.feedback_netlist()
+        sim = CycleSimulator(netlist, backend=backend)
+        sim.set_input("rst_n", 1)
+        memory = {i: (3 * i) % 16 for i in range(16)}
+        memory[0] = 5
+
+        def provide(s):
+            s.set_input("mem_rdata", memory[s.read_output("mem_addr")])
+
+        sim.settle()
+        sim.step_with_memory(provide)
+        assert sim.read_output("mem_addr") == 5
+        sim.step_with_memory(provide)
+        assert sim.read_output("mem_addr") == 15
+
+    @pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+    def test_unstable_feedback_detected(self, backend):
+        # Output depends combinationally on the read data, so a memory
+        # model that keeps changing its answer can never settle.
+        netlist = Netlist("unstable")
+        data_in = netlist.input_bus("mem_rdata", 4)
+        netlist.output_bus("mem_addr", [netlist.not_(n) for n in data_in.nets])
+        sim = CycleSimulator(netlist, backend=backend)
+        feed = iter(range(10))
+
+        def unstable(s):
+            s.set_input("mem_rdata", next(feed))
+
+        with pytest.raises(SimulationError, match="fixed point"):
+            sim.step_with_memory(unstable)
+
+
+class TestCampaignEquivalence:
+    def test_all_backends_agree(self):
+        program = assemble(
+            ".word x 3\n.word y 5\nADD x, y\nSTORE y, 1\nHALT\n", name="tiny"
+        )
+        campaigns = {
+            backend: run_fault_campaign(program, stride=31, backend=backend)
+            for backend in ("interpreted", "compiled", "batched")
+        }
+        reference = campaigns["interpreted"]
+        for backend, campaign in campaigns.items():
+            assert campaign.total == reference.total, backend
+            assert campaign.detected == reference.detected, backend
+            assert campaign.undetected_sites == reference.undetected_sites, backend
+
+    def test_batched_partial_final_batch(self):
+        """A site count that does not divide the lane width still
+        covers every fault exactly once."""
+        program = assemble(".word x 1\nSTORE x, 2\nHALT\n", name="simple")
+        campaign = run_fault_campaign(program, stride=40, backend="batched", lanes=7)
+        assert campaign.total == campaign.detected + len(campaign.undetected_sites)
+        assert campaign.total > 7
+
+
+class TestCompiledCosim:
+    # One kernel per core datawidth, verified gate-level with the
+    # compiled backend (4-bit cores run coalesced 8-bit kernels).
+    MATRIX = [("mult", 8, 4), ("mult", 8, 8), ("intAvg", 16, 16), ("mult", 32, 32)]
+
+    @pytest.mark.parametrize("name,kernel_width,core_width", MATRIX)
+    def test_kernel_verifies_compiled(self, name, kernel_width, core_width):
+        from repro.programs import build_benchmark
+
+        program = build_benchmark(name, kernel_width, core_width)
+        mismatches = cosim_verify(program, backend="compiled")
+        assert not mismatches, "; ".join(str(m) for m in mismatches[:10])
+
+
+class TestCaching:
+    def test_generate_core_is_memoized(self):
+        config = CoreConfig(datawidth=8, num_bars=4)
+        assert generate_core(config) is generate_core(CoreConfig(datawidth=8, num_bars=4))
+
+    def test_compiled_code_cached_on_netlist(self):
+        netlist = generate_core(CoreConfig(datawidth=8))
+        assert compiled_netlist(netlist) is compiled_netlist(netlist)
+
+    def test_unknown_backend_rejected(self):
+        netlist = generate_core(CoreConfig(datawidth=8))
+        with pytest.raises(SimulationError, match="backend"):
+            CycleSimulator(netlist, backend="jit")
