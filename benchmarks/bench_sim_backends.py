@@ -4,24 +4,40 @@ Times lock-step co-simulation (the hot loop behind every headline
 result: Figure 7/8 verification, fault campaigns, measured-activity
 power) on the standard sweep cores with both backends, plus a sampled
 fault campaign with the interpreted, per-fault compiled, and
-bit-parallel batched engines.  Results are written to
-``BENCH_sim.json`` at the repository root so the speedup is tracked
+bit-parallel batched engines.
+
+The run is emitted through the :mod:`repro.obs` layer: every stage is
+a tracing span, and ``BENCH_sim.json`` at the repository root is a
+run-report superset (``repro.obs.run_report/v1+bench``) that keeps the
+historical top-level keys (``cosim``, ``fault_campaign``,
+``headline_speedup_p1_8_2``) alongside stage timings, the metrics
+snapshot, and environment/git metadata, so the speedup is tracked
 across PRs.
+
+It also measures the *instrumentation overhead budget*: the p1_8_2
+co-simulation is timed with the obs switch off and on, interleaved,
+and ``--check`` fails the run if enabling the whole layer costs more
+than 2%.  (The disabled path is strictly cheaper than the enabled path
+-- the hooks share one guard -- so this bounds disabled-mode overhead
+too.  The delta against the checked-in baseline's disabled rate is
+reported as ``baseline_regression_pct`` but not asserted, since
+absolute rates are machine-dependent.)
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/bench_sim_backends.py
+    PYTHONPATH=src python benchmarks/bench_sim_backends.py            # full
+    PYTHONPATH=src python benchmarks/bench_sim_backends.py --smoke --check
 """
 
 from __future__ import annotations
 
 import json
-import platform
+import statistics
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
+from repro import obs
 from repro.coregen.config import CoreConfig
 from repro.coregen.cosim import CoSimHarness
 from repro.coregen.fault_test import run_fault_campaign
@@ -36,8 +52,14 @@ COSIM_CONFIGS = (
     CoreConfig(datawidth=32),
 )
 
+#: The tracked headline core (also the overhead-budget workload).
+HEADLINE = CoreConfig(datawidth=8)
+
 #: Wall-clock floor per measurement, seconds.
 MIN_DURATION = 0.25
+
+#: Maximum tolerated slowdown from enabling the obs layer, percent.
+OVERHEAD_BUDGET_PCT = 2.0
 
 
 def _program_for(config: CoreConfig):
@@ -45,7 +67,9 @@ def _program_for(config: CoreConfig):
     return build_benchmark("mult", kernel_width, config.datawidth)
 
 
-def _cosim_rate(config: CoreConfig, backend: str) -> float:
+def _cosim_rate(
+    config: CoreConfig, backend: str, min_duration: float = MIN_DURATION
+) -> float:
     """Steady-state co-simulation throughput in cycles/second."""
     program = _program_for(config)
     harness = CoSimHarness(program, config, backend=backend)
@@ -54,7 +78,7 @@ def _cosim_rate(config: CoreConfig, backend: str) -> float:
     cycles = 0
     elapsed = 0.0
     chunk = 32
-    while elapsed < MIN_DURATION:
+    while elapsed < min_duration:
         start = time.perf_counter()
         for _ in range(chunk):
             harness.step()
@@ -64,12 +88,15 @@ def _cosim_rate(config: CoreConfig, backend: str) -> float:
     return cycles / elapsed
 
 
-def bench_cosim() -> dict:
+def bench_cosim(
+    configs=COSIM_CONFIGS, min_duration: float = MIN_DURATION
+) -> dict:
     """Per-core interpreted vs compiled cycles/second and speedup."""
     results = {}
-    for config in COSIM_CONFIGS:
-        interpreted = _cosim_rate(config, "interpreted")
-        compiled = _cosim_rate(config, "compiled")
+    for config in configs:
+        with obs.span("bench_cosim", design=config.name):
+            interpreted = _cosim_rate(config, "interpreted", min_duration)
+            compiled = _cosim_rate(config, "compiled", min_duration)
         results[config.name] = {
             "interpreted_cycles_per_s": round(interpreted, 1),
             "compiled_cycles_per_s": round(compiled, 1),
@@ -82,17 +109,18 @@ def bench_cosim() -> dict:
     return results
 
 
-def bench_fault_campaign() -> dict:
+def bench_fault_campaign(max_faults: int = 40) -> dict:
     """Sampled stuck-at campaign wall time per backend (identical results)."""
     program = build_benchmark("mult", 8, 8)
     results = {}
     reference = None
     for backend in ("interpreted", "compiled", "batched"):
-        start = time.perf_counter()
-        campaign = run_fault_campaign(
-            program, stride=24, max_faults=40, backend=backend
-        )
-        elapsed = time.perf_counter() - start
+        with obs.span("bench_fault_campaign", backend=backend):
+            start = time.perf_counter()
+            campaign = run_fault_campaign(
+                program, stride=24, max_faults=max_faults, backend=backend
+            )
+            elapsed = time.perf_counter() - start
         outcome = (campaign.total, campaign.detected, campaign.undetected_sites)
         if reference is None:
             reference = outcome
@@ -114,22 +142,115 @@ def bench_fault_campaign() -> dict:
     return results
 
 
-def main() -> int:
-    """Run both benchmarks and write ``BENCH_sim.json``."""
-    report = {
-        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "python": sys.version.split()[0],
-        "machine": platform.machine(),
-        "cosim": bench_cosim(),
-        "fault_campaign": bench_fault_campaign(),
+def bench_obs_overhead(pairs: int = 64, chunk: int = 256) -> dict:
+    """Cost of the observability layer on the p1_8_2 compiled cosim.
+
+    One warm harness runs ``pairs`` back-to-back chunk pairs, one side
+    of each pair with the obs switch off and one with it on, order
+    alternating; the reported overhead is the median of the per-pair
+    time ratios.  Pairing at chunk granularity cancels the clock and
+    load drift that dominates coarse A/B timing on shared machines
+    (raw rates here swing +-15% between seconds; the paired ratio is
+    stable to ~1%).  Restores the obs switch to the caller's state.
+    """
+    was_enabled = obs.enabled()
+    harness = CoSimHarness(_program_for(HEADLINE), HEADLINE, backend="compiled")
+    for _ in range(64):  # warm-up: compile and reach steady state
+        harness.step()
+    ratios: list[float] = []
+    times = {False: 0.0, True: 0.0}
+    try:
+        for i in range(pairs):
+            order = (False, True) if i % 2 == 0 else (True, False)
+            pair = {}
+            for enabled in order:
+                obs.STATE.enabled = enabled
+                start = time.perf_counter()
+                for _ in range(chunk):
+                    harness.step()
+                pair[enabled] = time.perf_counter() - start
+            ratios.append(pair[True] / pair[False])
+            times[False] += pair[False]
+            times[True] += pair[True]
+    finally:
+        obs.STATE.enabled = was_enabled
+    overhead_pct = 100.0 * (statistics.median(ratios) - 1.0)
+    disabled = pairs * chunk / times[False]
+    enabled = pairs * chunk / times[True]
+    print(
+        f"obs overhead (p1_8_2 cosim): disabled {disabled:8.0f} c/s, "
+        f"enabled {enabled:8.0f} c/s, overhead {overhead_pct:+.2f}%"
+    )
+    return {
+        "disabled_cycles_per_s": round(disabled, 1),
+        "enabled_cycles_per_s": round(enabled, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "budget_pct": OVERHEAD_BUDGET_PCT,
     }
-    headline = report["cosim"]["p1_8_2"]["speedup"]
-    report["headline_speedup_p1_8_2"] = headline
+
+
+def _baseline_regression(out_path: Path, overhead: dict) -> float | None:
+    """Disabled-rate delta vs the checked-in baseline, percent (+ = slower)."""
+    try:
+        baseline = json.loads(out_path.read_text())
+        before = baseline["obs_overhead"]["disabled_cycles_per_s"]
+    except (OSError, KeyError, ValueError):
+        return None
+    now = overhead["disabled_cycles_per_s"]
+    return round(100.0 * (before - now) / before, 2)
+
+
+def main(argv: list[str]) -> int:
+    """Run the benchmarks; write ``BENCH_sim.json`` unless ``--smoke``."""
+    smoke = "--smoke" in argv
+    check = "--check" in argv
+    obs.enable()  # the bench itself reports through the telemetry layer
+    start = time.perf_counter()
+
+    if smoke:
+        cosim = bench_cosim(configs=(HEADLINE,), min_duration=0.1)
+        fault = bench_fault_campaign(max_faults=16)
+        overhead = bench_obs_overhead(pairs=48, chunk=160)
+    else:
+        cosim = bench_cosim()
+        fault = bench_fault_campaign()
+        overhead = bench_obs_overhead()
+
     out = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nheadline cosim speedup (p1_8_2): {headline}x -> {out}")
+    report = obs.build_run_report(
+        ["bench_sim_backends", *argv], time.perf_counter() - start
+    )
+    report["schema"] = "repro.obs.run_report/v1+bench"
+    report["python"] = report["environment"]["python"]
+    report["machine"] = report["environment"]["machine"]
+    report["cosim"] = cosim
+    report["fault_campaign"] = fault
+    report["obs_overhead"] = overhead
+    report["headline_speedup_p1_8_2"] = cosim[HEADLINE.name]["speedup"]
+    regression = _baseline_regression(out, overhead)
+    if regression is not None:
+        report["baseline_regression_pct"] = regression
+        print(f"disabled rate vs checked-in baseline: {regression:+.2f}% "
+              "(informational)")
+
+    if smoke:
+        print("smoke mode: BENCH_sim.json left untouched")
+    else:
+        obs.write_run_report(out, report)
+        print(
+            f"\nheadline cosim speedup ({HEADLINE.name}): "
+            f"{report['headline_speedup_p1_8_2']}x -> {out}"
+        )
+
+    if check and overhead["overhead_pct"] > OVERHEAD_BUDGET_PCT:
+        print(
+            f"FAIL: obs overhead {overhead['overhead_pct']}% exceeds the "
+            f"{OVERHEAD_BUDGET_PCT}% budget",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(sys.argv[1:]))

@@ -8,16 +8,30 @@ Usage::
     python -m repro all                # everything (takes ~a minute)
     python -m repro export [DIR]       # write release artifacts
                                        # (.lib, .v, .hex, dot maps)
+    python -m repro stats              # run a probe workload, print
+                                       # the metrics snapshot
+    python -m repro --profile table7   # trace the run; write
+                                       # RUN_REPORT.json + summary
+    python -m repro --profile --trace-out run.jsonl all
+                                       # also export Chrome-trace JSONL
+
+``REPRO_TRACE=1`` in the environment is equivalent to ``--profile``.
+See ``docs/OBSERVABILITY.md`` for the report schema and conventions.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
 
+from repro import obs
 from repro.eval import figures, tables
 from repro.eval.report import render_table
 from repro.units import to_cm2, to_mW
+
+#: Default run-report path (repository root when run from there).
+DEFAULT_REPORT = "RUN_REPORT.json"
 
 
 def _print_fig4(technology: str) -> None:
@@ -126,16 +140,87 @@ TARGETS = {
 }
 
 
+def run_stats_probe() -> None:
+    """Exercise the instrumented flow so ``stats`` has data to show.
+
+    Runs one gate-level co-simulation (compiling the netlist, ticking
+    the simulator) plus a repeated design evaluation, which together
+    touch the compile cache, the elaboration memo, the ISS, and the
+    cycle counters.
+    """
+    from repro.coregen.cosim import cosim_verify
+    from repro.coregen.generator import generate_core
+    from repro.dse.sweep import evaluate_design
+    from repro.coregen.config import CoreConfig
+    from repro.netlist.sim import CycleSimulator
+    from repro.programs import build_benchmark
+
+    program = build_benchmark("mult", 8, 8)
+    mismatches = cosim_verify(program)
+    if mismatches:  # pragma: no cover - would mean a broken core
+        print(f"warning: cosim reported {len(mismatches)} mismatches",
+              file=sys.stderr)
+    config = CoreConfig(datawidth=8)
+    # Second consumers of the same design: the elaboration memo, the
+    # compiled-code cache, and the evaluation cache all register hits.
+    CycleSimulator(generate_core(config), backend="compiled")
+    evaluate_design(config, "EGFET")
+    evaluate_design(config, "EGFET")
+
+
+def _split_flags(argv: list[str]) -> tuple[dict, list[str], str | None]:
+    """Parse leading/interleaved options; returns (opts, targets, error)."""
+    opts = {"profile": False, "trace_out": None, "report_out": DEFAULT_REPORT}
+    requests: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--profile":
+            opts["profile"] = True
+        elif arg in ("--trace-out", "--report-out"):
+            if i + 1 >= len(argv):
+                return opts, requests, f"{arg} needs a path argument"
+            key = "trace_out" if arg == "--trace-out" else "report_out"
+            opts[key] = argv[i + 1]
+            i += 1
+        elif arg.startswith("--"):
+            return opts, requests, f"unknown option {arg}"
+        else:
+            requests.append(arg)
+        i += 1
+    return opts, requests, None
+
+
 def main(argv: list[str]) -> int:
-    requests = argv or ["list"]
+    opts, requests, error = _split_flags(argv)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    profile = opts["profile"] or obs.enabled()
+    requests = requests or ["list"]
     if requests == ["list"]:
-        print("regenerable results:", " ".join(TARGETS), "all export")
+        print("regenerable results:", " ".join(TARGETS), "all export stats")
         return 0
+
+    if profile:
+        obs.enable()
+    start = time.perf_counter()
+
     if requests[0] == "export":
         directory = requests[1] if len(requests) > 1 else "build"
-        written = export_artifacts(directory)
+        with obs.span("export", directory=directory):
+            written = export_artifacts(directory)
         print(f"wrote {len(written)} artifacts under {directory}/")
-        return 0
+        return _finish(["export", directory], start, opts, profile)
+    if requests[0] == "stats":
+        # Metrics are in-process, so the stats subcommand generates its
+        # own activity: enable collection, run the probe, print.
+        obs.enable()
+        with obs.span("stats_probe"):
+            run_stats_probe()
+        print(obs.render_metrics(obs.snapshot()))
+        return _finish(["stats"], start, opts, profile)
+
     if requests == ["all"]:
         requests = list(TARGETS)
     unknown = [r for r in requests if r not in TARGETS]
@@ -144,7 +229,23 @@ def main(argv: list[str]) -> int:
         print("regenerable results:", " ".join(TARGETS), "all", file=sys.stderr)
         return 2
     for request in requests:
-        TARGETS[request]()
+        with obs.span(request):
+            TARGETS[request]()
+    return _finish(requests, start, opts, profile)
+
+
+def _finish(command: list[str], start: float, opts: dict, profile: bool) -> int:
+    """Emit the run report / trace export for profiled invocations."""
+    if not profile:
+        return 0
+    wall = time.perf_counter() - start
+    report = obs.build_run_report(command, wall)
+    path = obs.write_run_report(opts["report_out"], report)
+    print(obs.render_run_report(report))
+    print(f"run report -> {path}")
+    if opts["trace_out"]:
+        count = obs.export_trace_jsonl(opts["trace_out"])
+        print(f"trace ({count} spans) -> {opts['trace_out']}")
     return 0
 
 

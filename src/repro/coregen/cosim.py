@@ -21,10 +21,15 @@ from repro.errors import ConfigError, SimulationError
 from repro.isa.program import Program
 from repro.isa.spec import Flag, Instruction, Mnemonic
 from repro.netlist.sim import CycleSimulator
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import span as _obs_span
 from repro.sim.machine import Machine
 from repro.coregen.config import CoreConfig
 from repro.coregen.generator import generate_core
 from repro.coregen.isa_map import encode_for_core, encode_program_for_core
+
+_COSIM_RUNS = _obs_counter("cosim.runs")
+_COSIM_MISMATCHES = _obs_counter("cosim.mismatches")
 
 
 @dataclass
@@ -191,6 +196,25 @@ def cosim_verify(
         A list of mismatches -- empty means the core is equivalent on
         this program.
     """
+    with _obs_span(
+        "cosim",
+        program=program.name,
+        design=config.name if config is not None else "default",
+        backend=backend,
+    ) as sp:
+        _COSIM_RUNS.inc()
+        mismatches = _cosim_verify(program, config, max_cycles, backend)
+        _COSIM_MISMATCHES.inc(len(mismatches))
+        sp.note(mismatches=len(mismatches))
+    return mismatches
+
+
+def _cosim_verify(
+    program: Program,
+    config: CoreConfig | None,
+    max_cycles: int,
+    backend: str,
+) -> list[CoSimMismatch]:
     machine = Machine(
         program,
         mem_size=(config.data_memory_words() if config else 256),

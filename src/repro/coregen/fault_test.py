@@ -17,6 +17,9 @@ and exist for cross-checking; all three produce identical campaigns.
 
 from __future__ import annotations
 
+import time
+
+from repro import obs
 from repro.coregen.config import CoreConfig
 from repro.coregen.cosim import CoSimHarness, architectural_nets
 from repro.coregen.generator import generate_core
@@ -34,6 +37,10 @@ from repro.sim.machine import Machine
 
 #: Fault sites evaluated per bit-parallel pass in batched campaigns.
 DEFAULT_LANES = 48
+
+_FAULTS_INJECTED = obs.counter("faults.injected")
+_FAULTS_DETECTED = obs.counter("faults.detected")
+_FAULT_RATE = obs.histogram("faults.per_second")
 
 
 def _signature(harness: CoSimHarness) -> tuple:
@@ -167,54 +174,75 @@ def run_fault_campaign(
             pipeline_stages=1,
             num_bars=max(2, program.num_bars),
         )
-    machine = Machine(program, num_bars=config.num_bars)
-    machine.run()
-    cycles = machine.stats.instructions
+    with obs.span(
+        "fault_campaign",
+        program=program.name,
+        design=config.name,
+        backend=backend,
+    ) as sp:
+        started = time.perf_counter()
+        machine = Machine(program, num_bars=config.num_bars)
+        machine.run()
+        cycles = machine.stats.instructions
 
-    scalar_backend = "interpreted" if backend == "interpreted" else "compiled"
-    golden = _run(program, config, cycles, backend=scalar_backend)
-    sites = enumerate_fault_sites_from_config(program, config, stride)
-    if max_faults is not None:
-        sites = sites[:max_faults]
+        scalar_backend = "interpreted" if backend == "interpreted" else "compiled"
+        golden = _run(program, config, cycles, backend=scalar_backend)
+        sites = enumerate_fault_sites_from_config(program, config, stride)
+        if max_faults is not None:
+            sites = sites[:max_faults]
 
-    detected = 0
-    undetected: list[StuckAtFault] = []
+        detected = 0
+        undetected: list[StuckAtFault] = []
 
-    def judge_scalar(fault: StuckAtFault) -> None:
-        nonlocal detected
-        try:
-            outcome = _run(program, config, cycles, fault, scalar_backend)
-        except Exception:
-            # A fault that wedges the simulation is certainly detected.
-            detected += 1
-            return
-        if outcome != golden:
-            detected += 1
-        else:
-            undetected.append(fault)
-
-    if backend == "batched":
-        for start in range(0, len(sites), lanes):
-            batch = sites[start : start + lanes]
+        def judge_scalar(fault: StuckAtFault) -> None:
+            nonlocal detected
             try:
-                outcomes = _run_batched(program, config, cycles, batch)
+                outcome = _run(program, config, cycles, fault, scalar_backend)
             except Exception:
-                # Fall back to one-at-a-time so a wedging fault is
-                # attributed to the lane that caused it.
-                for fault in batch:
-                    judge_scalar(fault)
-                continue
-            for fault, outcome in zip(batch, outcomes):
-                if outcome != golden:
-                    detected += 1
-                else:
-                    undetected.append(fault)
-    else:
-        for fault in sites:
-            judge_scalar(fault)
-    return FaultCampaign(
-        total=len(sites), detected=detected, undetected_sites=tuple(undetected)
-    )
+                # A fault that wedges the simulation is certainly detected.
+                detected += 1
+                return
+            if outcome != golden:
+                detected += 1
+            else:
+                undetected.append(fault)
+
+        if backend == "batched":
+            batches = [
+                sites[start : start + lanes]
+                for start in range(0, len(sites), lanes)
+            ]
+            for batch in obs.progress(
+                batches, f"fault_campaign[{program.name}]", every=4
+            ):
+                try:
+                    outcomes = _run_batched(program, config, cycles, batch)
+                except Exception:
+                    # Fall back to one-at-a-time so a wedging fault is
+                    # attributed to the lane that caused it.
+                    for fault in batch:
+                        judge_scalar(fault)
+                    continue
+                for fault, outcome in zip(batch, outcomes):
+                    if outcome != golden:
+                        detected += 1
+                    else:
+                        undetected.append(fault)
+        else:
+            for fault in obs.progress(
+                sites, f"fault_campaign[{program.name}]", every=16
+            ):
+                judge_scalar(fault)
+
+        elapsed = time.perf_counter() - started
+        _FAULTS_INJECTED.inc(len(sites))
+        _FAULTS_DETECTED.inc(detected)
+        if elapsed > 0:
+            _FAULT_RATE.observe(len(sites) / elapsed)
+        sp.note(faults=len(sites), detected=detected)
+        return FaultCampaign(
+            total=len(sites), detected=detected, undetected_sites=tuple(undetected)
+        )
 
 
 def enumerate_fault_sites_from_config(

@@ -44,7 +44,13 @@ from repro.netlist.components import (
     zero_extend,
 )
 from repro.netlist.core import Bus, CONST0, CONST1, Netlist
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.runtime import STATE as _OBS
+from repro.obs.trace import span as _obs_span
 from repro.coregen.config import CoreConfig
+
+_MEMO_HITS = _obs_counter("coregen.memo_hits")
+_MEMO_MISSES = _obs_counter("coregen.memo_misses")
 
 
 class _FlopBank:
@@ -248,11 +254,27 @@ def generate_core(config: CoreConfig, cse: bool = True) -> Netlist:
     and sharing it lets the simulators reuse one compiled code object
     across co-simulation harnesses and fault campaigns.
     """
-    return _generate_core(config, cse)
+    if not _OBS.enabled:
+        return _generate_core(config, cse)
+    # Memo telemetry: lru_cache hides hits, so detect them by whether
+    # the call bumped the miss count (elaboration itself gets a span
+    # inside the cached function, covering misses only).
+    misses_before = _generate_core.cache_info().misses
+    netlist = _generate_core(config, cse)
+    if _generate_core.cache_info().misses == misses_before:
+        _MEMO_HITS.inc()
+    else:
+        _MEMO_MISSES.inc()
+    return netlist
 
 
 @lru_cache(maxsize=128)
 def _generate_core(config: CoreConfig, cse: bool) -> Netlist:
+    with _obs_span("elaborate", design=config.name, cse=cse):
+        return _elaborate(config, cse)
+
+
+def _elaborate(config: CoreConfig, cse: bool) -> Netlist:
     n = Netlist(config.name, cse=cse)
     n.reset_input()
     flops = _FlopBank(n)

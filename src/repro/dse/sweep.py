@@ -3,6 +3,11 @@
 Each of the 24 configurations is elaborated to a netlist and measured
 (area with its combinational/register split, fmax, power at fmax) in
 either printed technology.
+
+Technology names normalize at this API boundary (``"CNT-TFT"`` is an
+accepted alias of canonical ``"CNT"``), so the evaluation cache never
+splits on spelling and :attr:`DesignPoint.technology` always holds the
+canonical name.
 """
 
 from __future__ import annotations
@@ -10,13 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro import obs
 from repro.coregen.config import CoreConfig, standard_sweep
 from repro.coregen.generator import generate_core
-from repro.errors import ConfigError
 from repro.netlist.power import power_report
 from repro.netlist.sta import timing_report
 from repro.netlist.stats import area_report
-from repro.pdk import cnt_tft_library, egfet_library
+from repro.pdk import canonical_technology, technology_library
+
+_EVALUATIONS = obs.counter("dse.evaluations")
+_CACHE_HITS = obs.counter("dse.evaluate_cache_hits")
 
 
 @dataclass(frozen=True)
@@ -40,37 +48,56 @@ class DesignPoint:
         return self.config.name
 
 
-def _library(technology: str):
-    if technology == "EGFET":
-        return egfet_library()
-    if technology in ("CNT", "CNT-TFT"):
-        return cnt_tft_library()
-    raise ConfigError(f"unknown technology {technology!r}")
+def evaluate_design(config: CoreConfig, technology: str = "EGFET") -> DesignPoint:
+    """Elaborate and measure one configuration (memoized).
+
+    ``technology`` accepts canonical names and aliases; results are
+    cached per (config, canonical technology), so
+    ``evaluate_design(c, "CNT")`` and ``evaluate_design(c, "CNT-TFT")``
+    share one entry.
+    """
+    technology = canonical_technology(technology)
+    if obs.STATE.enabled:
+        misses_before = _evaluate_design.cache_info().misses
+        point = _evaluate_design(config, technology)
+        if _evaluate_design.cache_info().misses == misses_before:
+            _CACHE_HITS.inc()
+        return point
+    return _evaluate_design(config, technology)
 
 
 @lru_cache(maxsize=64)
-def evaluate_design(config: CoreConfig, technology: str = "EGFET") -> DesignPoint:
-    """Elaborate and measure one configuration."""
-    library = _library(technology)
-    netlist = generate_core(config)
-    area = area_report(netlist, library)
-    power = power_report(netlist, library)
-    timing = timing_report(netlist, library)
-    return DesignPoint(
-        config=config,
-        technology=technology,
-        fmax=timing.fmax,
-        area=area.total,
-        combinational_area=area.combinational,
-        sequential_area=area.sequential,
-        power_at_fmax=power.power_at(timing.fmax),
-        combinational_power=power.combinational_energy * timing.fmax,
-        sequential_power=power.sequential_energy * timing.fmax,
-        gate_count=area.gate_count,
-        dff_count=area.dff_count,
-    )
+def _evaluate_design(config: CoreConfig, technology: str) -> DesignPoint:
+    with obs.span("evaluate_design", design=config.name, technology=technology) as sp:
+        _EVALUATIONS.inc()
+        library = technology_library(technology)
+        netlist = generate_core(config)
+        area = area_report(netlist, library)
+        power = power_report(netlist, library)
+        timing = timing_report(netlist, library)
+        sp.note(fmax=timing.fmax, gates=area.gate_count)
+        return DesignPoint(
+            config=config,
+            technology=technology,
+            fmax=timing.fmax,
+            area=area.total,
+            combinational_area=area.combinational,
+            sequential_area=area.sequential,
+            power_at_fmax=power.power_at(timing.fmax),
+            combinational_power=power.combinational_energy * timing.fmax,
+            sequential_power=power.sequential_energy * timing.fmax,
+            gate_count=area.gate_count,
+            dff_count=area.dff_count,
+        )
 
 
 def sweep_design_space(technology: str = "EGFET") -> list[DesignPoint]:
     """Measure all 24 Figure 7 configurations."""
-    return [evaluate_design(config, technology) for config in standard_sweep()]
+    technology = canonical_technology(technology)
+    with obs.span("sweep", technology=technology):
+        return [
+            evaluate_design(config, technology)
+            for config in obs.progress(
+                standard_sweep(), f"sweep[{technology}]", every=8
+            )
+        ]

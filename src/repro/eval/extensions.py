@@ -15,7 +15,7 @@ from repro.coregen.config import CoreConfig
 from repro.eval.system import SystemMetrics, evaluate_system
 from repro.isa.program import Program
 from repro.memory.icache import icache_cost, simulate_icache
-from repro.pdk import cnt_tft_library, egfet_library
+from repro.pdk import technology_library
 from repro.power.battery import PrintedBattery
 from repro.sim.machine import Machine
 from repro.sim.trace import FetchTrace
@@ -60,7 +60,7 @@ def evaluate_with_icache(
     machine.run()
     sim = simulate_icache(trace, cache_words)
 
-    library = cnt_tft_library() if technology in ("CNT", "CNT-TFT") else egfet_library()
+    library = technology_library(technology)
     rom_delay = baseline.imem_time / max(1, machine.stats.fetches)
     rom_energy = 0.0
     if machine.stats.fetches:

@@ -26,7 +26,6 @@ from functools import lru_cache
 
 from repro.coregen.config import CoreConfig, program_specific_config
 from repro.coregen.generator import generate_core
-from repro.errors import ConfigError
 from repro.isa.analysis import analyze_program
 from repro.isa.program import Program
 from repro.memory.ram import SramArray
@@ -34,7 +33,8 @@ from repro.memory.rom import CrosspointRom
 from repro.netlist.power import power_report
 from repro.netlist.sta import timing_report
 from repro.netlist.stats import area_report
-from repro.pdk import cnt_tft_library, egfet_library
+from repro import obs
+from repro.pdk import canonical_technology, technology_library
 from repro.sim.machine import Machine
 from repro.sim.pipeline import cycles_for
 
@@ -102,18 +102,12 @@ class SystemMetrics:
         return self.total_energy / self.total_time if self.total_time else 0.0
 
 
-def _library(technology: str):
-    if technology == "EGFET":
-        return egfet_library()
-    if technology in ("CNT", "CNT-TFT"):
-        return cnt_tft_library()
-    raise ConfigError(f"unknown technology {technology!r}")
-
-
 @lru_cache(maxsize=256)
 def _core_reports(config: CoreConfig, technology: str):
+    # ``technology`` is canonical here (callers normalize), so the
+    # cache never splits between "CNT" and its "CNT-TFT" alias.
     netlist = generate_core(config)
-    library = _library(technology)
+    library = technology_library(technology)
     return (
         area_report(netlist, library),
         power_report(netlist, library),
@@ -134,12 +128,14 @@ def evaluate_system(
         program: The benchmark image (must halt under the ISS).
         config: Core configuration; defaults to a standard single-stage
             core at the program's datawidth/BAR count.
-        technology: ``"EGFET"`` or ``"CNT-TFT"``.
+        technology: ``"EGFET"``, ``"CNT"``, or the ``"CNT-TFT"`` alias
+            (normalized to canonical ``"CNT"`` before caching).
         program_specific: Shrink the core and memories per the
             Section 7 static analysis before evaluating.
         rom_bits_per_cell: Multi-level-cell depth of the instruction
             ROM (the dTree-ROMopt configuration uses 2).
     """
+    technology = canonical_technology(technology)
     if config is None:
         config = CoreConfig(
             datawidth=program.datawidth,
@@ -147,6 +143,24 @@ def evaluate_system(
             num_bars=max(2, program.num_bars),
         )
 
+    with obs.span(
+        "evaluate_system",
+        program=program.name,
+        design=config.name,
+        technology=technology,
+    ):
+        return _evaluate_system(
+            program, config, technology, program_specific, rom_bits_per_cell
+        )
+
+
+def _evaluate_system(
+    program: Program,
+    config: CoreConfig,
+    technology: str,
+    program_specific: bool,
+    rom_bits_per_cell: int,
+) -> SystemMetrics:
     # Dynamic behaviour (independent of technology).
     machine = Machine(program, num_bars=config.num_bars)
     machine.run()

@@ -53,6 +53,15 @@ from typing import Callable, Sequence
 from repro.errors import SimulationError
 from repro.netlist.core import CONST1, Instance, Netlist, SEQUENTIAL_CELLS
 from repro.netlist.sta import _topological_order
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.runtime import STATE as _OBS
+from repro.obs.trace import span as _obs_span
+
+# Per-netlist code-object cache telemetry (see docs/OBSERVABILITY.md).
+_CACHE_HITS = _obs_counter("compile.cache_hits")
+_CACHE_MISSES = _obs_counter("compile.cache_misses")
+_LANE_TICKS = _obs_counter("sim.batched_ticks")
+_LANE_CYCLES = _obs_counter("sim.lane_cycles_simulated")
 
 #: Expression template per combinational cell; ``M`` is the lane mask
 #: standing in for logical 1, so inverting cells work for any lane count.
@@ -202,8 +211,12 @@ def compiled_netlist(netlist: Netlist) -> CompiledNetlist:
     """Compiled code for ``netlist``, generated once and cached on it."""
     cached = getattr(netlist, "_compiled_sim", None)
     if cached is None:
-        cached = compile_netlist(netlist)
+        _CACHE_MISSES.inc()
+        with _obs_span("compile", design=netlist.name):
+            cached = compile_netlist(netlist)
         netlist._compiled_sim = cached
+    else:
+        _CACHE_HITS.inc()
     return cached
 
 
@@ -329,6 +342,9 @@ class BitParallelSimulator:
             for net in self._fault_nets:
                 values[net] = (values[net] & self._force_and[net]) | self._force_or[net]
         self.cycles += 1
+        if _OBS.enabled:
+            _LANE_TICKS.value += 1
+            _LANE_CYCLES.value += self.lanes
 
     def reset(self) -> None:
         """Apply one asynchronous reset pulse to all lanes."""

@@ -19,6 +19,10 @@ from typing import Iterable
 from repro.errors import SimulationError
 from repro.netlist.core import CELL_FUNCTIONS, Netlist, SEQUENTIAL_CELLS
 from repro.netlist.sim import CycleSimulator
+from repro.obs.metrics import counter as _obs_counter
+
+_SIMULATORS_BUILT = _obs_counter("faults.simulators_built")
+_SITES_ENUMERATED = _obs_counter("faults.sites_enumerated")
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,7 @@ class FaultySimulator(CycleSimulator):
         self, netlist: Netlist, fault: StuckAtFault, backend: str = "interpreted"
     ) -> None:
         super().__init__(netlist, backend=backend)
+        _SIMULATORS_BUILT.inc()
         if not 0 <= fault.instance_index < len(netlist.instances):
             raise SimulationError(f"no instance {fault.instance_index}")
         self.fault = fault
@@ -89,6 +94,7 @@ def enumerate_fault_sites(netlist: Netlist, stride: int = 1) -> list[StuckAtFaul
     for index in range(0, len(netlist.instances), stride):
         sites.append(StuckAtFault(index, 0))
         sites.append(StuckAtFault(index, 1))
+    _SITES_ENUMERATED.inc(len(sites))
     return sites
 
 

@@ -21,7 +21,11 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.netlist.core import Netlist, SEQUENTIAL_CELLS
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import span as _obs_span
 from repro.pdk.cells import CellLibrary
+
+_POWER_REPORTS = _obs_counter("power.reports")
 
 #: Average simulated activity factor reported by the paper.
 PAPER_ACTIVITY_FACTOR = 0.88
@@ -61,20 +65,22 @@ def power_report(
     activity: float = PAPER_ACTIVITY_FACTOR,
 ) -> PowerReport:
     """Estimate per-cycle energy with a flat activity factor."""
-    combinational = 0.0
-    sequential = 0.0
-    for instance in netlist.instances:
-        energy = library.cell(instance.cell).energy * activity
-        if instance.cell in SEQUENTIAL_CELLS:
-            sequential += energy
-        else:
-            combinational += energy
-    return PowerReport(
-        energy_per_cycle=combinational + sequential,
-        combinational_energy=combinational,
-        sequential_energy=sequential,
-        activity=activity,
-    )
+    with _obs_span("power", design=netlist.name, technology=library.name):
+        _POWER_REPORTS.inc()
+        combinational = 0.0
+        sequential = 0.0
+        for instance in netlist.instances:
+            energy = library.cell(instance.cell).energy * activity
+            if instance.cell in SEQUENTIAL_CELLS:
+                sequential += energy
+            else:
+                combinational += energy
+        return PowerReport(
+            energy_per_cycle=combinational + sequential,
+            combinational_energy=combinational,
+            sequential_energy=sequential,
+            activity=activity,
+        )
 
 
 def measured_power_report(
@@ -92,6 +98,18 @@ def measured_power_report(
             produced by the gate-level simulator.
         cycles: Number of simulated cycles the counts cover.
     """
+    with _obs_span(
+        "power_measured", design=netlist.name, technology=library.name
+    ):
+        return _measured_power_report(netlist, library, toggles_per_cell, cycles)
+
+
+def _measured_power_report(
+    netlist: Netlist,
+    library: CellLibrary,
+    toggles_per_cell: Mapping[int, int],
+    cycles: int,
+) -> PowerReport:
     combinational = 0.0
     sequential = 0.0
     total_toggles = 0

@@ -37,9 +37,18 @@ from repro.netlist.core import (
     SEQUENTIAL_CELLS,
 )
 from repro.netlist.sta import _topological_order
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.metrics import histogram as _obs_histogram
+from repro.obs.runtime import STATE as _OBS
 
 #: Supported simulation backends.
 BACKENDS = ("interpreted", "compiled")
+
+# Scalar-simulation telemetry; bound once so the per-tick cost while
+# disabled is one attribute load and a branch (<2% budget, asserted by
+# benchmarks/bench_sim_backends.py).
+_CYCLES = _obs_counter("sim.cycles_simulated")
+_TOGGLE_READOUTS = _obs_histogram("sim.toggles_per_readout")
 
 
 class CycleSimulator:
@@ -131,6 +140,8 @@ class CycleSimulator:
         one count per cycle in which a cell's settled output differs
         from the previous cycle's.
         """
+        if _OBS.enabled:
+            _CYCLES.value += 1
         reset_net = self.netlist.reset_n
         resetting = reset_net is not None and self._values[reset_net] == 0
         values = self._values
@@ -198,6 +209,9 @@ class CycleSimulator:
 
     def toggle_counts(self) -> Mapping[int, int]:
         """Output-toggle count per instance index (sequential cells)."""
-        return {
+        counts = {
             index: count for index, count in enumerate(self._toggles) if count
         }
+        if _OBS.enabled:
+            _TOGGLE_READOUTS.observe(sum(counts.values()))
+        return counts

@@ -33,7 +33,11 @@ from dataclasses import dataclass
 
 from repro.errors import TimingError
 from repro.netlist.core import CONST0, CONST1, Instance, Netlist, SEQUENTIAL_CELLS
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import span as _obs_span
 from repro.pdk.cells import CellLibrary
+
+_STA_REPORTS = _obs_counter("sta.reports")
 
 #: Default incremental delay per extra fanout load (dimensionless).
 DEFAULT_FANOUT_SLOPE = 0.05
@@ -152,6 +156,22 @@ def timing_report(
         A :class:`TimingReport`; ``fmax`` is infinite for a netlist
         with no timed paths (no cells).
     """
+    with _obs_span("sta", design=netlist.name, technology=library.name) as sp:
+        report = _timing_report(
+            netlist, library, input_arrivals, fanout_slope, pessimistic
+        )
+        _STA_REPORTS.inc()
+        sp.note(fmax=report.fmax, levels=report.levels)
+    return report
+
+
+def _timing_report(
+    netlist: Netlist,
+    library: CellLibrary,
+    input_arrivals: dict[str, float] | None,
+    fanout_slope: float,
+    pessimistic: bool,
+) -> TimingReport:
     input_arrivals = input_arrivals or {}
     fanouts = _fanout_counts(netlist)
 

@@ -1,0 +1,192 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The flow's hot paths publish into named metrics::
+
+    _CYCLES = obs.counter("sim.cycles_simulated")
+    ...
+    if STATE.enabled:
+        _CYCLES.value += 1          # pre-bound, branch-guarded hot path
+
+Three metric kinds, mirroring the usual monitoring vocabulary:
+
+* :class:`Counter` -- monotone event count (cache hits, cycles);
+* :class:`Gauge` -- last-written value (working-set size);
+* :class:`Histogram` -- running count/sum/min/max/mean of observations
+  (faults per second, toggles per readout).  No buckets: the flow
+  needs cost attribution, not quantile estimation, and count+sum+range
+  stays O(1) per observation.
+
+Metric *objects* are created eagerly (registry access takes a lock
+once, at instrumentation-site import or constructor time) and updated
+cheaply.  ``inc``/``set``/``observe`` check the global switch
+themselves, so cold call sites need no guard of their own; loops that
+update per cycle should instead bind the metric once and test
+``STATE.enabled`` inline as shown above.  Plain ``int``/``float``
+read-modify-writes on a bound attribute are atomic under the CPython
+GIL for our single-writer usage; :class:`Histogram` takes a lock since
+it updates several fields per observation.
+
+Naming convention (see ``docs/OBSERVABILITY.md``): dotted
+``subsystem.quantity_unit`` -- e.g. ``compile.cache_hits``,
+``sim.cycles_simulated``, ``faults.per_second``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.runtime import STATE
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (no-op while the obs switch is off)."""
+        if STATE.enabled:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level (no-op while disabled)."""
+        if STATE.enabled:
+            self.value = value
+
+
+class Histogram:
+    """Running count / sum / min / max of observed samples."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample (no-op while disabled)."""
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instances, created on first access."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind) -> object:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = kind(name)
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} is {type(metric).__name__}, "
+                    f"not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every metric, sorted by name.
+
+        Counters and gauges map to their value; histograms to a
+        ``{count, sum, min, max, mean}`` dict.  The result is
+        JSON-serializable (it feeds ``RUN_REPORT.json`` directly).
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every registered metric (instances stay bound)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                if isinstance(metric, Counter):
+                    metric.value = 0
+                elif isinstance(metric, Gauge):
+                    metric.value = 0.0
+                else:
+                    metric.count = 0
+                    metric.total = 0.0
+                    metric.min = None
+                    metric.max = None
+
+
+#: The process-wide registry behind :func:`repro.obs.counter` et al.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """The process-wide :class:`Counter` named ``name``."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The process-wide :class:`Gauge` named ``name``."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """The process-wide :class:`Histogram` named ``name``."""
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> dict:
+    """Plain-data snapshot of the process-wide registry."""
+    return REGISTRY.snapshot()

@@ -1,0 +1,46 @@
+"""Global on/off switch for the observability layer.
+
+Every instrumentation hook in the flow -- spans, counters, progress
+lines -- is guarded by one module-level flag so that a disabled run
+pays only an attribute load and a branch per event site.  The flag
+lives on a tiny state object (rather than a bare module global) so hot
+loops can bind ``STATE`` once and read ``STATE.enabled`` without a
+dict lookup through the module namespace on every check.
+
+Enable it one of three ways:
+
+* ``REPRO_TRACE=1`` in the environment (read at import time by
+  :mod:`repro.obs`);
+* ``python -m repro --profile ...`` on the command line;
+* :func:`repro.obs.enable` from code (tests, notebooks).
+"""
+
+from __future__ import annotations
+
+
+class ObsState:
+    """Mutable observability switch (see module docstring)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: The process-wide switch; hot paths bind this once at import.
+STATE = ObsState()
+
+
+def enabled() -> bool:
+    """Whether tracing/metrics collection is currently on."""
+    return STATE.enabled
+
+
+def enable() -> None:
+    """Turn on span recording, metric updates, and progress lines."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn collection off (already-recorded data is kept)."""
+    STATE.enabled = False

@@ -18,15 +18,50 @@ transistor-resistor RC model from which :mod:`repro.pdk.characterize`
 can re-derive delay and energy numbers for cross-validation.
 """
 
+from repro.errors import ConfigError
 from repro.pdk.cells import CellKind, StandardCell, CellLibrary
 from repro.pdk.egfet import egfet_library
 from repro.pdk.cnt import cnt_tft_library
 from repro.pdk.liberty import dump_liberty, load_liberty
 
+#: Canonical technology names (user-facing aliases normalize to these).
+TECHNOLOGIES = ("EGFET", "CNT")
+
+
+def canonical_technology(technology: str) -> str:
+    """Normalize a technology name to its canonical spelling.
+
+    The CNT-TFT library answers to both ``"CNT"`` and ``"CNT-TFT"``;
+    evaluation caches key on the string, so every API boundary
+    normalizes through here (canonical ``"CNT"``) before caching or
+    storing the name on a result.
+
+    Raises:
+        ConfigError: For names that match no printed technology.
+    """
+    if technology == "EGFET":
+        return "EGFET"
+    if technology in ("CNT", "CNT-TFT"):
+        return "CNT"
+    raise ConfigError(f"unknown technology {technology!r}")
+
+
+def technology_library(technology: str) -> CellLibrary:
+    """The standard-cell library for ``technology`` (aliases accepted)."""
+    return (
+        egfet_library()
+        if canonical_technology(technology) == "EGFET"
+        else cnt_tft_library()
+    )
+
+
 __all__ = [
     "CellKind",
     "StandardCell",
     "CellLibrary",
+    "TECHNOLOGIES",
+    "canonical_technology",
+    "technology_library",
     "egfet_library",
     "cnt_tft_library",
     "dump_liberty",

@@ -20,9 +20,18 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.isa.program import Program
 from repro.isa.spec import Flag, Instruction, MemOperand, Mnemonic
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.metrics import gauge as _obs_gauge
+from repro.obs.runtime import STATE as _OBS
 
 #: Safety valve for runaway programs.
 DEFAULT_MAX_STEPS = 5_000_000
+
+# Flushed as aggregates at the end of :meth:`Machine.run`, so the
+# per-instruction hot loop carries no instrumentation at all.
+_INSTRUCTIONS = _obs_counter("iss.instructions_retired")
+_RUNS = _obs_counter("iss.runs")
+_WORKING_SET = _obs_gauge("iss.trace_working_set")
 
 
 @dataclass
@@ -322,15 +331,23 @@ class Machine:
             SimulationError: If the step budget is exhausted before the
                 program halts (runaway loop).
         """
-        for _ in range(max_steps):
-            if self.halted:
-                break
-            self.step()
-        else:
-            if not self.halted:
-                raise SimulationError(
-                    f"{self.program.name}: no halt within {max_steps} steps"
-                )
+        executed_before = self.stats.instructions
+        try:
+            for _ in range(max_steps):
+                if self.halted:
+                    break
+                self.step()
+            else:
+                if not self.halted:
+                    raise SimulationError(
+                        f"{self.program.name}: no halt within {max_steps} steps"
+                    )
+        finally:
+            if _OBS.enabled:
+                _RUNS.inc()
+                _INSTRUCTIONS.inc(self.stats.instructions - executed_before)
+                if self.fetch_trace is not None:
+                    _WORKING_SET.set(self.fetch_trace.unique_addresses())
         return RunResult(halted=self.halted, stats=self.stats, final_pc=self.pc)
 
 

@@ -6,21 +6,52 @@ records the dynamic PC stream, which downstream models replay -- e.g.
 the instruction-cache study (:mod:`repro.memory.icache`), the paper's
 suggested remedy for CNT-TFT cores whose execution time is dominated
 by the 302 us ROM access latency.
+
+Long-running workloads can bound the recorded window with
+``FetchTrace(maxlen=...)`` (a ring buffer keeping the most recent
+fetches); :meth:`FetchTrace.address_histogram` summarizes the stream
+as address frequencies for the metrics layer and the cache models.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import Counter, deque
 
 
-@dataclass
 class FetchTrace:
-    """Recorded instruction-fetch addresses, in execution order."""
+    """Recorded instruction-fetch addresses, in execution order.
 
-    addresses: list[int] = field(default_factory=list)
+    Args:
+        maxlen: Optional bound; when set, only the most recent
+            ``maxlen`` fetches are kept (older ones are dropped, but
+            :attr:`recorded` still counts every fetch seen).
+
+    Attributes:
+        addresses: The retained PC stream (a list when unbounded, a
+            ``deque`` ring buffer when bounded).
+        maxlen: The configured bound, or ``None``.
+        recorded: Total fetches ever recorded, including dropped ones.
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.maxlen = maxlen
+        self.addresses = [] if maxlen is None else deque(maxlen=maxlen)
+        self.recorded = 0
+        # unique_addresses() memo, invalidated by append "epoch":
+        # recomputing the set per query is quadratic over a run.
+        self._unique_epoch = -1
+        self._unique_count = 0
 
     def record(self, pc: int) -> None:
         self.addresses.append(pc)
+        self.recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        """Fetches evicted by the bound (0 when unbounded)."""
+        return self.recorded - len(self.addresses)
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -29,5 +60,29 @@ class FetchTrace:
         return iter(self.addresses)
 
     def unique_addresses(self) -> int:
-        """Distinct instruction words touched (working-set size)."""
-        return len(set(self.addresses))
+        """Distinct instruction words touched (working-set size).
+
+        Cached per append epoch: repeated queries between fetches
+        (cache studies probe this in a loop) reuse the computed count
+        instead of rebuilding the set every call.
+        """
+        if self._unique_epoch != self.recorded:
+            self._unique_count = len(set(self.addresses))
+            self._unique_epoch = self.recorded
+        return self._unique_count
+
+    def address_histogram(self, top: int | None = None) -> list[tuple[int, int]]:
+        """Address frequencies, hottest first.
+
+        Args:
+            top: Optionally keep only the ``top`` most-fetched
+                addresses.
+
+        Returns:
+            ``(address, count)`` pairs sorted by descending count
+            (ties by address).  Feeds the metrics layer and locality
+            studies over the retained window.
+        """
+        counts = Counter(self.addresses)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:top] if top is not None else ranked

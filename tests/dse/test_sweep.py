@@ -72,6 +72,20 @@ class TestSweep:
         second = evaluate_design(CoreConfig(), "EGFET")
         assert first is second
 
+    def test_technology_aliases_share_cache_entry(self):
+        """"CNT-TFT" is an alias of "CNT": both names must hit one
+        cache entry (a split would silently double evaluation work)."""
+        first = evaluate_design(CoreConfig(), "CNT")
+        second = evaluate_design(CoreConfig(), "CNT-TFT")
+        assert first is second
+        assert first.technology == "CNT"
+
+    def test_unknown_technology_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            evaluate_design(CoreConfig(), "TTL")
+
     @pytest.mark.slow
     def test_cnt_sweep_much_faster_same_shape(self, egfet_sweep):
         cnt = sweep_design_space("CNT-TFT")

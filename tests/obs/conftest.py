@@ -1,0 +1,31 @@
+"""Shared fixtures: every obs test runs against a clean, enabled layer
+and leaves the process-wide switch off afterwards so instrumentation
+stays dormant for the rest of the suite."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_enabled():
+    """Enable tracing/metrics for one test, then disable and wipe."""
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+@pytest.fixture
+def obs_disabled():
+    """Guarantee the switch is off (and clean) for disabled-path tests."""
+    obs.disable()
+    obs.reset()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()

@@ -1,0 +1,110 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self, obs_enabled):
+        c = obs.counter("test.hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_instance(self, obs_enabled):
+        assert obs.counter("test.hits") is obs.counter("test.hits")
+
+    def test_disabled_is_noop(self, obs_disabled):
+        c = obs.counter("test.hits")
+        c.inc(100)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_keeps_last_value(self, obs_enabled):
+        g = obs.gauge("test.level")
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_disabled_is_noop(self, obs_disabled):
+        g = obs.gauge("test.level")
+        g.set(42)
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_running_aggregates(self, obs_enabled):
+        h = obs.histogram("test.samples")
+        for value in (2.0, 8.0, 5.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 8.0
+        assert h.mean == 5.0
+
+    def test_empty_mean_is_zero(self, obs_enabled):
+        assert obs.histogram("test.empty").mean == 0.0
+
+    def test_disabled_is_noop(self, obs_disabled):
+        h = obs.histogram("test.samples")
+        h.observe(1.0)
+        assert h.count == 0
+        assert h.min is None
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self, obs_enabled):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            registry.gauge("x")
+
+    def test_snapshot_shape_and_serializability(self, obs_enabled):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(1.5)
+        registry.histogram("c.hist").observe(3.0)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.level", "b.count", "c.hist"]  # sorted
+        assert snap["b.count"] == 2
+        assert snap["a.level"] == 1.5
+        assert snap["c.hist"] == {
+            "count": 1, "sum": 3.0, "min": 3.0, "max": 3.0, "mean": 3.0,
+        }
+        json.dumps(snap)  # must stay JSON-serializable for RUN_REPORT
+
+    def test_reset_zeroes_but_keeps_instances(self, obs_enabled):
+        registry = MetricsRegistry()
+        c = registry.counter("x")
+        g = registry.gauge("y")
+        h = registry.histogram("z")
+        c.inc(3)
+        g.set(2)
+        h.observe(1.0)
+        registry.reset()
+        assert registry.counter("x") is c
+        assert (c.value, g.value, h.count, h.min) == (0, 0.0, 0, None)
+
+    def test_module_level_snapshot_sees_global_registry(self, obs_enabled):
+        obs.counter("test.global").inc()
+        assert obs.snapshot()["test.global"] == 1
+
+
+class TestMetricClasses:
+    def test_plain_instances_respect_switch(self, obs_enabled):
+        # Direct construction (as instrumentation sites do at import).
+        c, g, h = Counter("c"), Gauge("g"), Histogram("h")
+        c.inc()
+        g.set(1)
+        h.observe(1)
+        obs.disable()
+        c.inc()
+        g.set(9)
+        h.observe(9)
+        assert (c.value, g.value, h.count) == (1, 1, 1)

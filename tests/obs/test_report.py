@@ -1,0 +1,135 @@
+"""Tests for progress logging and machine-readable run reports."""
+
+import io
+import json
+
+from repro import obs
+from repro.obs.report import MAX_REPORT_SPANS, SCHEMA, build_run_report
+from repro.coregen.config import CoreConfig
+from repro.dse.sweep import evaluate_design
+
+
+class TestProgress:
+    def test_passthrough_when_disabled(self, obs_disabled):
+        stream = io.StringIO()
+        items = list(obs.progress(range(5), "loop", every=1, stream=stream))
+        assert items == [0, 1, 2, 3, 4]
+        assert stream.getvalue() == ""
+
+    def test_logs_every_n_with_total_and_final_line(self, obs_enabled):
+        stream = io.StringIO()
+        items = list(obs.progress(range(10), "loop", every=4, stream=stream))
+        assert items == list(range(10))
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[obs] loop: 4/10 (40%)")
+        assert "eta" in lines[0]
+        assert lines[1].startswith("[obs] loop: 8/10 (80%)")
+        assert lines[-1].startswith("[obs] loop: 10/10 (100%)")
+        assert "in " in lines[-1]
+
+    def test_unsized_iterable_logs_rate_only(self, obs_enabled):
+        stream = io.StringIO()
+        list(obs.progress(iter(range(6)), "gen", every=3, stream=stream))
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("[obs] gen: 3 ")
+        assert "eta" not in lines[0]
+
+    def test_empty_iterable_logs_nothing(self, obs_enabled):
+        stream = io.StringIO()
+        assert list(obs.progress([], "none", stream=stream)) == []
+        assert stream.getvalue() == ""
+
+
+class TestRunReport:
+    def test_mini_sweep_report_schema(self, obs_enabled, tmp_path):
+        """Integration: a 2-point mini-sweep produces a valid report."""
+        from repro.dse.sweep import _evaluate_design
+
+        _evaluate_design.cache_clear()  # force real (span-recording) work
+        for width in (4, 8):
+            with obs.span("sweep"):
+                evaluate_design(CoreConfig(datawidth=width), "EGFET")
+        report = build_run_report(["mini-sweep"], wall_seconds=1.0)
+        path = tmp_path / "RUN_REPORT.json"
+        obs.write_run_report(path, report)
+        loaded = json.loads(path.read_text())
+
+        assert loaded["schema"] == SCHEMA
+        assert loaded["command"] == ["mini-sweep"]
+        assert loaded["wall_seconds"] == 1.0
+        stage_names = [s["name"] for s in loaded["stages"]]
+        assert stage_names == ["sweep"]
+        assert loaded["stages"][0]["count"] == 2
+        assert 0.0 <= loaded["stage_coverage"]
+        assert loaded["span_count"] == len(loaded["spans"])
+        assert loaded["span_count"] >= 2
+        # evaluate_design spans nest under the sweep stage.
+        nested = [s for s in loaded["spans"] if s["name"] == "evaluate_design"]
+        assert any(s["path"] == "sweep/evaluate_design" for s in nested)
+        # Metrics flowed in from the instrumented pipeline.
+        assert loaded["metrics"]["dse.evaluations"] >= 2
+        assert loaded["environment"]["python"]
+        assert isinstance(loaded["git"], dict)
+
+    def test_span_detail_capped_but_aggregates_complete(self, obs_enabled):
+        for _ in range(MAX_REPORT_SPANS + 10):
+            with obs.span("tick"):
+                pass
+        report = build_run_report(["cap"], wall_seconds=0.5)
+        assert len(report["spans"]) == MAX_REPORT_SPANS
+        assert report["span_count"] == MAX_REPORT_SPANS + 10
+        assert report["stages"][0]["count"] == MAX_REPORT_SPANS + 10
+
+    def test_extra_keys_merged(self, obs_enabled):
+        report = build_run_report(["x"], 1.0, extra={"custom": 7})
+        assert report["custom"] == 7
+
+    def test_render_is_plain_text(self, obs_enabled):
+        obs.counter("test.rendered").inc()
+        with obs.span("stage"):
+            pass
+        report = build_run_report(["render"], 1.0)
+        text = obs.render_run_report(report)
+        assert "stage" in text
+        assert "test.rendered" in text
+
+
+class TestCli:
+    def test_profile_writes_run_report(self, obs_disabled, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "RUN_REPORT.json"
+        assert main(["--profile", "--report-out", str(out), "table6"]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == SCHEMA
+        assert report["command"] == ["table6"]
+        assert [s["name"] for s in report["stages"]] == ["table6"]
+        assert "Run report" in capsys.readouterr().out
+
+    def test_stats_prints_nonzero_counters(self, obs_disabled, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "RUN_REPORT.json"
+        assert main(["--report-out", str(out), "stats"]) == 0
+        text = capsys.readouterr().out
+        assert "sim.cycles_simulated" in text
+        assert "compile.cache_hits" in text
+
+    def test_unknown_flag_rejected(self, obs_disabled, capsys):
+        from repro.__main__ import main
+
+        assert main(["--bogus"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_trace_out_exports_jsonl(self, obs_disabled, tmp_path):
+        from repro.__main__ import main
+        from repro.obs.trace import load_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        report = tmp_path / "RUN_REPORT.json"
+        assert main([
+            "--profile", "--trace-out", str(trace),
+            "--report-out", str(report), "table6",
+        ]) == 0
+        events = load_jsonl(trace)
+        assert any(e["name"] == "table6" for e in events)

@@ -1,0 +1,154 @@
+"""Tests for tracing spans: nesting, exception safety, export."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN, Tracer, load_jsonl
+
+
+class TestSpanNesting:
+    def test_paths_and_depths(self, obs_enabled):
+        with obs.span("sweep"):
+            with obs.span("evaluate_design"):
+                with obs.span("sta"):
+                    pass
+            with obs.span("power"):
+                pass
+        by_name = {e.name: e for e in obs.TRACER.events()}
+        assert by_name["sweep"].depth == 0
+        assert by_name["sweep"].path == "sweep"
+        assert by_name["evaluate_design"].path == "sweep/evaluate_design"
+        assert by_name["sta"].path == "sweep/evaluate_design/sta"
+        assert by_name["sta"].depth == 2
+        assert by_name["power"].path == "sweep/power"
+        assert by_name["power"].depth == 1
+
+    def test_events_complete_innermost_first(self, obs_enabled):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert [e.name for e in obs.TRACER.events()] == ["inner", "outer"]
+
+    def test_sequential_spans_are_both_top_level(self, obs_enabled):
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        assert [e.depth for e in obs.TRACER.events()] == [0, 0]
+
+    def test_nesting_is_per_thread(self, obs_enabled):
+        recorded = threading.Event()
+
+        def worker():
+            with obs.span("worker_span"):
+                pass
+            recorded.set()
+
+        with obs.span("main_span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert recorded.wait(1)
+        by_name = {e.name: e for e in obs.TRACER.events()}
+        # The other thread's span must not inherit this thread's stack.
+        assert by_name["worker_span"].depth == 0
+        assert by_name["worker_span"].path == "worker_span"
+
+
+class TestSpanSemantics:
+    def test_timings_and_attrs_recorded(self, obs_enabled):
+        with obs.span("stage", design="p1_8_2") as sp:
+            sp.note(fmax=12.5)
+        (event,) = obs.TRACER.events()
+        assert event.wall_s >= 0
+        assert event.cpu_s >= 0
+        assert event.start_us > 0
+        assert event.attrs == {"design": "p1_8_2", "fmax": 12.5}
+        assert event.error is None
+
+    def test_exception_recorded_and_propagated(self, obs_enabled):
+        with pytest.raises(ValueError, match="boom"):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        (event,) = obs.TRACER.events()
+        assert event.error == "ValueError"
+
+    def test_exception_unwinds_nesting_stack(self, obs_enabled):
+        with pytest.raises(RuntimeError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise RuntimeError
+        with obs.span("after"):
+            pass
+        by_name = {e.name: e for e in obs.TRACER.events()}
+        assert by_name["after"].depth == 0
+
+    def test_summaries_and_call_counts(self, obs_enabled):
+        for _ in range(3):
+            with obs.span("sta"):
+                pass
+        with obs.span("outer"):
+            with obs.span("sta"):
+                pass
+        counts = obs.TRACER.call_counts()
+        assert counts["sta"] == 4
+        top = {s.name: s for s in obs.TRACER.summaries(depth=0)}
+        assert top["sta"].count == 3
+        everything = {s.name: s for s in obs.TRACER.summaries()}
+        assert everything["sta"].count == 4
+
+
+class TestDisabledMode:
+    def test_span_is_shared_null_singleton(self, obs_disabled):
+        sp = obs.span("anything", key="value")
+        assert sp is NULL_SPAN
+        with sp as inner:
+            inner.note(extra=1)  # accepted and ignored
+        assert len(obs.TRACER) == 0
+
+    def test_null_span_does_not_swallow_exceptions(self, obs_disabled):
+        with pytest.raises(KeyError):
+            with obs.span("anything"):
+                raise KeyError("x")
+
+
+class TestJsonlExport:
+    def test_round_trip(self, obs_enabled, tmp_path):
+        with obs.span("cosim", program="mult8"):
+            pass
+        with obs.span("sta"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert obs.export_trace_jsonl(path) == 2
+        events = load_jsonl(path)
+        assert len(events) == 2
+        chrome = {e["name"]: e for e in events}
+        cosim = chrome["cosim"]
+        # Chrome-trace complete-event fields.
+        assert cosim["ph"] == "X"
+        assert cosim["ts"] > 0
+        assert cosim["dur"] >= 0
+        assert isinstance(cosim["pid"], int)
+        assert isinstance(cosim["tid"], int)
+        assert cosim["args"]["program"] == "mult8"
+        assert cosim["args"]["path"] == "cosim"
+
+    def test_error_span_exports_error_arg(self, obs_enabled, tmp_path):
+        with pytest.raises(ValueError):
+            with obs.span("bad"):
+                raise ValueError
+        path = tmp_path / "trace.jsonl"
+        obs.export_trace_jsonl(path)
+        (event,) = load_jsonl(path)
+        assert event["args"]["error"] == "ValueError"
+
+
+class TestTracerIsolation:
+    def test_private_tracer_does_not_touch_global(self, obs_enabled):
+        tracer = Tracer()
+        with tracer.span("private"):
+            pass
+        assert tracer.call_counts() == {"private": 1}
+        assert "private" not in obs.TRACER.call_counts()

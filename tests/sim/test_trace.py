@@ -29,6 +29,55 @@ class TestFetchTrace:
         machine.run()
         assert machine.fetch_trace is None
 
+    def test_bounded_trace_keeps_recent_window(self):
+        trace = FetchTrace(maxlen=3)
+        for pc in (0, 1, 2, 3, 4):
+            trace.record(pc)
+        assert list(trace.addresses) == [2, 3, 4]
+        assert len(trace) == 3
+        assert trace.recorded == 5
+        assert trace.dropped == 2
+
+    def test_unbounded_trace_drops_nothing(self):
+        trace = FetchTrace()
+        for pc in range(4):
+            trace.record(pc)
+        assert trace.dropped == 0
+        assert trace.recorded == 4
+
+    def test_invalid_maxlen_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FetchTrace(maxlen=0)
+
+    def test_address_histogram_orders_by_count_then_address(self):
+        trace = FetchTrace()
+        for pc in (5, 1, 5, 1, 5, 9):
+            trace.record(pc)
+        assert trace.address_histogram() == [(5, 3), (1, 2), (9, 1)]
+        assert trace.address_histogram(top=1) == [(5, 3)]
+
+    def test_ties_break_by_lower_address(self):
+        trace = FetchTrace()
+        for pc in (7, 2, 7, 2):
+            trace.record(pc)
+        assert trace.address_histogram() == [(2, 2), (7, 2)]
+
+    def test_unique_addresses_cache_invalidated_by_append(self):
+        trace = FetchTrace()
+        trace.record(0)
+        assert trace.unique_addresses() == 1
+        assert trace.unique_addresses() == 1  # served from the memo
+        trace.record(1)
+        assert trace.unique_addresses() == 2
+
+    def test_bounded_unique_counts_retained_window_only(self):
+        trace = FetchTrace(maxlen=2)
+        for pc in (0, 1, 2):
+            trace.record(pc)
+        assert trace.unique_addresses() == 2
+
 
 class TestPipelineProperties:
     @settings(max_examples=40)
