@@ -32,6 +32,7 @@ Run from the repository root::
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import sys
 import time
@@ -40,7 +41,11 @@ from pathlib import Path
 from repro import obs
 from repro.coregen.config import CoreConfig
 from repro.coregen.cosim import CoSimHarness
+from repro.coregen import fault_test
 from repro.coregen.fault_test import run_fault_campaign
+from repro.dse.sweep import sweep_design_spaces
+from repro.eval import evaluate_suite
+from repro.exec import clear_caches
 from repro.programs import build_benchmark
 
 #: Cores timed for co-simulation throughput (name -> config).
@@ -142,6 +147,90 @@ def bench_fault_campaign(max_faults: int = 40) -> dict:
     return results
 
 
+#: Worker counts measured by the parallel-scaling section.
+SCALING_JOBS = (1, 2, 4)
+
+#: Minimum tolerated jobs=4 combined speedup on a >=4-core machine.
+SCALING_FLOOR = 2.5
+
+#: Tolerated serial (jobs=1) slowdown vs the checked-in baseline.
+SCALING_REGRESSION_FACTOR = 2.5
+
+
+def _scaling_round(jobs: int, campaign_stride: int) -> tuple[dict, tuple]:
+    """One timed pass of the three fan-out layers at one worker count."""
+    program = build_benchmark("dTree", 8, 8)
+    # Every round starts memo-cold (but disk-warm) so each jobs value
+    # does identical work and the timing isolates execution strategy.
+    clear_caches()
+    fault_test._WORKER_CONTEXT = None
+    timings = {}
+    start = time.perf_counter()
+    sweep = sweep_design_spaces(("EGFET", "CNT"), jobs=jobs)
+    timings["sweep_s"] = time.perf_counter() - start
+    start = time.perf_counter()
+    campaign = run_fault_campaign(program, stride=campaign_stride, jobs=jobs)
+    timings["fault_campaign_s"] = time.perf_counter() - start
+    start = time.perf_counter()
+    suite = evaluate_suite(jobs=jobs)
+    timings["suite_s"] = time.perf_counter() - start
+    timings["combined_s"] = sum(timings.values())
+    return timings, (sweep, campaign, suite)
+
+
+def bench_parallel_scaling(
+    jobs_list: tuple[int, ...] = SCALING_JOBS, campaign_stride: int = 1
+) -> dict:
+    """Wall time of the three ``jobs=`` fan-outs at 1/2/4 workers.
+
+    Times the Figure 7 two-technology sweep, a full-stride dTree fault
+    campaign, and the Figure 8 suite grid at each worker count, after
+    one warm-up pass that populates the on-disk artifact cache.  Every
+    parallel round is asserted bit-exact against the ``jobs=1`` round;
+    speedups are relative to ``jobs=1`` on the same machine, with
+    ``cpu_count`` recorded because scaling saturates at the physical
+    core count.
+    """
+    with obs.span("bench_parallel_scaling"):
+        # Warm the artifact cache so round one isn't charged for
+        # first-touch elaboration the later rounds get from disk.
+        _scaling_round(1, campaign_stride)
+        results: dict = {"cpu_count": os.cpu_count(), "jobs": {}}
+        reference = None
+        for jobs in jobs_list:
+            timings, outcome = _scaling_round(jobs, campaign_stride)
+            if reference is None:
+                reference = outcome
+            elif outcome != reference:
+                raise AssertionError(
+                    f"jobs={jobs} scaling round diverged from jobs=1"
+                )
+            entry = {key: round(value, 3) for key, value in timings.items()}
+            serial = results["jobs"].get("1", entry)
+            entry["speedup"] = round(
+                serial["combined_s"] / max(1e-9, timings["combined_s"]), 2
+            )
+            results["jobs"][str(jobs)] = entry
+            print(
+                f"parallel scaling [jobs={jobs}]: sweep {timings['sweep_s']:5.2f}s, "
+                f"campaign {timings['fault_campaign_s']:5.2f}s, "
+                f"suite {timings['suite_s']:5.2f}s "
+                f"(speedup {entry['speedup']:.2f}x)"
+            )
+        return results
+
+
+def _scaling_regression(out_path: Path, scaling: dict) -> float | None:
+    """Serial combined-seconds ratio vs the checked-in baseline (>1 = slower)."""
+    try:
+        baseline = json.loads(out_path.read_text())
+        before = baseline["parallel_scaling"]["jobs"]["1"]["combined_s"]
+    except (OSError, KeyError, ValueError):
+        return None
+    now = scaling["jobs"]["1"]["combined_s"]
+    return round(now / max(1e-9, before), 2)
+
+
 def bench_obs_overhead(pairs: int = 64, chunk: int = 256) -> dict:
     """Cost of the observability layer on the p1_8_2 compiled cosim.
 
@@ -211,10 +300,12 @@ def main(argv: list[str]) -> int:
         cosim = bench_cosim(configs=(HEADLINE,), min_duration=0.1)
         fault = bench_fault_campaign(max_faults=16)
         overhead = bench_obs_overhead(pairs=48, chunk=160)
+        scaling = bench_parallel_scaling(jobs_list=(1, 2), campaign_stride=8)
     else:
         cosim = bench_cosim()
         fault = bench_fault_campaign()
         overhead = bench_obs_overhead()
+        scaling = bench_parallel_scaling()
 
     out = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
     report = obs.build_run_report(
@@ -226,12 +317,17 @@ def main(argv: list[str]) -> int:
     report["cosim"] = cosim
     report["fault_campaign"] = fault
     report["obs_overhead"] = overhead
+    report["parallel_scaling"] = scaling
     report["headline_speedup_p1_8_2"] = cosim[HEADLINE.name]["speedup"]
     regression = _baseline_regression(out, overhead)
     if regression is not None:
         report["baseline_regression_pct"] = regression
         print(f"disabled rate vs checked-in baseline: {regression:+.2f}% "
               "(informational)")
+    serial_ratio = _scaling_regression(out, scaling)
+    if serial_ratio is not None:
+        report["serial_regression_factor"] = serial_ratio
+        print(f"serial (jobs=1) combined time vs baseline: x{serial_ratio:.2f}")
 
     if smoke:
         print("smoke mode: BENCH_sim.json left untouched")
@@ -246,6 +342,22 @@ def main(argv: list[str]) -> int:
         print(
             f"FAIL: obs overhead {overhead['overhead_pct']}% exceeds the "
             f"{OVERHEAD_BUDGET_PCT}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    if check and serial_ratio is not None and serial_ratio > SCALING_REGRESSION_FACTOR:
+        print(
+            f"FAIL: serial combined time regressed x{serial_ratio:.2f} vs the "
+            f"baseline (tolerance x{SCALING_REGRESSION_FACTOR})",
+            file=sys.stderr,
+        )
+        return 1
+    cpus = scaling["cpu_count"] or 1
+    top = scaling["jobs"].get("4")
+    if check and not smoke and cpus >= 4 and top and top["speedup"] < SCALING_FLOOR:
+        print(
+            f"FAIL: jobs=4 speedup {top['speedup']}x below the "
+            f"{SCALING_FLOOR}x floor on a {cpus}-core machine",
             file=sys.stderr,
         )
         return 1

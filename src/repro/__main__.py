@@ -14,9 +14,13 @@ Usage::
                                        # RUN_REPORT.json + summary
     python -m repro --profile --trace-out run.jsonl all
                                        # also export Chrome-trace JSONL
+    python -m repro --jobs 4 fig7      # fan sweeps/campaigns across
+                                       # 4 worker processes
 
-``REPRO_TRACE=1`` in the environment is equivalent to ``--profile``.
-See ``docs/OBSERVABILITY.md`` for the report schema and conventions.
+``REPRO_TRACE=1`` in the environment is equivalent to ``--profile``;
+``REPRO_JOBS=N`` is equivalent to ``--jobs N``.  See
+``docs/OBSERVABILITY.md`` for the report schema and
+``docs/PARALLELISM.md`` for the execution/caching model.
 """
 
 from __future__ import annotations
@@ -170,13 +174,28 @@ def run_stats_probe() -> None:
 
 def _split_flags(argv: list[str]) -> tuple[dict, list[str], str | None]:
     """Parse leading/interleaved options; returns (opts, targets, error)."""
-    opts = {"profile": False, "trace_out": None, "report_out": DEFAULT_REPORT}
+    opts = {
+        "profile": False,
+        "trace_out": None,
+        "report_out": DEFAULT_REPORT,
+        "jobs": None,
+    }
     requests: list[str] = []
     i = 0
     while i < len(argv):
         arg = argv[i]
         if arg == "--profile":
             opts["profile"] = True
+        elif arg == "--jobs":
+            if i + 1 >= len(argv):
+                return opts, requests, f"{arg} needs a count argument"
+            try:
+                opts["jobs"] = int(argv[i + 1])
+            except ValueError:
+                return opts, requests, f"--jobs needs an integer, got {argv[i + 1]!r}"
+            if opts["jobs"] < 1:
+                return opts, requests, "--jobs must be >= 1"
+            i += 1
         elif arg in ("--trace-out", "--report-out"):
             if i + 1 >= len(argv):
                 return opts, requests, f"{arg} needs a path argument"
@@ -197,6 +216,10 @@ def main(argv: list[str]) -> int:
         print(error, file=sys.stderr)
         return 2
     profile = opts["profile"] or obs.enabled()
+    if opts["jobs"] is not None:
+        from repro.exec import set_default_jobs
+
+        set_default_jobs(opts["jobs"])
     requests = requests or ["list"]
     if requests == ["list"]:
         print("regenerable results:", " ".join(TARGETS), "all export stats")

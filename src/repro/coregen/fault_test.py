@@ -13,17 +13,27 @@ bigint lane carries one faulty machine with its own data memory image,
 so one gate evaluation pass advances dozens of fault simulations.  The
 ``"compiled"`` and ``"interpreted"`` backends run one fault at a time
 and exist for cross-checking; all three produce identical campaigns.
+
+On top of lane-level batching, ``jobs=`` fans batches (or, for the
+scalar backends, individual faults) out across worker processes via
+:func:`repro.exec.parallel_map` -- N workers each advancing
+:data:`DEFAULT_LANES` lanes per settle.  Judging happens in the parent
+in submission order, so a parallel campaign is bit-identical to the
+serial one, down to the order of ``undetected_sites``.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from functools import partial
 
 from repro import obs
 from repro.coregen.config import CoreConfig
 from repro.coregen.cosim import CoSimHarness, architectural_nets
 from repro.coregen.generator import generate_core
 from repro.coregen.isa_map import encode_for_core, encode_program_for_core
+from repro.exec import map_in_chunks, parallel_map
 from repro.isa.program import Program
 from repro.isa.spec import Instruction, Mnemonic
 from repro.netlist.compile import BitParallelSimulator
@@ -66,8 +76,63 @@ def _run(
     return _signature(harness)
 
 
+@dataclass
+class _CampaignContext:
+    """Per-campaign invariants, computed once and shared by every batch.
+
+    Hoists what :func:`_run_batched` used to rebuild per 48-fault
+    batch: the elaborated netlist, the encoded ROM, the initial
+    data-memory image, the flag/BAR net index from
+    :func:`architectural_nets`, and the halt-word padding memo (shared
+    across batches -- entries are pure functions of the PC).
+    """
+
+    netlist: object
+    rom: list[int]
+    base_memory: list[int]
+    flag_nets: dict
+    bar_nets: dict
+    halt_words: dict
+
+
+def _prepare_campaign(program: Program, config: CoreConfig) -> _CampaignContext:
+    """Build the shared per-campaign context (one elaboration, one scan)."""
+    netlist = generate_core(config)
+    mask = (1 << config.datawidth) - 1
+    base = [0] * config.data_memory_words()
+    for address, value in program.data.items():
+        base[address] = value & mask
+    flag_nets, bar_nets = architectural_nets(netlist)
+    return _CampaignContext(
+        netlist=netlist,
+        rom=encode_program_for_core(program, config),
+        base_memory=base,
+        flag_nets=flag_nets,
+        bar_nets=bar_nets,
+        halt_words={},
+    )
+
+
+# One-slot context memo for pool workers: every batch of a campaign
+# shares (program name, config), so a worker prepares the context once
+# and reuses it for each chunk it serves.
+_WORKER_CONTEXT: tuple[tuple, _CampaignContext] | None = None
+
+
+def _campaign_context(program: Program, config: CoreConfig) -> _CampaignContext:
+    global _WORKER_CONTEXT
+    key = (program.name, config)
+    if _WORKER_CONTEXT is None or _WORKER_CONTEXT[0] != key:
+        _WORKER_CONTEXT = (key, _prepare_campaign(program, config))
+    return _WORKER_CONTEXT[1]
+
+
 def _run_batched(
-    program: Program, config: CoreConfig, cycles: int, faults: list[StuckAtFault]
+    program: Program,
+    config: CoreConfig,
+    cycles: int,
+    faults: list[StuckAtFault],
+    context: _CampaignContext | None = None,
 ) -> list[tuple]:
     """Architectural signatures of ``len(faults)`` faulty runs at once.
 
@@ -75,16 +140,13 @@ def _run_batched(
     behavioural ROM/RAM provided between them, then writeback -- but
     every lane carries its own fault and its own data-memory image.
     """
-    netlist = generate_core(config)
-    rom = encode_program_for_core(program, config)
+    if context is None:
+        context = _prepare_campaign(program, config)
+    rom = context.rom
+    halt_words = context.halt_words
     lanes = len(faults)
-    sim = BitParallelSimulator(netlist, lanes, faults=faults)
-    mask = (1 << config.datawidth) - 1
-    base = [0] * config.data_memory_words()
-    for address, value in program.data.items():
-        base[address] = value & mask
-    memories = [list(base) for _ in range(lanes)]
-    halt_words: dict[int, int] = {}
+    sim = BitParallelSimulator(context.netlist, lanes, faults=faults)
+    memories = [list(context.base_memory) for _ in range(lanes)]
 
     def provide() -> None:
         words = []
@@ -125,12 +187,12 @@ def _run_batched(
 
     sim.settle()
     pcs = sim.read_output("pc")
-    flag_nets, bar_nets = architectural_nets(netlist)
     flag_values = [
-        sim.read_nets(flag_nets.get(flag.name, ())) for flag in config.flags
+        sim.read_nets(context.flag_nets.get(flag.name, ()))
+        for flag in config.flags
     ]
     bar_values = [
-        sim.read_nets(bar_nets.get(index, ()))
+        sim.read_nets(context.bar_nets.get(index, ()))
         for index in range(1, config.num_bars)
     ]
     return [
@@ -144,6 +206,48 @@ def _run_batched(
     ]
 
 
+def _judge_one(
+    program: Program,
+    config: CoreConfig,
+    cycles: int,
+    backend: str,
+    fault: StuckAtFault,
+) -> tuple:
+    """Scalar verdict for one fault: ``("ok", signature)`` or ``("wedged", None)``.
+
+    A fault that wedges the simulation is certainly detected; the
+    parent treats the ``"wedged"`` status as a divergence.
+    """
+    try:
+        return ("ok", _run(program, config, cycles, fault, backend))
+    except Exception:
+        return ("wedged", None)
+
+
+def _judge_batch(
+    program: Program,
+    config: CoreConfig,
+    cycles: int,
+    scalar_backend: str,
+    faults: list[StuckAtFault],
+) -> list[tuple]:
+    """Bit-parallel verdicts for one batch (``parallel_map`` target).
+
+    Falls back to one-at-a-time scalar simulation when the batched run
+    itself raises, so a wedging fault is attributed to the lane that
+    caused it -- exactly the serial campaign's recovery path.
+    """
+    context = _campaign_context(program, config)
+    try:
+        outcomes = _run_batched(program, config, cycles, faults, context)
+    except Exception:
+        return [
+            _judge_one(program, config, cycles, scalar_backend, fault)
+            for fault in faults
+        ]
+    return [("ok", outcome) for outcome in outcomes]
+
+
 def run_fault_campaign(
     program: Program,
     config: CoreConfig | None = None,
@@ -151,6 +255,7 @@ def run_fault_campaign(
     max_faults: int | None = None,
     backend: str = "batched",
     lanes: int = DEFAULT_LANES,
+    jobs: int | None = None,
 ) -> FaultCampaign:
     """Inject sampled stuck-at faults and count detections.
 
@@ -163,6 +268,9 @@ def run_fault_campaign(
         backend: ``"batched"`` (default; bit-parallel compiled),
             ``"compiled"`` (one fault at a time), or ``"interpreted"``.
         lanes: Faults per bit-parallel pass in batched mode.
+        jobs: Worker processes for the fault fan-out (``None`` defers
+            to ``--jobs`` / ``REPRO_JOBS`` / serial).  Results are
+            bit-exact against ``jobs=1``.
 
     A fault is *detected* when the faulty run's architectural
     signature differs from the golden run's after the same cycle
@@ -191,48 +299,30 @@ def run_fault_campaign(
         if max_faults is not None:
             sites = sites[:max_faults]
 
+        label = f"fault_campaign[{program.name}]"
+        if backend == "batched":
+            verdicts = map_in_chunks(
+                partial(_judge_batch, program, config, cycles, scalar_backend),
+                sites,
+                chunk_size=lanes,
+                jobs=jobs,
+                label=label,
+            )
+        else:
+            verdicts = parallel_map(
+                partial(_judge_one, program, config, cycles, scalar_backend),
+                sites,
+                jobs=jobs,
+                label=label,
+            )
+
         detected = 0
         undetected: list[StuckAtFault] = []
-
-        def judge_scalar(fault: StuckAtFault) -> None:
-            nonlocal detected
-            try:
-                outcome = _run(program, config, cycles, fault, scalar_backend)
-            except Exception:
-                # A fault that wedges the simulation is certainly detected.
-                detected += 1
-                return
-            if outcome != golden:
+        for fault, (status, outcome) in zip(sites, verdicts):
+            if status != "ok" or outcome != golden:
                 detected += 1
             else:
                 undetected.append(fault)
-
-        if backend == "batched":
-            batches = [
-                sites[start : start + lanes]
-                for start in range(0, len(sites), lanes)
-            ]
-            for batch in obs.progress(
-                batches, f"fault_campaign[{program.name}]", every=4
-            ):
-                try:
-                    outcomes = _run_batched(program, config, cycles, batch)
-                except Exception:
-                    # Fall back to one-at-a-time so a wedging fault is
-                    # attributed to the lane that caused it.
-                    for fault in batch:
-                        judge_scalar(fault)
-                    continue
-                for fault, outcome in zip(batch, outcomes):
-                    if outcome != golden:
-                        detected += 1
-                    else:
-                        undetected.append(fault)
-        else:
-            for fault in obs.progress(
-                sites, f"fault_campaign[{program.name}]", every=16
-            ):
-                judge_scalar(fault)
 
         elapsed = time.perf_counter() - started
         _FAULTS_INJECTED.inc(len(sites))

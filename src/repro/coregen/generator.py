@@ -43,6 +43,7 @@ from repro.netlist.components import (
     ripple_adder,
     zero_extend,
 )
+from repro.exec.cache import load_artifact, source_digest, store_artifact
 from repro.netlist.core import Bus, CONST0, CONST1, Netlist
 from repro.obs.metrics import counter as _obs_counter
 from repro.obs.runtime import STATE as _OBS
@@ -51,6 +52,19 @@ from repro.coregen.config import CoreConfig
 
 _MEMO_HITS = _obs_counter("coregen.memo_hits")
 _MEMO_MISSES = _obs_counter("coregen.memo_misses")
+_DISK_HITS = _obs_counter("coregen.disk_hits")
+
+#: Artifact-cache bucket for elaborated netlists.
+_ARTIFACT_KIND = "netlist"
+
+#: Modules whose source feeds elaboration (artifact-cache key digest).
+_ELABORATION_SOURCES = (
+    "repro.coregen.generator",
+    "repro.coregen.config",
+    "repro.netlist.core",
+    "repro.netlist.components",
+    "repro.isa.spec",
+)
 
 
 class _FlopBank:
@@ -270,8 +284,20 @@ def generate_core(config: CoreConfig, cse: bool = True) -> Netlist:
 
 @lru_cache(maxsize=128)
 def _generate_core(config: CoreConfig, cse: bool) -> Netlist:
+    # On-disk tier under the in-memory memo: a warm cache means a
+    # fresh process (or pool worker) unpickles the elaborated netlist
+    # instead of re-running elaboration.  The key digests the config
+    # and every module whose source shapes the netlist, so code edits
+    # invalidate automatically.
+    key = f"{config!r};cse={cse};" + source_digest(*_ELABORATION_SOURCES)
+    netlist = load_artifact(_ARTIFACT_KIND, key)
+    if isinstance(netlist, Netlist):
+        _DISK_HITS.inc()
+        return netlist
     with _obs_span("elaborate", design=config.name, cse=cse):
-        return _elaborate(config, cse)
+        netlist = _elaborate(config, cse)
+    store_artifact(_ARTIFACT_KIND, key, netlist)
+    return netlist
 
 
 def _elaborate(config: CoreConfig, cse: bool) -> Netlist:

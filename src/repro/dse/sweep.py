@@ -66,7 +66,7 @@ def evaluate_design(config: CoreConfig, technology: str = "EGFET") -> DesignPoin
     return _evaluate_design(config, technology)
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=256)
 def _evaluate_design(config: CoreConfig, technology: str) -> DesignPoint:
     with obs.span("evaluate_design", design=config.name, technology=technology) as sp:
         _EVALUATIONS.inc()
@@ -91,13 +91,54 @@ def _evaluate_design(config: CoreConfig, technology: str) -> DesignPoint:
         )
 
 
-def sweep_design_space(technology: str = "EGFET") -> list[DesignPoint]:
-    """Measure all 24 Figure 7 configurations."""
+def _sweep_point(task: tuple[CoreConfig, str]) -> DesignPoint:
+    """Worker entry for one sweep point (module-level for pickling)."""
+    config, technology = task
+    return evaluate_design(config, technology)
+
+
+def sweep_design_space(
+    technology: str = "EGFET", jobs: int | None = None
+) -> list[DesignPoint]:
+    """Measure all 24 Figure 7 configurations.
+
+    ``jobs`` fans the configurations out across worker processes via
+    :func:`repro.exec.parallel_map`; results come back in sweep order
+    and are bit-exact against the serial run.
+    """
+    from repro.exec import parallel_map
+
     technology = canonical_technology(technology)
     with obs.span("sweep", technology=technology):
-        return [
-            evaluate_design(config, technology)
-            for config in obs.progress(
-                standard_sweep(), f"sweep[{technology}]", every=8
-            )
+        tasks = [(config, technology) for config in standard_sweep()]
+        return parallel_map(
+            _sweep_point, tasks, jobs=jobs, label=f"sweep[{technology}]"
+        )
+
+
+def sweep_design_spaces(
+    technologies: tuple[str, ...] = ("EGFET", "CNT"),
+    jobs: int | None = None,
+) -> dict[str, list[DesignPoint]]:
+    """Sweep several technologies through one shared worker pool.
+
+    Fans all configurations x technologies out together, so a
+    multi-technology sweep keeps every worker busy instead of
+    draining the pool between technologies.  Returns canonical
+    technology name -> sweep-order points.
+    """
+    from repro.exec import parallel_map
+
+    canon = [canonical_technology(t) for t in technologies]
+    with obs.span("sweep_all", technologies=",".join(canon)):
+        tasks = [
+            (config, technology)
+            for technology in canon
+            for config in standard_sweep()
         ]
+        points = parallel_map(_sweep_point, tasks, jobs=jobs, label="sweep_all")
+    count = len(points) // len(canon) if canon else 0
+    return {
+        technology: points[index * count : (index + 1) * count]
+        for index, technology in enumerate(canon)
+    }

@@ -1,6 +1,7 @@
 """System-level evaluation: core + ROM + RAM composition and the
 regeneration of every table and figure in the paper."""
 
+from repro.eval.suite import SuiteResult, evaluate_suite
 from repro.eval.system import SystemMetrics, evaluate_system
 
-__all__ = ["SystemMetrics", "evaluate_system"]
+__all__ = ["SuiteResult", "SystemMetrics", "evaluate_suite", "evaluate_system"]

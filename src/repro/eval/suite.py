@@ -1,0 +1,80 @@
+"""Whole-suite system evaluation: the Figure 8 / Table 8 grid.
+
+One call evaluates every benchmark version on every runnable
+single-stage core, in every requested printed technology -- the full
+grid behind Figure 8's subplots and Table 8's columns.  Each grid cell
+(one benchmark version in one technology) is an independent unit of
+work, so :func:`evaluate_suite` fans cells out across worker processes
+via :func:`repro.exec.parallel_map`; results come back in grid order
+and are bit-exact against the serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.eval.figures import fig8_benchmark
+from repro.eval.system import SystemMetrics
+from repro.exec import parallel_map
+from repro.pdk import canonical_technology
+from repro.programs.suite import BENCHMARKS
+
+#: Technologies evaluated by default (both printed processes).
+DEFAULT_TECHNOLOGIES = ("EGFET", "CNT")
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """One grid cell: a benchmark version in one technology.
+
+    ``metrics`` holds one :class:`SystemMetrics` per runnable
+    single-stage core, ending with the program-specific system when
+    the benchmark runs at its native width -- exactly the bars of one
+    Figure 8 subplot.
+    """
+
+    program: str
+    kernel_width: int
+    technology: str
+    metrics: tuple[SystemMetrics, ...]
+
+
+def suite_grid(
+    technologies: tuple[str, ...] = DEFAULT_TECHNOLOGIES,
+) -> list[tuple[str, int, str]]:
+    """Deterministic cell order: registry order x widths x technologies."""
+    return [
+        (name, kernel_width, canonical_technology(technology))
+        for name, spec in BENCHMARKS.items()
+        for kernel_width in spec.kernel_widths
+        for technology in technologies
+    ]
+
+
+def _suite_cell(cell: tuple[str, int, str]) -> SuiteResult:
+    """Worker entry: evaluate one grid cell (module-level for pickling)."""
+    name, kernel_width, technology = cell
+    return SuiteResult(
+        program=name,
+        kernel_width=kernel_width,
+        technology=technology,
+        metrics=tuple(fig8_benchmark(name, kernel_width, technology)),
+    )
+
+
+def evaluate_suite(
+    technologies: tuple[str, ...] = DEFAULT_TECHNOLOGIES,
+    jobs: int | None = None,
+) -> list[SuiteResult]:
+    """Evaluate the full Figure 8 / Table 8 grid.
+
+    Args:
+        technologies: Printed technologies to evaluate (aliases accepted).
+        jobs: Worker processes (``None`` defers to ``--jobs`` /
+            ``REPRO_JOBS`` / serial).  Output order and values are
+            identical for any job count.
+    """
+    cells = suite_grid(technologies)
+    with obs.span("evaluate_suite", cells=len(cells)):
+        return parallel_map(_suite_cell, cells, jobs=jobs, label="evaluate_suite")

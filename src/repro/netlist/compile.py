@@ -47,10 +47,13 @@ e.g. one :class:`~repro.netlist.faults.FaultySimulator` per fault site
 
 from __future__ import annotations
 
+import importlib.util
+import marshal
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import SimulationError
+from repro.exec.cache import load_artifact, source_digest, store_artifact, structural_hash
 from repro.netlist.core import CONST1, Instance, Netlist, SEQUENTIAL_CELLS
 from repro.netlist.sta import _topological_order
 from repro.obs.metrics import counter as _obs_counter
@@ -60,8 +63,12 @@ from repro.obs.trace import span as _obs_span
 # Per-netlist code-object cache telemetry (see docs/OBSERVABILITY.md).
 _CACHE_HITS = _obs_counter("compile.cache_hits")
 _CACHE_MISSES = _obs_counter("compile.cache_misses")
+_DISK_HITS = _obs_counter("compile.disk_hits")
 _LANE_TICKS = _obs_counter("sim.batched_ticks")
 _LANE_CYCLES = _obs_counter("sim.lane_cycles_simulated")
+
+#: Artifact-cache bucket for compiled simulation code.
+_ARTIFACT_KIND = "compiled-sim"
 
 #: Expression template per combinational cell; ``M`` is the lane mask
 #: standing in for logical 1, so inverting cells work for any lane count.
@@ -88,6 +95,8 @@ class CompiledNetlist:
             ``(V, P, T, resetting)``.
         tick_lanes: Bit-parallel clock edge ``(V, M)``.
         source: The generated Python source (kept for debugging).
+        code: The compiled module code object (marshaled into the
+            on-disk artifact cache).
     """
 
     settle: Callable[[list, int], None]
@@ -95,6 +104,7 @@ class CompiledNetlist:
     tick: Callable[[list, list, list, bool], None]
     tick_lanes: Callable[[list, int], None]
     source: str = field(repr=False, default="")
+    code: object = field(repr=False, default=None)
 
 
 def _expression(instance: Instance) -> str:
@@ -117,7 +127,13 @@ def compile_netlist(netlist: Netlist) -> CompiledNetlist:
     for instance in netlist.instances:
         if instance.cell == "LATCHX1":
             raise SimulationError("level-sensitive latches are not simulatable")
+    source = _generate_source(netlist)
+    code = compile(source, f"<compiled:{netlist.name}>", "exec")
+    return _bind(code, source)
 
+
+def _generate_source(netlist: Netlist) -> str:
+    """Emit the four straight-line functions as Python source."""
     order = _topological_order(netlist)
     position = {inst.output: n for n, inst in enumerate(netlist.instances)}
     flops = [i for i in netlist.instances if i.cell in SEQUENTIAL_CELLS]
@@ -195,28 +211,85 @@ def compile_netlist(netlist: Netlist) -> CompiledNetlist:
         lines.append(f"    V[{flop.output}] = d{j}")
     lines.append("    return")
 
-    source = "\n".join(lines)
+    return "\n".join(lines)
+
+
+def _bind(code, source: str) -> CompiledNetlist:
+    """Exec a generated module code object into a :class:`CompiledNetlist`."""
     namespace: dict = {}
-    exec(compile(source, f"<compiled:{netlist.name}>", "exec"), namespace)
+    exec(code, namespace)
     return CompiledNetlist(
         settle=namespace["settle"],
         settle_forced=namespace["settle_forced"],
         tick=namespace["tick"],
         tick_lanes=namespace["tick_lanes"],
         source=source,
+        code=code,
     )
 
 
+def _artifact_key(netlist: Netlist) -> str:
+    """Disk-cache key: structure + the compiler/levelizer source digest."""
+    return structural_hash(netlist) + source_digest(
+        "repro.netlist.compile", "repro.netlist.sta"
+    )
+
+
+def _from_artifact(netlist: Netlist, key: str) -> CompiledNetlist | None:
+    """Rebuild compiled code from a cached artifact, or None on miss.
+
+    The artifact carries the generated source plus the marshaled
+    module code object tagged with the bytecode magic that produced
+    it: a same-interpreter hit skips parsing entirely (``marshal``
+    load), a cross-version hit recompiles the cached source -- both
+    skip codegen.
+    """
+    payload = load_artifact(_ARTIFACT_KIND, key)
+    if not isinstance(payload, dict) or "source" not in payload:
+        return None
+    try:
+        if payload.get("magic") == importlib.util.MAGIC_NUMBER:
+            code = marshal.loads(payload["code"])
+        else:
+            code = compile(
+                payload["source"], f"<compiled:{netlist.name}>", "exec"
+            )
+        return _bind(code, payload["source"])
+    except (ValueError, TypeError, SyntaxError, KeyError, EOFError):
+        return None  # treat any decode failure as a plain miss
+
+
 def compiled_netlist(netlist: Netlist) -> CompiledNetlist:
-    """Compiled code for ``netlist``, generated once and cached on it."""
+    """Compiled code for ``netlist``, generated once and cached on it.
+
+    Three cache tiers, cheapest first: the attribute on the netlist
+    object (one process, one netlist), then the on-disk artifact cache
+    (:mod:`repro.exec.cache` -- fresh processes and parallel workers
+    skip codegen for structures any prior run compiled), then real
+    compilation, whose result is published back to disk.
+    """
     cached = getattr(netlist, "_compiled_sim", None)
-    if cached is None:
-        _CACHE_MISSES.inc()
+    if cached is not None:
+        _CACHE_HITS.inc()
+        return cached
+    _CACHE_MISSES.inc()
+    key = _artifact_key(netlist)
+    cached = _from_artifact(netlist, key)
+    if cached is not None:
+        _DISK_HITS.inc()
+    else:
         with _obs_span("compile", design=netlist.name):
             cached = compile_netlist(netlist)
-        netlist._compiled_sim = cached
-    else:
-        _CACHE_HITS.inc()
+        store_artifact(
+            _ARTIFACT_KIND,
+            key,
+            {
+                "magic": importlib.util.MAGIC_NUMBER,
+                "code": marshal.dumps(cached.code),
+                "source": cached.source,
+            },
+        )
+    netlist._compiled_sim = cached
     return cached
 
 

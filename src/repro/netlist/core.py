@@ -107,6 +107,19 @@ class Netlist:
         self._cse: dict[tuple, int] = {}
         self.reset_n: int | None = None
 
+    def __getstate__(self) -> dict:
+        """Pickle support: drop the compiled-code attachment.
+
+        :func:`repro.netlist.compile.compiled_netlist` caches exec'd
+        function objects on the netlist; those are not picklable and
+        are cheap to rebuild (they have their own on-disk artifact
+        cache), so the on-disk netlist artifact and process-pool
+        transfers carry structure only.
+        """
+        state = dict(self.__dict__)
+        state.pop("_compiled_sim", None)
+        return state
+
     # -- net management ----------------------------------------------------
 
     def net(self, name: str = "") -> int:

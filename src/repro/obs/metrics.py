@@ -153,6 +153,54 @@ class MetricsRegistry:
                 out[name] = metric.value
         return out
 
+    def export_state(self) -> dict:
+        """Typed plain-data dump for shipping across process boundaries.
+
+        Unlike :meth:`snapshot`, the metric *kind* survives -- each
+        entry is ``(kind, value)`` with kind in ``{"counter", "gauge",
+        "histogram"}`` -- so :meth:`merge_state` on the receiving side
+        can fold counters additively, overwrite gauges, and merge
+        histogram moments.  Zero-valued metrics are elided: a worker
+        that never touched a metric must not create it in the parent.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict = {}
+        for name, metric in metrics.items():
+            if isinstance(metric, Counter):
+                if metric.value:
+                    out[name] = ("counter", metric.value)
+            elif isinstance(metric, Gauge):
+                if metric.value:
+                    out[name] = ("gauge", metric.value)
+            elif metric.count:
+                out[name] = ("histogram", metric.summary())
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`export_state` into this registry.
+
+        Counters and histogram moments accumulate; gauges take the
+        incoming value (last merge wins -- callers merge in a
+        deterministic order).  Writes bypass the global obs switch:
+        the worker already gated collection, so a shipped value is
+        always folded in.
+        """
+        for name, (kind, value) in state.items():
+            if kind == "counter":
+                self.counter(name).value += value
+            elif kind == "gauge":
+                self.gauge(name).value = value
+            else:
+                histogram = self.histogram(name)
+                with histogram._lock:
+                    histogram.count += value["count"]
+                    histogram.total += value["sum"]
+                    if histogram.min is None or value["min"] < histogram.min:
+                        histogram.min = value["min"]
+                    if histogram.max is None or value["max"] > histogram.max:
+                        histogram.max = value["max"]
+
     def reset(self) -> None:
         """Zero every registered metric (instances stay bound)."""
         with self._lock:

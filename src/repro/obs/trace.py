@@ -184,6 +184,25 @@ class Tracer:
         """A live span; prefer the module-level :func:`span` gate."""
         return _Span(self, name, attrs)
 
+    def absorb(self, events: "list[SpanEvent]") -> None:
+        """Append spans recorded elsewhere (e.g. shipped from workers).
+
+        The caller is responsible for re-rooting ``path``/``depth``
+        first if the spans should nest under the current position (see
+        :meth:`current_path`); events are appended verbatim.
+        """
+        with self._lock:
+            self._events.extend(events)
+
+    def current_path(self) -> tuple[str, int]:
+        """This thread's open-span nesting as ``(slash_path, depth)``.
+
+        ``("", 0)`` outside any span.  Used to re-root worker span
+        batches under the parent's live span before :meth:`absorb`.
+        """
+        stack = self._stack()
+        return "/".join(stack), len(stack)
+
     # -- reading -----------------------------------------------------------
 
     def events(self) -> list[SpanEvent]:

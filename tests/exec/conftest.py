@@ -1,0 +1,30 @@
+"""Shared fixtures: isolated cache directory and a clean obs layer."""
+
+import pytest
+
+from repro import obs
+from repro.exec import clear_caches
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the artifact cache at a private directory for one test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    clear_caches()
+    try:
+        yield tmp_path
+    finally:
+        clear_caches()
+
+
+@pytest.fixture
+def obs_enabled():
+    """Enable tracing/metrics for one test, then disable and wipe."""
+    obs.reset()
+    obs.enable()
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()
