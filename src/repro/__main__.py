@@ -16,6 +16,9 @@ Usage::
                                        # also export Chrome-trace JSONL
     python -m repro --jobs 4 fig7      # fan sweeps/campaigns across
                                        # 4 worker processes
+    python -m repro verify --count 50  # differential fuzz campaign
+    python -m repro lint --all         # static netlist lint
+                                       # (see docs/VERIFY.md)
 
 ``REPRO_TRACE=1`` in the environment is equivalent to ``--profile``;
 ``REPRO_JOBS=N`` is equivalent to ``--jobs N``.  See
@@ -211,6 +214,14 @@ def _split_flags(argv: list[str]) -> tuple[dict, list[str], str | None]:
 
 
 def main(argv: list[str]) -> int:
+    # The verify/lint subcommands own their argument grammar (seeds,
+    # config lists, fault specs), so they dispatch before the table
+    # option parser gets a chance to reject their flags.
+    if argv and argv[0] in ("verify", "lint"):
+        from repro.verify.cli import main as verify_lint_main
+
+        return verify_lint_main(argv)
+
     opts, requests, error = _split_flags(argv)
     if error:
         print(error, file=sys.stderr)

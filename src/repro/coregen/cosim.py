@@ -91,6 +91,9 @@ class CoSimHarness:
         backend: Gate-level simulation backend; the compiled backend is
             the default (bit-exact with the interpreter, an order of
             magnitude faster -- see ``docs/MODELS.md``).
+        fault: Optional stuck-at fault injected into the gate-level
+            side only (the differential fuzzer uses this to prove it
+            detects real netlist defects -- see ``docs/VERIFY.md``).
     """
 
     def __init__(
@@ -98,6 +101,7 @@ class CoSimHarness:
         program: Program,
         config: CoreConfig | None = None,
         backend: str = "compiled",
+        fault=None,
     ) -> None:
         if config is None:
             config = CoreConfig(
@@ -108,7 +112,12 @@ class CoSimHarness:
         self.program = program
         self.config = config
         self.netlist = generate_core(config)
-        self.sim = CycleSimulator(self.netlist, backend=backend)
+        if fault is not None:
+            from repro.netlist.faults import FaultySimulator
+
+            self.sim = FaultySimulator(self.netlist, fault, backend=backend)
+        else:
+            self.sim = CycleSimulator(self.netlist, backend=backend)
         self._flag_nets, self._bar_nets = architectural_nets(self.netlist)
         self.rom = encode_program_for_core(program, config)
         self.memory = [0] * config.data_memory_words()
@@ -184,6 +193,7 @@ def cosim_verify(
     config: CoreConfig | None = None,
     max_cycles: int = 200_000,
     backend: str = "compiled",
+    fault=None,
 ) -> list[CoSimMismatch]:
     """Run ``program`` on both simulators and diff architectural state.
 
@@ -203,7 +213,7 @@ def cosim_verify(
         backend=backend,
     ) as sp:
         _COSIM_RUNS.inc()
-        mismatches = _cosim_verify(program, config, max_cycles, backend)
+        mismatches = _cosim_verify(program, config, max_cycles, backend, fault)
         _COSIM_MISMATCHES.inc(len(mismatches))
         sp.note(mismatches=len(mismatches))
     return mismatches
@@ -214,6 +224,7 @@ def _cosim_verify(
     config: CoreConfig | None,
     max_cycles: int,
     backend: str,
+    fault=None,
 ) -> list[CoSimMismatch]:
     machine = Machine(
         program,
@@ -224,7 +235,7 @@ def _cosim_verify(
     if not result.halted:
         raise SimulationError(f"{program.name}: ISS did not halt")
 
-    harness = CoSimHarness(program, config, backend=backend)
+    harness = CoSimHarness(program, config, backend=backend, fault=fault)
     pc_mask = (1 << max(1, harness.config.pc_bits)) - 1
     halt_pc = machine.pc & pc_mask
     if harness.config.pipeline_stages == 1:

@@ -18,12 +18,34 @@ from repro.isa.spec import (
     OP_TABLE,
     UNARY_OPS,
 )
+from repro.obs.metrics import counter as _obs_counter
 
 #: Fixed instruction width in bits.
 INSTRUCTION_BITS = 24
 
 #: Operand field width in bits.
 OPERAND_BITS = 8
+
+#: Branch-mask field width in bits (four architectural flags).
+MASK_BITS = 4
+
+# Strict-decode telemetry: words whose branch op2 carried nonzero bits
+# above the 4-bit flag mask (a corrupt image or a stale assembler).
+_MASK_REJECTS = _obs_counter("isa.decode_mask_rejects")
+
+
+def _check_field(value: int, bits: int, what: str) -> int:
+    """Range-check one raw operand field before packing it.
+
+    Every field of the 24-bit word is checked here even when the
+    :class:`Instruction` constructor already validated it -- encoding
+    is the last line of defence before bits bleed into neighbouring
+    fields (``word | (op1 << 8) | op2`` happily corrupts the opcode
+    when ``op1`` exceeds its byte).
+    """
+    if not 0 <= value < (1 << bits):
+        raise IsaError(f"{what} {value} does not fit {bits} bits")
+    return value
 
 
 def _bar_select_bits(num_bars: int) -> int:
@@ -62,7 +84,13 @@ def decode_operand(field: int, num_bars: int) -> MemOperand:
 
 
 def encode(instruction: Instruction, num_bars: int = 2) -> int:
-    """Encode one instruction into its 24-bit word."""
+    """Encode one instruction into its 24-bit word.
+
+    Raises:
+        IsaError: If any operand field is out of range for its slot in
+            the word (BAR split, 8-bit immediate/target/pointer, 4-bit
+            flag mask).
+    """
     spec = instruction.spec
     word = (spec.opcode << 20) | (spec.control_bits << 16)
 
@@ -71,13 +99,16 @@ def encode(instruction: Instruction, num_bars: int = 2) -> int:
         op2 = encode_operand(instruction.src, num_bars)
     elif instruction.mnemonic is Mnemonic.STORE:
         op1 = encode_operand(instruction.dst, num_bars)
-        op2 = instruction.imm
+        op2 = _check_field(instruction.imm, OPERAND_BITS, "STORE immediate")
     elif instruction.mnemonic is Mnemonic.SETBAR:
-        op1 = instruction.src.offset  # pointer address, absolute
-        op2 = instruction.bar_index
+        # Pointer address, absolute: the raw offset occupies the field.
+        op1 = _check_field(
+            instruction.src.offset, OPERAND_BITS, "SETBAR pointer address"
+        )
+        op2 = _check_field(instruction.bar_index, OPERAND_BITS, "SETBAR BAR index")
     else:  # branch
-        op1 = instruction.target
-        op2 = instruction.mask
+        op1 = _check_field(instruction.target, OPERAND_BITS, "branch target")
+        op2 = _check_field(instruction.mask, MASK_BITS, "branch flag mask")
     return word | (op1 << 8) | op2
 
 
@@ -114,7 +145,16 @@ def decode(word: int, num_bars: int = 2) -> Instruction:
         return Instruction(mnemonic, dst=decode_operand(op1, num_bars), imm=op2)
     if mnemonic is Mnemonic.SETBAR:
         return Instruction(mnemonic, src=MemOperand(offset=op1), bar_index=op2)
-    return Instruction(mnemonic, target=op1, mask=op2 & 0xF)
+    if op2 >> MASK_BITS:
+        # Encode never produces these bits, so silently masking them
+        # off (the old behaviour) would make decode(encode(x)) lossy
+        # for corrupt images.  Reject, and count for observability.
+        _MASK_REJECTS.inc()
+        raise IsaError(
+            f"branch word {word:#08x} carries nonzero bits above the "
+            f"{MASK_BITS}-bit flag mask (op2={op2:#04x})"
+        )
+    return Instruction(mnemonic, target=op1, mask=op2)
 
 
 def encode_program(instructions: list[Instruction], num_bars: int = 2) -> list[int]:

@@ -1,0 +1,227 @@
+"""Seeded random TP-ISA program generator for differential fuzzing.
+
+Every generated program is *well-formed by construction* and
+*guaranteed to halt*:
+
+* control flow is forward branches plus **bounded loops** -- a loop is
+  emitted as ``STORE ctr, k`` / body / ``SUB ctr, one`` /
+  ``BRN body, Z`` where the counter cell and the constant-one cell
+  live in a reserved scratch segment no random instruction can write,
+  so the loop runs exactly ``k`` times;
+* memory stays confined to the data segment: absolute operands address
+  ``[0, mem_words)``, BAR values are only ever loaded through an
+  adjacent ``STORE ptr, base`` / ``SETBAR n, ptr`` pair with
+  ``base + max_offset < mem_words``, so no effective address can
+  escape -- which is what makes the same program sound on
+  program-specific cores with exactly-sized RAM.
+
+Determinism: the instruction stream is a pure function of
+``(seed, datawidth, num_bars, mem_words, max_instructions)`` via
+:class:`random.Random`, so a seed in a bug report reproduces the exact
+program on any machine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ProgramError
+from repro.isa.program import Program
+from repro.isa.spec import Flag, Instruction, MemOperand, Mnemonic
+from repro.obs.metrics import counter as _obs_counter
+
+_GENERATED = _obs_counter("verify.programs_generated")
+
+
+def _retarget_into_region(
+    index: int, instruction: Instruction, regions: list[tuple[int, int]]
+) -> Instruction:
+    """Move a *forward* branch target out of a guarded region's
+    interior onto its entry (the initializing STORE).  A loop's own
+    backward branch legitimately targets its body and is left alone."""
+    if not instruction.is_branch or instruction.target <= index:
+        return instruction
+    for start, end in regions:
+        if start < instruction.target <= end:
+            return Instruction(
+                instruction.mnemonic, target=start, mask=instruction.mask
+            )
+    return instruction
+
+#: Binary ALU operations (read dst and src, most write dst).
+BINARY_OPS = (
+    Mnemonic.ADD, Mnemonic.ADC, Mnemonic.SUB, Mnemonic.CMP, Mnemonic.SBB,
+    Mnemonic.AND, Mnemonic.TEST, Mnemonic.OR, Mnemonic.XOR,
+)
+
+#: Unary ALU operations (read src, write dst).
+UNARY_OPS = (
+    Mnemonic.NOT, Mnemonic.RL, Mnemonic.RLC, Mnemonic.RR, Mnemonic.RRC,
+    Mnemonic.RRA,
+)
+
+
+def generator_rng(seed: int, datawidth: int, num_bars: int) -> random.Random:
+    """The seeded RNG; parameters are folded in so each grid point gets
+    an independent stream from the same corpus seed."""
+    return random.Random(f"repro.verify/{seed}/{datawidth}/{num_bars}")
+
+
+def random_program(
+    seed: int,
+    datawidth: int = 8,
+    num_bars: int = 2,
+    mem_words: int = 12,
+    max_instructions: int = 20,
+) -> Program:
+    """Generate one well-formed, halting TP-ISA program.
+
+    Args:
+        seed: Corpus seed; same arguments always produce the same
+            program.
+        datawidth: Data word width the program assumes (4/8/16/32).
+        num_bars: BAR configuration (2 or 4 in the standard grid).
+        mem_words: Random-data segment size; the program confines every
+            effective address below ``mem_words`` and its loop
+            scaffolding to a few reserved words just above it.
+        max_instructions: Upper bound on static program length.
+
+    Raises:
+        ProgramError: On parameter combinations that cannot satisfy the
+            confinement invariants (segment too large for the operand
+            encoding, program too short for a loop, ...).
+    """
+    if mem_words < 4:
+        raise ProgramError(f"mem_words {mem_words} too small to be interesting")
+    if max_instructions < 4:
+        raise ProgramError(f"max_instructions {max_instructions} too small")
+    select_bits = (num_bars - 1).bit_length()
+    offset_limit = 1 << (8 - select_bits)
+    # Reserved scratch: [mem_words] = constant one, [mem_words+1..] =
+    # loop counters.  Everything must stay encodable as an absolute
+    # offset and below the architectural 256-word space.
+    max_loops = 3
+    if mem_words + 1 + max_loops > min(offset_limit, 256):
+        raise ProgramError(
+            f"mem_words {mem_words} leaves no encodable scratch segment"
+        )
+
+    rng = generator_rng(seed, datawidth, num_bars)
+    value_mask = (1 << datawidth) - 1
+    base_span = mem_words // 2          # BAR values in [0, base_span]
+    rel_limit = mem_words - base_span   # BAR-relative offsets below this
+    one_cell = mem_words
+    first_counter = mem_words + 1
+
+    count = rng.randint(4, max_instructions)
+    instructions: list[Instruction] = []
+    loops_left = max_loops
+    # (entry index, last index) of multi-instruction constructs whose
+    # interior forward branches may not enter: a loop entered past its
+    # counter STORE never terminates, and a SETBAR reached without its
+    # paired pointer STORE loads a random BAR base that can escape the
+    # data segment.
+    guarded_regions: list[tuple[int, int]] = []
+
+    def absolute() -> MemOperand:
+        return MemOperand(offset=rng.randrange(mem_words))
+
+    def operand() -> MemOperand:
+        """A data-segment operand: absolute, or BAR-relative."""
+        if num_bars > 1 and rng.random() < 0.35:
+            return MemOperand(
+                offset=rng.randrange(rel_limit),
+                bar=rng.randint(1, num_bars - 1),
+            )
+        return absolute()
+
+    def emit_alu() -> None:
+        if rng.random() < 0.6:
+            instructions.append(Instruction(
+                rng.choice(BINARY_OPS), dst=operand(), src=operand()
+            ))
+        else:
+            instructions.append(Instruction(
+                rng.choice(UNARY_OPS), dst=operand(), src=operand()
+            ))
+
+    while len(instructions) < count:
+        room = count - len(instructions)
+        kind = rng.random()
+        if kind < 0.45:
+            emit_alu()
+        elif kind < 0.60:
+            instructions.append(Instruction(
+                Mnemonic.STORE,
+                dst=operand(),
+                imm=rng.randint(0, min(255, value_mask)),
+            ))
+        elif kind < 0.72 and num_bars > 1 and room >= 2:
+            # STORE ptr, base ; SETBAR n, ptr -- adjacent, so the BAR
+            # always holds a known in-segment base.
+            pointer = absolute()
+            instructions.append(Instruction(
+                Mnemonic.STORE, dst=pointer, imm=rng.randint(0, base_span)
+            ))
+            instructions.append(Instruction(
+                Mnemonic.SETBAR,
+                bar_index=rng.randint(1, num_bars - 1),
+                src=pointer,
+            ))
+            guarded_regions.append((len(instructions) - 2, len(instructions) - 1))
+        elif kind < 0.86 and loops_left and room >= 4:
+            # Bounded loop: runs exactly `iterations` times because the
+            # counter and the constant-one cell are unwritable by any
+            # random instruction.
+            counter = first_counter + (max_loops - loops_left)
+            loops_left -= 1
+            iterations = rng.randint(1, 3)
+            body_len = rng.randint(1, min(3, room - 3))
+            store_index = len(instructions)
+            instructions.append(Instruction(
+                Mnemonic.STORE, dst=MemOperand(counter), imm=iterations
+            ))
+            body_start = len(instructions)
+            for _ in range(body_len):
+                emit_alu()
+            instructions.append(Instruction(
+                Mnemonic.SUB, dst=MemOperand(counter), src=MemOperand(one_cell)
+            ))
+            instructions.append(Instruction(
+                Mnemonic.BRN, target=body_start, mask=int(Flag.Z)
+            ))
+            guarded_regions.append((store_index, len(instructions) - 1))
+        else:
+            # Forward branch (possibly to one past the end = halt).
+            target = rng.randint(len(instructions) + 1, count)
+            instructions.append(Instruction(
+                rng.choice((Mnemonic.BR, Mnemonic.BRN)),
+                target=target,
+                mask=rng.randint(0, 15),
+            ))
+
+    # Forward branches were emitted before later loops existed, so some
+    # may land inside a loop region, past the counter initialization.
+    # Retarget those to the region's counter STORE (still forward --
+    # every region starts after the branch that could name it).
+    instructions = [
+        _retarget_into_region(index, instruction, guarded_regions)
+        for index, instruction in enumerate(instructions)
+    ]
+
+    data = {address: rng.randint(0, value_mask) for address in range(mem_words)}
+    data[one_cell] = 1
+    for loop in range(max_loops):
+        data[first_counter + loop] = 0
+    _GENERATED.inc()
+    return Program(
+        name=f"fuzz_s{seed}",
+        instructions=instructions,
+        datawidth=datawidth,
+        num_bars=num_bars,
+        data=data,
+        description=(
+            f"seeded random program (seed={seed}, w={datawidth}, "
+            f"bars={num_bars})"
+        ),
+    )

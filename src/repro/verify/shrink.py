@@ -1,0 +1,368 @@
+"""Automatic shrinking of divergence-triggering programs.
+
+A fuzz-found failure on a 20-instruction program is noise; the same
+failure on 3 instructions is a bug report.  This module reduces a
+failing program while preserving the failure, in three deterministic
+passes:
+
+1. **ddmin** (Zeller's delta debugging) over the instruction list,
+   with branch targets remapped around every deletion so candidates
+   stay well-formed;
+2. a **greedy** one-at-a-time deletion sweep to squeeze out what ddmin's
+   granularity missed;
+3. **operand simplification**: offsets toward 0, immediates toward 0/1,
+   masks toward 0, BAR-relative operands toward absolute, initial data
+   values toward 0.
+
+Candidates that no longer halt on the reference simulator are rejected
+outright, so the minimized repro is always a halting program.  The
+result can be emitted as a ready-to-run pytest case
+(:func:`emit_pytest_case`) that fails while the bug exists and turns
+into a regression test once it is fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.coregen.config import CoreConfig
+from repro.isa.program import Program
+from repro.isa.spec import Instruction, MemOperand, Mnemonic
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.trace import span as _obs_span
+from repro.sim.machine import Machine
+
+from repro.verify.differential import (
+    DEFAULT_EXECUTORS,
+    DEFAULT_MAX_CYCLES,
+    differential_check,
+)
+
+_CANDIDATES = _obs_counter("verify.shrink_candidates")
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    program: Program
+    original_size: int
+    candidates_tried: int
+
+    @property
+    def size(self) -> int:
+        return len(self.program.instructions)
+
+
+def _remap_subset(program: Program, kept: list[int]) -> Program:
+    """The subsequence of ``program`` at indices ``kept`` (sorted),
+    with branch targets remapped to the surviving numbering.
+
+    A target maps to the number of kept instructions before it, so
+    branches into deleted stretches land on the next survivor and
+    one-past-the-end halt targets stay one past the end.
+    """
+    kept_sorted = sorted(kept)
+    instructions = []
+    for index in kept_sorted:
+        instruction = program.instructions[index]
+        if instruction.is_branch:
+            new_target = sum(1 for k in kept_sorted if k < instruction.target)
+            instruction = Instruction(
+                instruction.mnemonic,
+                target=new_target,
+                mask=instruction.mask,
+            )
+        instructions.append(instruction)
+    return dc_replace(program, instructions=instructions)
+
+
+def _halts(program: Program, config: CoreConfig, max_cycles: int) -> bool:
+    try:
+        machine = Machine(
+            program,
+            mem_size=config.data_memory_words(),
+            num_bars=config.num_bars,
+        )
+        return machine.run(max_steps=max_cycles).halted
+    except Exception:
+        return False
+
+
+def make_predicate(
+    config: CoreConfig,
+    executors=DEFAULT_EXECUTORS,
+    fault=None,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+):
+    """The default "still fails" oracle for :func:`shrink`.
+
+    A candidate must (a) still halt on the reference simulator -- the
+    shrinker never trades a divergence for a hang -- and (b) still
+    produce at least one differential divergence.
+    """
+
+    def predicate(candidate: Program) -> bool:
+        _CANDIDATES.inc()
+        if not candidate.instructions:
+            return False
+        if not _halts(candidate, config, max_cycles):
+            return False
+        return bool(differential_check(
+            candidate, config, executors=executors, fault=fault,
+            max_cycles=max_cycles,
+        ))
+
+    return predicate
+
+
+def _ddmin(program: Program, predicate, counter: list) -> Program:
+    """Classic ddmin over the instruction index list."""
+    indices = list(range(len(program.instructions)))
+    granularity = 2
+    while len(indices) >= 2:
+        chunk = max(1, len(indices) // granularity)
+        subsets = [
+            indices[start:start + chunk]
+            for start in range(0, len(indices), chunk)
+        ]
+        reduced = False
+        for subset in subsets:
+            complement = [i for i in indices if i not in subset]
+            if not complement:
+                continue
+            counter[0] += 1
+            candidate = _remap_subset(program, complement)
+            if predicate(candidate):
+                indices = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(indices):
+                break
+            granularity = min(len(indices), granularity * 2)
+    return _remap_subset(program, indices)
+
+
+def _greedy_delete(program: Program, predicate, counter: list) -> Program:
+    """One-at-a-time deletion until a fixed point."""
+    changed = True
+    while changed and len(program.instructions) > 1:
+        changed = False
+        for index in range(len(program.instructions)):
+            kept = [i for i in range(len(program.instructions)) if i != index]
+            counter[0] += 1
+            candidate = _remap_subset(program, kept)
+            if predicate(candidate):
+                program = candidate
+                changed = True
+                break
+    return program
+
+
+def _operand_variants(instruction: Instruction):
+    """Simpler variants of one instruction, most aggressive first."""
+
+    def simpler_operands(op: MemOperand | None):
+        if op is None:
+            return []
+        variants = []
+        if op.bar != 0:
+            variants.append(MemOperand(offset=op.offset))
+        if op.offset != 0:
+            variants.append(MemOperand(offset=0, bar=op.bar))
+        return variants
+
+    if instruction.is_branch:
+        for mask in {0, 4} - {instruction.mask}:
+            yield Instruction(
+                instruction.mnemonic, target=instruction.target, mask=mask
+            )
+        return
+    if instruction.mnemonic is Mnemonic.STORE:
+        for imm in {0, 1} - {instruction.imm}:
+            yield Instruction(Mnemonic.STORE, dst=instruction.dst, imm=imm)
+        for dst in simpler_operands(instruction.dst):
+            yield Instruction(Mnemonic.STORE, dst=dst, imm=instruction.imm)
+        return
+    if instruction.mnemonic is Mnemonic.SETBAR:
+        for src in simpler_operands(instruction.src):
+            yield Instruction(
+                Mnemonic.SETBAR, bar_index=instruction.bar_index, src=src
+            )
+        return
+    for dst in simpler_operands(instruction.dst):
+        yield Instruction(instruction.mnemonic, dst=dst, src=instruction.src)
+    for src in simpler_operands(instruction.src):
+        yield Instruction(instruction.mnemonic, dst=instruction.dst, src=src)
+
+
+def _simplify(program: Program, predicate, counter: list) -> Program:
+    """Per-instruction operand simplification, then data zeroing."""
+    changed = True
+    while changed:
+        changed = False
+        for index, instruction in enumerate(program.instructions):
+            for variant in _operand_variants(instruction):
+                instructions = list(program.instructions)
+                instructions[index] = variant
+                counter[0] += 1
+                candidate = dc_replace(program, instructions=instructions)
+                if predicate(candidate):
+                    program = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    for address in sorted(program.data):
+        if program.data[address] == 0:
+            continue
+        data = dict(program.data)
+        data[address] = 0
+        counter[0] += 1
+        candidate = dc_replace(program, data=data)
+        if predicate(candidate):
+            program = candidate
+    return program
+
+
+def shrink(
+    program: Program,
+    config: CoreConfig,
+    executors=DEFAULT_EXECUTORS,
+    fault=None,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    predicate=None,
+) -> ShrinkResult:
+    """Reduce a failing ``program`` to a minimal failing repro.
+
+    The input must already fail ``predicate`` (by default: diverge on
+    the differential stack for ``config``); otherwise a ``ValueError``
+    is raised so silent non-repros cannot masquerade as shrunk bugs.
+    Fully deterministic: same input, same minimized output.
+    """
+    if predicate is None:
+        predicate = make_predicate(
+            config, executors=executors, fault=fault, max_cycles=max_cycles
+        )
+    counter = [0]
+    with _obs_span(
+        "verify.shrink", program=program.name, design=config.name
+    ) as sp:
+        if not predicate(program):
+            raise ValueError(
+                f"{program.name}: does not fail the predicate; nothing to shrink"
+            )
+        counter[0] += 1
+        reduced = _ddmin(program, predicate, counter)
+        reduced = _greedy_delete(reduced, predicate, counter)
+        reduced = _simplify(reduced, predicate, counter)
+        reduced = dc_replace(reduced, name=f"{program.name}_min")
+        sp.note(
+            candidates=counter[0],
+            size_before=len(program.instructions),
+            size_after=len(reduced.instructions),
+        )
+    return ShrinkResult(
+        program=reduced,
+        original_size=len(program.instructions),
+        candidates_tried=counter[0],
+    )
+
+
+# -- pytest-ready repro emission ------------------------------------------
+
+
+def _format_operand(op: MemOperand | None) -> str:
+    if op is None:
+        return "None"
+    if op.bar:
+        return f"MemOperand(offset={op.offset}, bar={op.bar})"
+    return f"MemOperand(offset={op.offset})"
+
+
+def _format_instruction(instruction: Instruction) -> str:
+    if instruction.is_branch:
+        return (
+            f"Instruction(Mnemonic.{instruction.mnemonic.name}, "
+            f"target={instruction.target}, mask={instruction.mask})"
+        )
+    if instruction.mnemonic is Mnemonic.STORE:
+        return (
+            f"Instruction(Mnemonic.STORE, "
+            f"dst={_format_operand(instruction.dst)}, imm={instruction.imm})"
+        )
+    if instruction.mnemonic is Mnemonic.SETBAR:
+        return (
+            f"Instruction(Mnemonic.SETBAR, "
+            f"bar_index={instruction.bar_index}, "
+            f"src={_format_operand(instruction.src)})"
+        )
+    return (
+        f"Instruction(Mnemonic.{instruction.mnemonic.name}, "
+        f"dst={_format_operand(instruction.dst)}, "
+        f"src={_format_operand(instruction.src)})"
+    )
+
+
+def emit_pytest_case(
+    program: Program,
+    config: CoreConfig,
+    seed: int | None = None,
+    note: str = "",
+) -> str:
+    """Source text of a standalone pytest module reproducing the bug.
+
+    The generated test asserts differential *agreement*, so it fails
+    while the defect exists and becomes a permanent regression test
+    once the defect is fixed.
+    """
+    lines = [
+        '"""Auto-generated minimal repro from the differential fuzzer.',
+        "",
+        f"program: {program.name}",
+        f"config:  {config.name}",
+    ]
+    if seed is not None:
+        lines.append(f"seed:    {seed}")
+    if note:
+        lines.append(f"note:    {note}")
+    lines += [
+        '"""',
+        "",
+        "from repro.coregen.config import CoreConfig",
+        "from repro.isa.program import Program",
+        "from repro.isa.spec import Instruction, MemOperand, Mnemonic",
+        "from repro.verify.differential import differential_check",
+        "",
+        "",
+        "CONFIG = CoreConfig(",
+        f"    datawidth={config.datawidth},",
+        f"    pipeline_stages={config.pipeline_stages},",
+        f"    num_bars={config.num_bars},",
+        ")",
+        "",
+        "",
+        "def build_program():",
+        "    return Program(",
+        f"        name={program.name!r},",
+        "        instructions=[",
+    ]
+    for instruction in program.instructions:
+        lines.append(f"            {_format_instruction(instruction)},")
+    data = {k: v for k, v in sorted(program.data.items())}
+    lines += [
+        "        ],",
+        f"        datawidth={program.datawidth},",
+        f"        num_bars={program.num_bars},",
+        f"        data={data!r},",
+        "    )",
+        "",
+        "",
+        "def test_differential_agreement():",
+        "    divergences = differential_check(build_program(), CONFIG)",
+        '    assert not divergences, "; ".join(str(d) for d in divergences)',
+        "",
+    ]
+    return "\n".join(lines)

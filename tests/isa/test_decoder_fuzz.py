@@ -17,13 +17,21 @@ def test_decode_total_function(word, bars):
         instruction = decode(word, num_bars=bars)
     except IsaError:
         return  # undefined encodings must be rejected, not guessed
-    # Branch words may carry junk in the unused high mask bits, which
-    # the decoder masks off; everything else round-trips exactly.
-    reencoded = encode(instruction, num_bars=bars)
-    if instruction.is_branch:
-        assert reencoded & ~0xF0 == word & ~0xF0
-    else:
-        assert reencoded == word
+    # Every accepted word round-trips exactly: decode rejects branch
+    # words with junk above the 4-bit mask instead of masking it off.
+    assert encode(instruction, num_bars=bars) == word
+
+
+@settings(max_examples=100)
+@given(
+    target=st.integers(0, 255),
+    mask=st.integers(0, 15),
+    junk=st.integers(1, 15),
+)
+def test_branch_junk_mask_bits_rejected(target, mask, junk):
+    word = (9 << 20) | (1 << 16) | (target << 8) | mask  # BR
+    with pytest.raises(IsaError):
+        decode(word | (junk << 4))
 
 
 @settings(max_examples=100)

@@ -99,6 +99,114 @@ class TestRoundTrip:
         assert decode(encode(instruction)) == instruction
 
 
+def _corrupt(instruction, **fields):
+    """A copy of ``instruction`` with validation-bypassing raw fields.
+
+    ``Instruction.__post_init__`` already rejects most out-of-range
+    values at construction; encode() must still hold the line against
+    images built by other means (deserialization, field poking).
+    """
+    for name, value in fields.items():
+        object.__setattr__(instruction, name, value)
+    return instruction
+
+
+class TestEncodeRangeChecks:
+    def test_setbar_pointer_overflow_rejected(self):
+        # The one hole Instruction itself never closed: a SETBAR
+        # pointer >= 256 used to bleed into the control-bit byte.
+        instruction = Instruction(
+            Mnemonic.SETBAR, bar_index=1, src=MemOperand(offset=300)
+        )
+        with pytest.raises(IsaError):
+            encode(instruction)
+
+    def test_store_immediate_overflow_rejected(self):
+        instruction = _corrupt(
+            Instruction(Mnemonic.STORE, dst=MemOperand(0), imm=1), imm=300
+        )
+        with pytest.raises(IsaError):
+            encode(instruction)
+
+    def test_branch_target_overflow_rejected(self):
+        instruction = _corrupt(
+            Instruction(Mnemonic.BRN, target=0, mask=0), target=256
+        )
+        with pytest.raises(IsaError):
+            encode(instruction)
+
+    def test_branch_mask_overflow_rejected(self):
+        instruction = _corrupt(
+            Instruction(Mnemonic.BR, target=0, mask=1), mask=0x1F
+        )
+        with pytest.raises(IsaError):
+            encode(instruction)
+
+    def test_negative_immediate_rejected(self):
+        instruction = _corrupt(
+            Instruction(Mnemonic.STORE, dst=MemOperand(0), imm=1), imm=-1
+        )
+        with pytest.raises(IsaError):
+            encode(instruction)
+
+    def test_in_range_setbar_pointer_still_encodes(self):
+        instruction = Instruction(
+            Mnemonic.SETBAR, bar_index=1, src=MemOperand(offset=255)
+        )
+        assert decode(encode(instruction)) == instruction
+
+
+def valid_instructions(num_bars):
+    """Strategy over every instruction format, valid for ``num_bars``."""
+    offset_bits = 8 - (num_bars - 1).bit_length()
+    operand = st.builds(
+        MemOperand,
+        offset=st.integers(0, (1 << offset_bits) - 1),
+        bar=st.integers(0, num_bars - 1),
+    )
+    m_type = st.builds(
+        Instruction,
+        mnemonic=st.sampled_from([m for m, s in OP_TABLE.items() if s.fmt == "M"]),
+        dst=operand,
+        src=operand,
+    )
+    store = st.builds(
+        Instruction,
+        mnemonic=st.just(Mnemonic.STORE),
+        dst=operand,
+        imm=st.integers(0, 255),
+    )
+    setbar = st.builds(
+        Instruction,
+        mnemonic=st.just(Mnemonic.SETBAR),
+        bar_index=st.integers(1, 255),
+        src=st.builds(MemOperand, offset=st.integers(0, 255)),
+    )
+    branch = st.builds(
+        Instruction,
+        mnemonic=st.sampled_from([Mnemonic.BR, Mnemonic.BRN]),
+        target=st.integers(0, 255),
+        mask=st.integers(0, 15),
+    )
+    return st.one_of(m_type, store, setbar, branch)
+
+
+class TestAllFormatsRoundTrip:
+    @settings(max_examples=250)
+    @given(instruction=valid_instructions(2))
+    def test_round_trip_2bar(self, instruction):
+        word = encode(instruction, num_bars=2)
+        assert 0 <= word < (1 << INSTRUCTION_BITS)
+        assert decode(word, num_bars=2) == instruction
+
+    @settings(max_examples=250)
+    @given(instruction=valid_instructions(4))
+    def test_round_trip_4bar(self, instruction):
+        word = encode(instruction, num_bars=4)
+        assert 0 <= word < (1 << INSTRUCTION_BITS)
+        assert decode(word, num_bars=4) == instruction
+
+
 class TestFormat:
     def test_opcode_in_top_nibble(self):
         add = Instruction(Mnemonic.ADD, dst=MemOperand(0), src=MemOperand(0))

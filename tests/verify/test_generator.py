@@ -1,0 +1,73 @@
+"""Generator invariants: well-formed, halting, confined, deterministic."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.encoding import encode
+from repro.isa.spec import Mnemonic
+from repro.sim.machine import Machine
+from repro.verify.generator import random_program
+
+GRID = [(4, 2), (8, 2), (16, 4)]
+SEEDS = range(40)
+MEM_WORDS = 12
+
+
+def reference_run(program):
+    machine = Machine(program, mem_size=64, num_bars=program.num_bars)
+    return machine, machine.run(max_steps=100_000)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("datawidth,num_bars", GRID)
+    def test_halts_and_stays_confined(self, datawidth, num_bars):
+        for seed in SEEDS:
+            program = random_program(
+                seed, datawidth=datawidth, num_bars=num_bars,
+                mem_words=MEM_WORDS,
+            )
+            machine, result = reference_run(program)
+            assert result.halted, f"seed {seed} did not halt"
+            # Scratch sits directly above the data segment; nothing may
+            # reach beyond it (that is what makes the same program safe
+            # on a program-specific core with exactly-sized RAM).
+            top = MEM_WORDS + 4
+            assert all(
+                address < top for address in machine.stats.touched_addresses
+            ), f"seed {seed} escaped the data segment"
+
+    def test_deterministic(self):
+        for seed in range(10):
+            a = random_program(seed, datawidth=8, num_bars=2)
+            b = random_program(seed, datawidth=8, num_bars=2)
+            assert a.instructions == b.instructions
+            assert a.data == b.data
+
+    def test_grid_points_get_distinct_streams(self):
+        a = random_program(3, datawidth=8, num_bars=2)
+        b = random_program(3, datawidth=8, num_bars=4)
+        assert a.instructions != b.instructions
+
+    def test_every_instruction_encodes(self):
+        for seed in range(20):
+            program = random_program(seed, datawidth=8, num_bars=4)
+            for instruction in program.instructions:
+                word = encode(instruction, num_bars=4)
+                assert 0 <= word < (1 << 24)
+
+    def test_setbar_always_paired_with_pointer_store(self):
+        for seed in range(30):
+            program = random_program(seed, datawidth=8, num_bars=4)
+            for index, instruction in enumerate(program.instructions):
+                if instruction.mnemonic is Mnemonic.SETBAR:
+                    previous = program.instructions[index - 1]
+                    assert previous.mnemonic is Mnemonic.STORE
+                    assert previous.dst == instruction.src
+
+    def test_rejects_unsatisfiable_parameters(self):
+        with pytest.raises(ProgramError):
+            random_program(0, mem_words=2)
+        with pytest.raises(ProgramError):
+            random_program(0, max_instructions=2)
+        with pytest.raises(ProgramError):
+            random_program(0, num_bars=4, mem_words=70)  # no scratch room
