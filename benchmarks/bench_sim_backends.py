@@ -8,8 +8,8 @@ bit-parallel batched engines.
 
 The run is emitted through the :mod:`repro.obs` layer: every stage is
 a tracing span, and ``BENCH_sim.json`` at the repository root is a
-run-report superset (``repro.obs.run_report/v1+bench``) that keeps the
-historical top-level keys (``cosim``, ``fault_campaign``,
+run-report superset (the run-report schema plus ``+bench``) that keeps
+the historical top-level keys (``cosim``, ``fault_campaign``,
 ``headline_speedup_p1_8_2``) alongside stage timings, the metrics
 snapshot, and environment/git metadata, so the speedup is tracked
 across PRs.
@@ -19,9 +19,17 @@ co-simulation is timed with the obs switch off and on, interleaved,
 and ``--check`` fails the run if enabling the whole layer costs more
 than 2%.  (The disabled path is strictly cheaper than the enabled path
 -- the hooks share one guard -- so this bounds disabled-mode overhead
-too.  The delta against the checked-in baseline's disabled rate is
-reported as ``baseline_regression_pct`` but not asserted, since
-absolute rates are machine-dependent.)
+too.  The timed harness carries *no attached probes*, so the budget
+also covers the probe hook added to ``CycleSimulator.tick`` -- an
+empty-list truth test per edge.  The delta against the checked-in
+baseline's disabled rate is reported as ``baseline_regression_pct``
+but not asserted, since absolute rates are machine-dependent.)
+
+The cost of *enabled* probing -- a full architectural
+:class:`~repro.netlist.probe.WaveProbe` plus an
+:class:`~repro.netlist.probe.InstructionEnergyProfiler` attached -- is
+measured the same paired way and recorded as the ``probe_overhead``
+section (informational: probing is opt-in, so it has no budget).
 
 Run from the repository root::
 
@@ -278,6 +286,69 @@ def bench_obs_overhead(pairs: int = 64, chunk: int = 256) -> dict:
     }
 
 
+def bench_probe_overhead(pairs: int = 48, chunk: int = 160) -> dict:
+    """Cost of enabled probing on the p1_8_2 compiled cosim.
+
+    Same paired-chunk scheme as :func:`bench_obs_overhead`, but the
+    A/B axis is probes attached vs detached: one side of each pair
+    runs with a full architectural waveform probe (PC, flags, BARs,
+    bus) plus the per-instruction energy profiler, the other side
+    bare.  Informational -- probing is opt-in, so there is no budget
+    to enforce -- but recorded so the cost of ``profile-design`` runs
+    is tracked across PRs.
+    """
+    from repro.netlist.probe import (
+        InstructionEnergyProfiler,
+        WaveProbe,
+        resolve_probes,
+    )
+    from repro.pdk import technology_library
+
+    harness = CoSimHarness(_program_for(HEADLINE), HEADLINE, backend="compiled")
+    for _ in range(64):  # warm-up: compile and reach steady state
+        harness.step()
+    netlist = harness.netlist
+    signals = resolve_probes(netlist, groups=("pc", "flags", "bars", "bus"))
+    wave = WaveProbe(netlist, signals)
+    profiler = InstructionEnergyProfiler(
+        netlist,
+        technology_library("EGFET"),
+        resolve_probes(netlist, groups=("pc",))[0].nets,
+    )
+    ratios: list[float] = []
+    times = {False: 0.0, True: 0.0}
+    for i in range(pairs):
+        order = (False, True) if i % 2 == 0 else (True, False)
+        pair = {}
+        for probed in order:
+            if probed:
+                harness.sim.attach_probe(wave)
+                harness.sim.attach_probe(profiler)
+            start = time.perf_counter()
+            for _ in range(chunk):
+                harness.step()
+            pair[probed] = time.perf_counter() - start
+            if probed:
+                harness.sim.detach_probe(wave)
+                harness.sim.detach_probe(profiler)
+        ratios.append(pair[True] / pair[False])
+        times[False] += pair[False]
+        times[True] += pair[True]
+    overhead_pct = 100.0 * (statistics.median(ratios) - 1.0)
+    unprobed = pairs * chunk / times[False]
+    probed = pairs * chunk / times[True]
+    print(
+        f"probe overhead (p1_8_2 cosim): unprobed {unprobed:8.0f} c/s, "
+        f"probed {probed:8.0f} c/s, overhead {overhead_pct:+.2f}%"
+    )
+    return {
+        "unprobed_cycles_per_s": round(unprobed, 1),
+        "probed_cycles_per_s": round(probed, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "probed_signals": len(signals),
+    }
+
+
 def _baseline_regression(out_path: Path, overhead: dict) -> float | None:
     """Disabled-rate delta vs the checked-in baseline, percent (+ = slower)."""
     try:
@@ -300,23 +371,26 @@ def main(argv: list[str]) -> int:
         cosim = bench_cosim(configs=(HEADLINE,), min_duration=0.1)
         fault = bench_fault_campaign(max_faults=16)
         overhead = bench_obs_overhead(pairs=48, chunk=160)
+        probe = bench_probe_overhead(pairs=24, chunk=96)
         scaling = bench_parallel_scaling(jobs_list=(1, 2), campaign_stride=8)
     else:
         cosim = bench_cosim()
         fault = bench_fault_campaign()
         overhead = bench_obs_overhead()
+        probe = bench_probe_overhead()
         scaling = bench_parallel_scaling()
 
     out = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
     report = obs.build_run_report(
         ["bench_sim_backends", *argv], time.perf_counter() - start
     )
-    report["schema"] = "repro.obs.run_report/v1+bench"
+    report["schema"] = f"{obs.report.SCHEMA}+bench"
     report["python"] = report["environment"]["python"]
     report["machine"] = report["environment"]["machine"]
     report["cosim"] = cosim
     report["fault_campaign"] = fault
     report["obs_overhead"] = overhead
+    report["probe_overhead"] = probe
     report["parallel_scaling"] = scaling
     report["headline_speedup_p1_8_2"] = cosim[HEADLINE.name]["speedup"]
     regression = _baseline_regression(out, overhead)

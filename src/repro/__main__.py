@@ -19,6 +19,10 @@ Usage::
     python -m repro verify --count 50  # differential fuzz campaign
     python -m repro lint --all         # static netlist lint
                                        # (see docs/VERIFY.md)
+    python -m repro profile-design p1_8_2 --program crc8 --vcd out.vcd
+                                       # waveforms + per-module /
+                                       # per-instruction energy
+                                       # (see docs/OBSERVABILITY.md)
 
 ``REPRO_TRACE=1`` in the environment is equivalent to ``--profile``;
 ``REPRO_JOBS=N`` is equivalent to ``--jobs N``.  See
@@ -214,13 +218,18 @@ def _split_flags(argv: list[str]) -> tuple[dict, list[str], str | None]:
 
 
 def main(argv: list[str]) -> int:
-    # The verify/lint subcommands own their argument grammar (seeds,
-    # config lists, fault specs), so they dispatch before the table
-    # option parser gets a chance to reject their flags.
+    # The verify/lint/profile-design subcommands own their argument
+    # grammar (seeds, config lists, fault specs, probe selections), so
+    # they dispatch before the table option parser gets a chance to
+    # reject their flags.
     if argv and argv[0] in ("verify", "lint"):
         from repro.verify.cli import main as verify_lint_main
 
         return verify_lint_main(argv)
+    if argv and argv[0] == "profile-design":
+        from repro.apps.profile import profile_main
+
+        return profile_main(argv[1:])
 
     opts, requests, error = _split_flags(argv)
     if error:

@@ -108,6 +108,32 @@ class CoreConfig:
         return 1 << self.address_bits
 
 
+def config_from_name(name: str) -> CoreConfig:
+    """A :class:`CoreConfig` from its ``pP_D_B`` sweep name.
+
+    Inverse of :attr:`CoreConfig.name` for the standard sweep axes
+    (``p1_8_2`` -> one-stage, 8-bit, 2 BARs); the CLI surfaces
+    (``verify``, ``lint``, ``profile-design``) all accept these names.
+
+    Raises:
+        ConfigError: If the name does not parse or the axes are
+            outside the supported grid.
+    """
+    parts = name.split("_")
+    if len(parts) == 3 and parts[0].startswith("p"):
+        try:
+            return CoreConfig(
+                pipeline_stages=int(parts[0][1:]),
+                datawidth=int(parts[1]),
+                num_bars=int(parts[2]),
+            )
+        except ValueError:
+            pass
+    raise ConfigError(
+        f"bad config name {name!r} (expected pP_D_B, e.g. p1_8_2)"
+    )
+
+
 def standard_sweep() -> list[CoreConfig]:
     """The 24 configurations of the paper's Figure 7 sweep."""
     return [

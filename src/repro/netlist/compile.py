@@ -39,6 +39,11 @@ Four functions are generated per netlist:
     not maintained in lane mode -- bit-parallel simulation exists for
     fault campaigns and random-vector sweeps, which do not read them.
 
+:func:`make_capture` additionally generates standalone straight-line
+probe-capture functions (``capture(V) -> tuple``) for the waveform
+layer (:mod:`repro.netlist.probe`), reading an arbitrary net selection
+without a per-net Python loop.
+
 The generated code caches on the netlist object itself
 (:func:`compiled_netlist`), so repeated simulator constructions --
 e.g. one :class:`~repro.netlist.faults.FaultySimulator` per fault site
@@ -212,6 +217,26 @@ def _generate_source(netlist: Netlist) -> str:
     lines.append("    return")
 
     return "\n".join(lines)
+
+
+def make_capture(netlist: Netlist, nets: Sequence[int]) -> Callable[[list], tuple]:
+    """Generate a straight-line probe-capture function for ``nets``.
+
+    Returns a compiled ``capture(V) -> tuple`` that reads the listed
+    nets (in order) out of the flat value table -- the compiled
+    backend's analogue of the interpreted simulator's per-net reads,
+    used by :class:`repro.netlist.probe.WaveProbe` so waveform capture
+    pays no per-net Python indexing loop.  Values are returned exactly
+    as stored, so interpreted and compiled captures are bit-identical.
+    """
+    for net in nets:
+        if not 0 <= net < netlist.net_count:
+            raise SimulationError(f"cannot capture unknown net {net}")
+    body = ", ".join(f"V[{net}]" for net in nets)
+    source = f"def capture(V):\n    return ({body}{',' if nets else ''})"
+    namespace: dict = {}
+    exec(compile(source, f"<capture:{netlist.name}>", "exec"), namespace)
+    return namespace["capture"]
 
 
 def _bind(code, source: str) -> CompiledNetlist:

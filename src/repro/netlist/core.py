@@ -139,6 +139,15 @@ class Netlist:
         """Best-effort human-readable name for a net."""
         return self._net_names.get(net_id, f"n{net_id}")
 
+    def named_nets(self) -> dict[int, str]:
+        """All explicitly named nets as ``{net_id: name}`` (a copy).
+
+        The probe/attribution layer (:mod:`repro.netlist.probe`)
+        derives buses, waveform scopes, and per-module energy labels
+        from these names.
+        """
+        return dict(self._net_names)
+
     def driver_of(self, net_id: int) -> Instance | None:
         """The instance driving ``net_id``, or None for ports/constants."""
         return self._driver.get(net_id)

@@ -22,7 +22,10 @@ the TP-ISA cores, two settles per cycle reach a fixed point (the
 simulator checks this).
 
 Per-instance output toggle counts are recorded for measured-activity
-power analysis; both backends account toggles identically.
+power analysis; both backends account toggles identically.  Probes
+(:mod:`repro.netlist.probe`) attach via :meth:`CycleSimulator.
+attach_probe` for waveform capture and per-instruction energy
+profiling; with none attached the hook costs one branch per tick.
 """
 
 from __future__ import annotations
@@ -83,6 +86,7 @@ class CycleSimulator:
         self._values[CONST1] = 1
         self._toggles: list[int] = [0] * len(netlist.instances)
         self._prev_comb: list[int] = [-1] * len(netlist.instances)
+        self._probes: list = []
         self.cycles = 0
         self._compiled = None
         if backend == "compiled":
@@ -146,9 +150,16 @@ class CycleSimulator:
         resetting = reset_net is not None and self._values[reset_net] == 0
         values = self._values
         toggles = self._toggles
+        probes = self._probes
+        if probes:
+            for probe in probes:
+                probe.sample(self.cycles, values)
         if self._compiled is not None:
             self._compiled.tick(values, self._prev_comb, toggles, resetting)
             self.cycles += 1
+            if probes:
+                for probe in probes:
+                    probe.after_tick(self.cycles - 1, values, toggles)
             return
         previous = self._prev_comb
         for instance, index in zip(self._order, self._comb_pos):
@@ -167,6 +178,9 @@ class CycleSimulator:
                 toggles[index] += 1
                 values[flop.output] = next_value
         self.cycles += 1
+        if probes:
+            for probe in probes:
+                probe.after_tick(self.cycles - 1, values, toggles)
 
     def reset(self) -> None:
         """Apply one asynchronous reset pulse (requires a reset input)."""
@@ -207,8 +221,42 @@ class CycleSimulator:
 
     # -- instrumentation -----------------------------------------------------
 
+    def attach_probe(self, probe) -> None:
+        """Attach a :class:`repro.netlist.probe.Probe` to this simulator.
+
+        The probe's ``sample`` hook fires at the start of every
+        :meth:`tick` (settled pre-edge state) and ``after_tick`` once
+        the edge -- including toggle accounting -- has been applied.
+        ``probe.bind(self)`` is called so the probe can specialize for
+        the backend (the compiled backend gets generated capture
+        code).  With no probes attached the per-tick cost is one
+        empty-list truth test.
+        """
+        probe.bind(self)
+        self._probes.append(probe)
+
+    def detach_probe(self, probe) -> None:
+        """Remove a previously attached probe.
+
+        Raises:
+            SimulationError: If the probe was never attached.
+        """
+        try:
+            self._probes.remove(probe)
+        except ValueError:
+            raise SimulationError("probe is not attached to this simulator")
+
     def toggle_counts(self) -> Mapping[int, int]:
-        """Output-toggle count per instance index (sequential cells)."""
+        """Output-toggle count per instance index, sparse.
+
+        Covers *every* instance -- combinational cells (counted once
+        per cycle whose settled output differs from the previous
+        cycle's) and sequential cells (counted on captures that change
+        Q) alike.  Instances that never toggled are absent from the
+        mapping; :func:`repro.netlist.power.measured_power_report`
+        reports them as ``static_only_cells`` rather than dropping
+        them silently.
+        """
         counts = {
             index: count for index, count in enumerate(self._toggles) if count
         }

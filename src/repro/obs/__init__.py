@@ -11,7 +11,9 @@ with this zero-dependency layer:
 * :func:`progress` -- rate/ETA logging for long loops
   (:mod:`repro.obs.progress`);
 * :func:`build_run_report` / :func:`write_run_report` -- structured
-  ``RUN_REPORT.json`` emission (:mod:`repro.obs.report`).
+  ``RUN_REPORT.json`` emission (:mod:`repro.obs.report`);
+* :class:`VcdWriter` -- IEEE-1364 value-change-dump waveform emission
+  for the gate-level probes (:mod:`repro.obs.wave`).
 
 Everything is off by default and no-op-cheap when off: one branch per
 event site (the benchmark suite asserts <2% overhead on the p1_8_2
@@ -46,6 +48,7 @@ from repro.obs.report import (
     render_run_report,
     write_run_report,
 )
+from repro.obs.wave import VcdVar, VcdWriter
 
 __all__ = [
     "STATE",
@@ -76,6 +79,8 @@ __all__ = [
     "environment_metadata",
     "git_metadata",
     "export_trace_jsonl",
+    "VcdVar",
+    "VcdWriter",
 ]
 
 

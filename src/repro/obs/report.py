@@ -8,10 +8,10 @@ runs across machines and commits.  ``python -m repro --profile ...``
 writes one automatically; harnesses call :func:`build_run_report` /
 :func:`write_run_report` directly.
 
-Schema (``repro.obs.run_report/v1``)::
+Schema (``repro.obs.run_report/v2``, a strict superset of v1)::
 
     {
-      "schema": "repro.obs.run_report/v1",
+      "schema": "repro.obs.run_report/v2",
       "generated": ISO-8601 UTC timestamp,
       "command": ["table7"],           # what ran
       "wall_seconds": 1.23,            # whole-run wall clock
@@ -23,8 +23,15 @@ Schema (``repro.obs.run_report/v1``)::
       "span_count": 57,
       "metrics": {"compile.cache_hits": 3, ...},
       "environment": {"python": ..., "platform": ..., "argv": [...]},
-      "git": {"commit": ..., "dirty": bool}   # best-effort, may be {}
+      "git": {"commit": ..., "dirty": bool},  # best-effort, may be {}
+      "design_profiles": [...]         # v2: profile-design results
     }
+
+Every v1 key is unchanged; v2 adds ``design_profiles``, a list of
+design-under-test profiles (per-module energy attribution plus
+per-instruction histograms) as produced by
+:func:`repro.apps.profile.profile_design` -- empty for runs that
+profiled nothing.
 
 The terminal summary renders through
 :func:`repro.eval.report.render_table` so profiled runs read like the
@@ -48,7 +55,7 @@ from repro.obs import trace as _trace
 #: Detailed span events kept in a report (aggregates always cover all).
 MAX_REPORT_SPANS = 5000
 
-SCHEMA = "repro.obs.run_report/v1"
+SCHEMA = "repro.obs.run_report/v2"
 
 
 def environment_metadata() -> dict:
@@ -90,8 +97,14 @@ def build_run_report(
     tracer: "_trace.Tracer | None" = None,
     registry: "_metrics.MetricsRegistry | None" = None,
     extra: dict | None = None,
+    profiles: Sequence[dict] | None = None,
 ) -> dict:
-    """Assemble the run-report dict (see module docstring schema)."""
+    """Assemble the run-report dict (see module docstring schema).
+
+    ``profiles`` fills the v2 ``design_profiles`` section with
+    design-under-test profiles (``profile-design`` results); it stays
+    an empty list for runs that profiled nothing.
+    """
     tracer = tracer if tracer is not None else _trace.TRACER
     registry = registry if registry is not None else _metrics.REGISTRY
     events = tracer.events()
@@ -132,6 +145,7 @@ def build_run_report(
         "metrics": registry.snapshot(),
         "environment": environment_metadata(),
         "git": git_metadata(),
+        "design_profiles": list(profiles) if profiles else [],
     }
     if extra:
         report.update(extra)

@@ -86,3 +86,26 @@ class FetchTrace:
         counts = Counter(self.addresses)
         ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
         return ranked[:top] if top is not None else ranked
+
+    def top_n(self, n: int) -> list[tuple[int, int]]:
+        """The ``n`` hottest addresses as ``(address, count)`` pairs.
+
+        Hotspot helper over :meth:`address_histogram` used by the
+        per-instruction energy profile (``python -m repro
+        profile-design --top N``).
+
+        Windowing caveat: with ``maxlen`` set, counts cover only the
+        retained ring-buffer window -- the most recent ``maxlen``
+        fetches -- while :attr:`recorded` keeps the true total and
+        :attr:`dropped` says how many fetches fell out of the window.
+        When profiling long runs, check ``dropped``: a nonzero value
+        means the hotspot ranking describes the *tail* of the run, not
+        the whole execution (steady-state loops are typically exactly
+        what profiling wants, but one-shot init code will be missing).
+
+        Raises:
+            ValueError: If ``n`` is not positive.
+        """
+        if n < 1:
+            raise ValueError(f"top_n needs a positive n, got {n}")
+        return self.address_histogram(top=n)

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.coregen.config import CoreConfig, standard_sweep
+from repro.coregen.config import CoreConfig, config_from_name, standard_sweep
+from repro.errors import ConfigError
 
 #: Representative pair for quick lint runs: the simplest core and a
 #: deep-pipeline wide one (most distinct structure in the grid).
@@ -35,19 +36,10 @@ LINT_DEFAULTS = ("p1_8_2", "p3_16_4")
 
 def _parse_config(name: str) -> CoreConfig:
     """A CoreConfig from its ``pP_D_B`` sweep name (e.g. ``p1_8_2``)."""
-    parts = name.split("_")
-    if len(parts) == 3 and parts[0].startswith("p"):
-        try:
-            return CoreConfig(
-                pipeline_stages=int(parts[0][1:]),
-                datawidth=int(parts[1]),
-                num_bars=int(parts[2]),
-            )
-        except Exception:
-            pass
-    raise ValueError(
-        f"bad config name {name!r} (expected pP_D_B, e.g. p1_8_2)"
-    )
+    try:
+        return config_from_name(name)
+    except ConfigError as error:
+        raise ValueError(str(error))
 
 
 def _usage_error(message: str) -> int:

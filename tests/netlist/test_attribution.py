@@ -1,0 +1,125 @@
+"""Conservation tests for per-module/per-cell energy attribution.
+
+The invariant under test is the strong one the report documents:
+summing either attribution dict's values in iteration order reproduces
+the matching ``measured_power_report`` total *bit-exactly*, across
+sweep configurations and both technologies, with real toggle data from
+gate-level co-simulation.
+"""
+
+import pytest
+
+from repro.coregen.config import CoreConfig
+from repro.coregen.cosim import CoSimHarness
+from repro.netlist.power import (
+    attributed_power_report,
+    measured_power_report,
+)
+from repro.netlist.probe import module_map
+from repro.pdk import technology_library
+from repro.programs import build_benchmark
+
+#: A cross-section of the paper's sweep: narrow, headline, deep, wide.
+SWEEP_CONFIGS = (
+    CoreConfig(datawidth=4),
+    CoreConfig(datawidth=8),
+    CoreConfig(datawidth=8, pipeline_stages=2),
+    CoreConfig(datawidth=16),
+)
+
+TECHNOLOGIES = ("EGFET", "CNT-TFT")
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """Real per-config toggle data from a short gate-level run."""
+    data = {}
+    for config in SWEEP_CONFIGS:
+        program = build_benchmark("mult", max(8, config.datawidth),
+                                  config.datawidth)
+        harness = CoSimHarness(program, config)
+        for _ in range(50):
+            harness.step()
+        data[config.name] = (
+            harness.netlist,
+            harness.sim.toggle_counts(),
+            harness.sim.cycles,
+        )
+    return data
+
+
+@pytest.mark.parametrize("config", SWEEP_CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("technology", TECHNOLOGIES)
+class TestConservation:
+    def test_module_and_cell_sums_are_bit_exact(
+        self, measured, config, technology
+    ):
+        netlist, toggles, cycles = measured[config.name]
+        library = technology_library(technology)
+        report = attributed_power_report(netlist, library, toggles, cycles)
+        assert report.conservation_error() == (0.0, 0.0)
+        assert sum(report.by_module.values()) == report.total.energy_per_cycle
+        assert sum(report.by_cell.values()) == report.total.energy_per_cycle
+
+    def test_total_matches_measured_report(
+        self, measured, config, technology
+    ):
+        netlist, toggles, cycles = measured[config.name]
+        library = technology_library(technology)
+        attributed = attributed_power_report(netlist, library, toggles, cycles)
+        direct = measured_power_report(netlist, library, toggles, cycles)
+        assert attributed.total == direct
+
+    def test_toggles_conserved_exactly(self, measured, config, technology):
+        netlist, toggles, cycles = measured[config.name]
+        library = technology_library(technology)
+        report = attributed_power_report(netlist, library, toggles, cycles)
+        assert sum(report.toggles_by_module.values()) == sum(toggles.values())
+
+    def test_static_only_cells_match(self, measured, config, technology):
+        netlist, toggles, cycles = measured[config.name]
+        library = technology_library(technology)
+        report = attributed_power_report(netlist, library, toggles, cycles)
+        absent = sum(
+            1 for i in range(len(netlist.instances)) if not toggles.get(i)
+        )
+        assert report.static_only_cells == absent
+        assert report.total.static_only_cells == absent
+
+
+class TestAttributionShape:
+    def test_explicit_modules_override_the_default_map(self):
+        config = CoreConfig(datawidth=4)
+        program = build_benchmark("mult", 8, 4)
+        harness = CoSimHarness(program, config)
+        for _ in range(20):
+            harness.step()
+        netlist = harness.netlist
+        toggles = harness.sim.toggle_counts()
+        library = technology_library("EGFET")
+        one_bucket = attributed_power_report(
+            netlist, library, toggles, harness.sim.cycles,
+            modules=["everything"] * len(netlist.instances),
+        )
+        assert list(one_bucket.by_module) == ["everything"]
+        assert one_bucket.by_module["everything"] == (
+            one_bucket.total.energy_per_cycle
+        )
+
+    def test_default_map_matches_module_map(self):
+        config = CoreConfig(datawidth=4)
+        program = build_benchmark("mult", 8, 4)
+        harness = CoSimHarness(program, config)
+        for _ in range(20):
+            harness.step()
+        netlist = harness.netlist
+        toggles = harness.sim.toggle_counts()
+        library = technology_library("EGFET")
+        implicit = attributed_power_report(
+            netlist, library, toggles, harness.sim.cycles
+        )
+        explicit = attributed_power_report(
+            netlist, library, toggles, harness.sim.cycles,
+            modules=module_map(netlist),
+        )
+        assert implicit.by_module == explicit.by_module

@@ -1,0 +1,77 @@
+"""Doc-drift guard: docs/OBSERVABILITY.md vs the metrics registry.
+
+Every dotted metric name the doc mentions in backticks must exist in
+the process-wide registry once the instrumented modules are imported;
+a renamed or deleted metric fails here instead of silently rotting in
+the documentation.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+#: Modules that register metrics at import time (the doc's name list
+#: spans all of these subsystems).
+INSTRUMENTED_MODULES = (
+    "repro.netlist.sim",
+    "repro.netlist.compile",
+    "repro.netlist.sta",
+    "repro.netlist.power",
+    "repro.coregen.generator",
+    "repro.coregen.cosim",
+    "repro.coregen.fault_test",
+    "repro.dse.sweep",
+    "repro.exec.engine",
+    "repro.sim.machine",
+    "repro.apps.profile",
+    "repro.verify.differential",
+    "repro.verify.lint",
+)
+
+#: A backticked span counts as a metric name when it is all-lowercase
+#: dotted words; module paths (``repro.*``) and filenames are not.
+_METRIC = re.compile(r"[a-z][a-z_]*(?:\.[a-z_]+)+")
+_NOT_METRICS = (".py", ".md", ".json", ".jsonl", ".vcd")
+
+#: The doc's naming-convention placeholder, not a real metric.
+_PLACEHOLDER = "subsystem.quantity"
+
+
+def documented_metric_names() -> set[str]:
+    """Dotted metric names mentioned in the observability doc."""
+    # Drop fenced code blocks first: their ``` markers would otherwise
+    # break the inline-backtick pairing below.
+    text = re.sub(r"```.*?```", "", DOC.read_text(), flags=re.S)
+    names = set()
+    for span in re.findall(r"`([^`]+)`", text):
+        if _METRIC.fullmatch(span) is None:
+            continue
+        if span.startswith("repro.") or span.endswith(_NOT_METRICS):
+            continue
+        if span == _PLACEHOLDER:
+            continue
+        names.add(span)
+    return names
+
+
+class TestDocDrift:
+    def test_doc_mentions_a_real_name_list(self):
+        names = documented_metric_names()
+        assert len(names) >= 10  # the doc enumerates the conventions
+        assert "sim.cycles_simulated" in names
+        assert "power.attributed_reports" in names
+        assert "profile.design_runs" in names
+
+    def test_every_documented_metric_is_registered(self):
+        from repro.obs.metrics import REGISTRY
+
+        for module in INSTRUMENTED_MODULES:
+            importlib.import_module(module)
+        registered = set(REGISTRY.snapshot())
+        missing = documented_metric_names() - registered
+        assert not missing, (
+            f"docs/OBSERVABILITY.md mentions unregistered metrics: "
+            f"{sorted(missing)}"
+        )

@@ -1,0 +1,122 @@
+"""Tests for the VCD waveform writer."""
+
+import pytest
+
+from repro.obs.wave import VcdWriter, format_value, _id_code
+
+
+class TestIdCodes:
+    def test_codes_are_printable_and_unique(self):
+        codes = [_id_code(i) for i in range(2000)]
+        assert len(set(codes)) == len(codes)
+        for code in codes:
+            assert all(33 <= ord(ch) <= 126 for ch in code)
+
+    def test_first_code_is_bang(self):
+        assert _id_code(0) == "!"
+
+    def test_codes_widen_past_the_printable_range(self):
+        assert len(_id_code(93)) == 1
+        assert len(_id_code(94)) == 2
+
+
+class TestFormatValue:
+    def test_scalar(self):
+        assert format_value(1, 1, "!") == "1!"
+        assert format_value(0, 1, "!") == "0!"
+
+    def test_vector_is_zero_padded_binary(self):
+        assert format_value(5, 4, "#") == "b0101 #"
+
+    def test_scalar_masks_to_one_bit(self):
+        assert format_value(3, 1, "!") == "1!"
+
+
+class TestHeader:
+    def test_scopes_nest_and_close(self):
+        w = VcdWriter("core")
+        w.declare("pc", 8)
+        w.declare("Z", 1, scope=("flags",))
+        text = w.render()
+        assert "$timescale 1 us $end" in text
+        assert "$scope module core $end" in text
+        assert "$scope module flags $end" in text
+        assert text.count("$scope module") == text.count("$upscope $end")
+        assert "$var wire 8 ! pc [7:0] $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_no_date_by_default(self):
+        assert "$date" not in VcdWriter("core").render()
+        assert "$date" in VcdWriter("core", date="today").render()
+
+    def test_deterministic_output(self):
+        def build():
+            w = VcdWriter("core")
+            a = w.declare("a", 2)
+            w.start({a: 0})
+            w.sample(1, {a: 3})
+            return w.render()
+
+        assert build() == build()
+
+
+class TestSampling:
+    def _writer(self):
+        w = VcdWriter("core")
+        a = w.declare("a", 4)
+        b = w.declare("b", 1)
+        w.start({a: 0, b: 1})
+        return w, a, b
+
+    def test_dumpvars_carries_initial_values(self):
+        w, a, b = self._writer()
+        text = w.render()
+        assert "$dumpvars" in text
+        assert "b0000 !" in text
+        assert '1"' in text
+
+    def test_unchanged_values_elided(self):
+        w, a, b = self._writer()
+        assert w.sample(1, {a: 0, b: 1}) == 0
+        assert "#1" not in w.render()
+
+    def test_changes_emit_time_marker_once(self):
+        w, a, b = self._writer()
+        assert w.sample(3, {a: 9, b: 0}) == 2
+        text = w.render()
+        assert text.count("#3") == 1
+        assert "b1001 !" in text
+
+    def test_time_must_increase(self):
+        w, a, b = self._writer()
+        w.sample(2, {a: 1})
+        with pytest.raises(ValueError, match="not after"):
+            w.sample(2, {a: 2})
+
+    def test_declare_after_start_rejected(self):
+        w, a, b = self._writer()
+        with pytest.raises(ValueError, match="after start"):
+            w.declare("c", 1)
+
+    def test_start_twice_rejected(self):
+        w, a, b = self._writer()
+        with pytest.raises(ValueError, match="twice"):
+            w.start({a: 0, b: 0})
+
+    def test_missing_initial_value_rejected(self):
+        w = VcdWriter("core")
+        a = w.declare("a", 1)
+        w.declare("b", 1)
+        with pytest.raises(ValueError, match="missing initial"):
+            w.start({a: 0})
+
+    def test_sample_before_start_rejected(self):
+        w = VcdWriter("core")
+        a = w.declare("a", 1)
+        with pytest.raises(ValueError, match="before start"):
+            w.sample(1, {a: 0})
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        w, a, b = self._writer()
+        path = w.write(tmp_path / "deep" / "dir" / "out.vcd")
+        assert path.read_text() == w.render()

@@ -1,5 +1,6 @@
 """Tests for fetch tracing and its consumers."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -77,6 +78,33 @@ class TestFetchTrace:
         for pc in (0, 1, 2):
             trace.record(pc)
         assert trace.unique_addresses() == 2
+
+
+class TestTopN:
+    def test_top_n_returns_hottest_first(self):
+        trace = FetchTrace()
+        for pc in (5, 1, 5, 1, 5, 9):
+            trace.record(pc)
+        assert trace.top_n(2) == [(5, 3), (1, 2)]
+        assert trace.top_n(10) == trace.address_histogram()
+
+    def test_top_n_rejects_nonpositive(self):
+        trace = FetchTrace()
+        trace.record(0)
+        with pytest.raises(ValueError, match="positive"):
+            trace.top_n(0)
+        with pytest.raises(ValueError, match="positive"):
+            trace.top_n(-3)
+
+    def test_windowed_top_n_describes_the_tail(self):
+        # The documented maxlen interaction: once fetches drop out of
+        # the ring buffer, top_n ranks only the retained window.
+        trace = FetchTrace(maxlen=3)
+        for pc in (1, 1, 1, 2, 2, 3):
+            trace.record(pc)
+        assert trace.dropped == 3
+        assert trace.top_n(1) == [(2, 2)]
+        assert trace.recorded == 6
 
 
 class TestPipelineProperties:
