@@ -4,7 +4,11 @@ Times lock-step co-simulation (the hot loop behind every headline
 result: Figure 7/8 verification, fault campaigns, measured-activity
 power) on the standard sweep cores with both backends, plus a sampled
 fault campaign with the interpreted, per-fault compiled, and
-bit-parallel batched engines.
+bit-parallel batched engines, plus the tracked full-stride campaign
+(``fault_campaign_numpy``) that races the bigint lane backend against
+the vectorized numpy bit-slice backend on every fault site of the
+p1_8_2 mult8 core -- the headline the numpy backend must hold:
+>100x interpreted and >5x batched, bit-exact detected-fault sets.
 
 The run is emitted through the :mod:`repro.obs` layer: every stage is
 a tracing span, and ``BENCH_sim.json`` at the repository root is a
@@ -153,6 +157,114 @@ def bench_fault_campaign(max_faults: int = 40) -> dict:
             results["interpreted"]["seconds"] / max(1e-9, results[backend]["seconds"]), 2
         )
     return results
+
+
+#: Floors the numpy campaign headline must hold (``--check``).
+NUMPY_VS_INTERPRETED_FLOOR = 100.0
+NUMPY_VS_BATCHED_FLOOR = 5.0
+
+#: Tolerated drop of the recorded numpy headline speedup, percent.
+NUMPY_REGRESSION_PCT = 10.0
+
+
+def bench_fault_campaign_numpy(
+    stride: int = 1, interpreted_sample: int = 32
+) -> dict:
+    """The tracked numpy headline: every p1_8_2/mult8 fault site.
+
+    Runs the **full-stride** stuck-at campaign (one fault per instance
+    output and polarity, ~1000 sites) on the bigint batched backend
+    and the numpy bit-slice backend, asserting the detected-fault sets
+    are bit-exact; the interpreted baseline is timed on a
+    ``interpreted_sample``-fault sample and extrapolated (running all
+    sites interpreted takes minutes -- exactly why this backend
+    exists).
+    """
+    program = build_benchmark("mult", 8, 8)
+    results: dict = {}
+
+    with obs.span("bench_fault_campaign_numpy", backend="interpreted"):
+        start = time.perf_counter()
+        sampled = run_fault_campaign(
+            program,
+            stride=stride,
+            max_faults=interpreted_sample,
+            backend="interpreted",
+        )
+        sampled_elapsed = time.perf_counter() - start
+    interpreted_rate = sampled.total / max(1e-9, sampled_elapsed)
+    results["interpreted"] = {
+        "sampled_faults": sampled.total,
+        "faults_per_s": round(interpreted_rate, 1),
+    }
+    print(
+        f"numpy campaign [interpreted]: {sampled.total}-fault sample in "
+        f"{sampled_elapsed:6.2f}s ({interpreted_rate:.0f} faults/s)"
+    )
+
+    outcomes = {}
+    for backend in ("batched", "numpy"):
+        # Best of two timed passes: the first also pays compile /
+        # cache-load cost, and the minimum filters scheduler jitter
+        # out of the ratio the --check floors gate on.
+        elapsed = float("inf")
+        with obs.span("bench_fault_campaign_numpy", backend=backend):
+            for _ in range(2):
+                start = time.perf_counter()
+                campaign = run_fault_campaign(
+                    program, stride=stride, backend=backend
+                )
+                elapsed = min(elapsed, time.perf_counter() - start)
+        outcomes[backend] = (
+            campaign.total, campaign.detected, campaign.undetected_sites
+        )
+        results[backend] = {
+            "seconds": round(elapsed, 3),
+            "faults": campaign.total,
+            "detected": campaign.detected,
+            "faults_per_s": round(campaign.total / max(1e-9, elapsed), 1),
+        }
+        print(
+            f"numpy campaign [{backend:>11}]: {campaign.total} faults in "
+            f"{elapsed:6.2f}s ({campaign.detected} detected, "
+            f"{results[backend]['faults_per_s']:.0f} faults/s)"
+        )
+    if outcomes["numpy"] != outcomes["batched"]:
+        raise AssertionError(
+            "numpy campaign diverged from batched (detected-fault sets differ)"
+        )
+
+    total = results["numpy"]["faults"]
+    interpreted_est = total / interpreted_rate
+    results["interpreted"]["estimated_seconds_full"] = round(interpreted_est, 1)
+    results["speedup_vs_interpreted"] = round(
+        interpreted_est / max(1e-9, results["numpy"]["seconds"]), 1
+    )
+    results["speedup_vs_batched"] = round(
+        results["batched"]["seconds"] / max(1e-9, results["numpy"]["seconds"]), 2
+    )
+    print(
+        f"numpy campaign headline: {results['speedup_vs_interpreted']}x "
+        f"interpreted, {results['speedup_vs_batched']}x batched"
+    )
+    return results
+
+
+def _numpy_regression(out_path: Path, campaign: dict) -> float | None:
+    """Drop of the numpy-vs-batched headline vs baseline, percent.
+
+    The batched ratio is the regression metric because both sides are
+    measured in the same process on the same sites; the interpreted
+    ratio rides on a small extrapolated sample and is gated only by
+    its absolute floor.
+    """
+    try:
+        baseline = json.loads(out_path.read_text())
+        before = baseline["fault_campaign_numpy"]["speedup_vs_batched"]
+    except (OSError, KeyError, ValueError):
+        return None
+    now = campaign["speedup_vs_batched"]
+    return round(100.0 * (before - now) / before, 2)
 
 
 #: Worker counts measured by the parallel-scaling section.
@@ -370,12 +482,14 @@ def main(argv: list[str]) -> int:
     if smoke:
         cosim = bench_cosim(configs=(HEADLINE,), min_duration=0.1)
         fault = bench_fault_campaign(max_faults=16)
+        numpy_fault = bench_fault_campaign_numpy(interpreted_sample=16)
         overhead = bench_obs_overhead(pairs=48, chunk=160)
         probe = bench_probe_overhead(pairs=24, chunk=96)
         scaling = bench_parallel_scaling(jobs_list=(1, 2), campaign_stride=8)
     else:
         cosim = bench_cosim()
         fault = bench_fault_campaign()
+        numpy_fault = bench_fault_campaign_numpy()
         overhead = bench_obs_overhead()
         probe = bench_probe_overhead()
         scaling = bench_parallel_scaling()
@@ -389,10 +503,15 @@ def main(argv: list[str]) -> int:
     report["machine"] = report["environment"]["machine"]
     report["cosim"] = cosim
     report["fault_campaign"] = fault
+    report["fault_campaign_numpy"] = numpy_fault
     report["obs_overhead"] = overhead
     report["probe_overhead"] = probe
     report["parallel_scaling"] = scaling
     report["headline_speedup_p1_8_2"] = cosim[HEADLINE.name]["speedup"]
+    report["headline_numpy_campaign"] = {
+        "speedup_vs_interpreted": numpy_fault["speedup_vs_interpreted"],
+        "speedup_vs_batched": numpy_fault["speedup_vs_batched"],
+    }
     regression = _baseline_regression(out, overhead)
     if regression is not None:
         report["baseline_regression_pct"] = regression
@@ -402,6 +521,12 @@ def main(argv: list[str]) -> int:
     if serial_ratio is not None:
         report["serial_regression_factor"] = serial_ratio
         print(f"serial (jobs=1) combined time vs baseline: x{serial_ratio:.2f}")
+    numpy_drop = _numpy_regression(out, numpy_fault)
+    if numpy_drop is not None:
+        report["numpy_regression_pct"] = numpy_drop
+        print(
+            f"numpy headline vs checked-in baseline: {numpy_drop:+.2f}% drop"
+        )
 
     if smoke:
         print("smoke mode: BENCH_sim.json left untouched")
@@ -419,6 +544,29 @@ def main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 1
+    if check and numpy_fault["speedup_vs_interpreted"] < NUMPY_VS_INTERPRETED_FLOOR:
+        print(
+            f"FAIL: numpy campaign speedup "
+            f"{numpy_fault['speedup_vs_interpreted']}x vs interpreted is below "
+            f"the {NUMPY_VS_INTERPRETED_FLOOR}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if check and numpy_fault["speedup_vs_batched"] < NUMPY_VS_BATCHED_FLOOR:
+        print(
+            f"FAIL: numpy campaign speedup "
+            f"{numpy_fault['speedup_vs_batched']}x vs batched is below the "
+            f"{NUMPY_VS_BATCHED_FLOOR}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if check and numpy_drop is not None and numpy_drop > NUMPY_REGRESSION_PCT:
+        print(
+            f"FAIL: numpy headline dropped {numpy_drop:.1f}% vs the recorded "
+            f"baseline (tolerance {NUMPY_REGRESSION_PCT}%)",
+            file=sys.stderr,
+        )
+        return 1
     if check and serial_ratio is not None and serial_ratio > SCALING_REGRESSION_FACTOR:
         print(
             f"FAIL: serial combined time regressed x{serial_ratio:.2f} vs the "
@@ -427,8 +575,18 @@ def main(argv: list[str]) -> int:
         )
         return 1
     cpus = scaling["cpu_count"] or 1
+    if cpus == 1:
+        # Parallel speedups cannot exceed 1 with a single CPU; the
+        # section stays recorded but is not a gate on this machine.
+        print(
+            "parallel scaling check skipped: cpu_count == 1 "
+            "(speedups are informational on a single-CPU machine)"
+        )
     top = scaling["jobs"].get("4")
-    if check and not smoke and cpus >= 4 and top and top["speedup"] < SCALING_FLOOR:
+    if (
+        check and not smoke and cpus >= 4
+        and top and top["speedup"] < SCALING_FLOOR
+    ):
         print(
             f"FAIL: jobs=4 speedup {top['speedup']}x below the "
             f"{SCALING_FLOOR}x floor on a {cpus}-core machine",

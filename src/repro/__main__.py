@@ -19,6 +19,12 @@ Usage::
     python -m repro verify --count 50  # differential fuzz campaign
     python -m repro lint --all         # static netlist lint
                                        # (see docs/VERIFY.md)
+    python -m repro campaign --program mult --backend numpy
+                                       # stuck-at fault campaign on the
+                                       # vectorized bit-slice backend
+    python -m repro campaign --verify-suite --backend numpy
+                                       # lane-pack every native
+                                       # benchmark; diff vs the ISS
     python -m repro profile-design p1_8_2 --program crc8 --vcd out.vcd
                                        # waveforms + per-module /
                                        # per-instruction energy
@@ -230,6 +236,10 @@ def main(argv: list[str]) -> int:
         from repro.apps.profile import profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.apps.campaign import campaign_main
+
+        return campaign_main(argv[1:])
 
     opts, requests, error = _split_flags(argv)
     if error:

@@ -1,0 +1,173 @@
+"""``python -m repro campaign``: fault campaigns from the command line.
+
+Runs a stuck-at fault-injection campaign for one benchmark on one
+core configuration, on any of the four simulation backends::
+
+    python -m repro campaign --program mult --width 8 --backend numpy
+    python -m repro campaign --backend batched --stride 4 --jobs 2
+    python -m repro campaign --config p1_8_2 --backend compiled --max-faults 20
+
+and ``python -m repro campaign --verify-suite`` lane-packs every
+native-width benchmark through the selected lane backend and diffs
+each lane against the instruction-set simulator (the
+:func:`repro.eval.suite.verify_suite` hook).
+
+See ``docs/MODELS.md`` ("Simulation backends") for how to pick a
+backend and ``docs/TESTING.md`` for campaign semantics.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+#: Backends accepted by --backend (campaign mode).
+CAMPAIGN_BACKENDS = ("numpy", "batched", "compiled", "interpreted")
+
+#: Lane backends accepted by --backend in --verify-suite mode.
+LANE_ONLY = ("numpy", "batched")
+
+
+def _usage() -> str:
+    return (
+        "usage: python -m repro campaign [--program NAME] [--width N]\n"
+        "           [--config NAME] [--backend numpy|batched|compiled|interpreted]\n"
+        "           [--stride N] [--max-faults N] [--lanes N] [--jobs N]\n"
+        "       python -m repro campaign --verify-suite [--backend numpy|batched]"
+    )
+
+
+def campaign_main(argv: list[str]) -> int:
+    """Entry point for the ``campaign`` subcommand."""
+    program_name = "mult"
+    width = 8
+    config_name: str | None = None
+    backend = "numpy"
+    stride = 8
+    max_faults: int | None = None
+    lanes: int | None = None
+    jobs: int | None = None
+    verify_suite_mode = False
+
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+
+        def value(cast=str):
+            if i + 1 >= len(argv):
+                raise ValueError(f"{arg} needs an argument")
+            return cast(argv[i + 1])
+
+        try:
+            if arg == "--program":
+                program_name = value()
+                i += 1
+            elif arg == "--width":
+                width = value(int)
+                i += 1
+            elif arg == "--config":
+                config_name = value()
+                i += 1
+            elif arg == "--backend":
+                backend = value()
+                i += 1
+            elif arg == "--stride":
+                stride = value(int)
+                i += 1
+            elif arg == "--max-faults":
+                max_faults = value(int)
+                i += 1
+            elif arg == "--lanes":
+                lanes = value(int)
+                i += 1
+            elif arg == "--jobs":
+                jobs = value(int)
+                i += 1
+            elif arg == "--verify-suite":
+                verify_suite_mode = True
+            elif arg in ("-h", "--help"):
+                print(_usage())
+                return 0
+            else:
+                print(f"unknown option {arg}", file=sys.stderr)
+                print(_usage(), file=sys.stderr)
+                return 2
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        i += 1
+
+    if verify_suite_mode:
+        from repro.eval.suite import verify_suite
+        from repro.errors import SimulationError
+
+        if backend not in LANE_ONLY:
+            print(
+                f"--verify-suite needs a lane backend ({'|'.join(LANE_ONLY)}), "
+                f"got {backend!r}",
+                file=sys.stderr,
+            )
+            return 2
+        started = time.perf_counter()
+        try:
+            verified = verify_suite(backend)
+        except SimulationError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        total = sum(verified.values())
+        for name, count in verified.items():
+            print(f"  {name}: {count} benchmarks agree with the ISS")
+        print(
+            f"verify-suite[{backend}]: {total} native benchmarks verified "
+            f"in {elapsed:.2f}s"
+        )
+        return 0
+
+    if backend not in CAMPAIGN_BACKENDS:
+        print(
+            f"unknown backend {backend!r} "
+            f"(choose from {'|'.join(CAMPAIGN_BACKENDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.coregen.config import CoreConfig, config_from_name
+    from repro.coregen.fault_test import run_fault_campaign
+    from repro.programs import build_benchmark
+
+    config = config_from_name(config_name) if config_name else None
+    core_width = config.datawidth if config else width
+    program = build_benchmark(program_name, width, core_width)
+    started = time.perf_counter()
+    result = run_fault_campaign(
+        program,
+        config=config,
+        stride=stride,
+        max_faults=max_faults,
+        backend=backend,
+        lanes=lanes,
+        jobs=jobs,
+    )
+    elapsed = time.perf_counter() - started
+    design = config.name if config else CoreConfig(
+        datawidth=program.datawidth,
+        pipeline_stages=1,
+        num_bars=max(2, program.num_bars),
+    ).name
+    rate = result.total / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"campaign[{program.name} @ {design}, {backend}]: "
+        f"{result.detected}/{result.total} faults detected "
+        f"({100.0 * result.coverage:.1f}% coverage) "
+        f"in {elapsed:.2f}s ({rate:.0f} faults/s)"
+    )
+    if result.undetected_sites:
+        shown = ", ".join(
+            f"i{fault.instance_index}@{fault.stuck_value}"
+            for fault in result.undetected_sites[:8]
+        )
+        more = len(result.undetected_sites) - 8
+        if more > 0:
+            shown += f", ... {more} more"
+        print(f"  undetected: {shown}")
+    return 0

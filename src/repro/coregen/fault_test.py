@@ -7,19 +7,25 @@ output" is as a post-print test (the only economical test for sub-cent
 printed systems).
 
 Campaigns are embarrassingly parallel across fault sites, and the
-default ``"batched"`` backend exploits that with bit-parallel compiled
-simulation (:class:`repro.netlist.compile.BitParallelSimulator`): each
-bigint lane carries one faulty machine with its own data memory image,
-so one gate evaluation pass advances dozens of fault simulations.  The
-``"compiled"`` and ``"interpreted"`` backends run one fault at a time
-and exist for cross-checking; all three produce identical campaigns.
+lane backends exploit that with cross-run lane packing
+(:class:`repro.netlist.lanes.LanePlan`): each lane carries one faulty
+machine with its own data memory image, so one gate evaluation pass
+advances many fault simulations.  Two lane backends exist --
+``"batched"`` (bigint :class:`repro.netlist.compile.BitParallelSimulator`,
+:data:`DEFAULT_LANES` faults per pass) and ``"numpy"`` (vectorized
+uint64 bit-slice :class:`repro.netlist.nsim.NumpySimulator`,
+:data:`DEFAULT_NUMPY_LANES` faults per pass with fully vectorized
+fetch/memory plumbing).  The ``"compiled"`` and ``"interpreted"``
+backends run one fault at a time and exist for cross-checking; all
+four produce identical campaigns.
 
 On top of lane-level batching, ``jobs=`` fans batches (or, for the
 scalar backends, individual faults) out across worker processes via
-:func:`repro.exec.parallel_map` -- N workers each advancing
-:data:`DEFAULT_LANES` lanes per settle.  Judging happens in the parent
-in submission order, so a parallel campaign is bit-identical to the
-serial one, down to the order of ``undetected_sites``.
+:func:`repro.exec.parallel_map` with a warm-worker initializer that
+pre-builds the campaign context (netlist, ROM, compiled kernels) in
+each worker before the first chunk lands.  Judging happens in the
+parent in submission order, so a parallel campaign is bit-identical to
+the serial one, down to the order of ``undetected_sites``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from functools import partial
+
+import numpy as np
 
 from repro import obs
 from repro.coregen.config import CoreConfig
@@ -43,14 +51,35 @@ from repro.netlist.faults import (
     StuckAtFault,
     enumerate_fault_sites,
 )
+from repro.netlist.lanes import LanePlan
+from repro.netlist.nsim import NumpySimulator
 from repro.sim.machine import Machine
 
 #: Fault sites evaluated per bit-parallel pass in batched campaigns.
 DEFAULT_LANES = 48
 
+#: Fault sites evaluated per kernel pass in numpy campaigns.  Far
+#: larger than the bigint width because a vectorized pass costs almost
+#: the same for 64 lanes as for 8192 -- the per-gate ufunc dispatch
+#: dominates, not the word count.
+DEFAULT_NUMPY_LANES = 8192
+
 _FAULTS_INJECTED = obs.counter("faults.injected")
 _FAULTS_DETECTED = obs.counter("faults.detected")
 _FAULT_RATE = obs.histogram("faults.per_second")
+
+# Per-backend throughput (faults.per_second.<backend>), created lazily
+# so only exercised backends appear in run reports.
+_RATES_BY_BACKEND: dict[str, obs.Histogram] = {}
+
+
+def _fault_rate(backend: str):
+    rate = _RATES_BY_BACKEND.get(backend)
+    if rate is None:
+        rate = _RATES_BY_BACKEND[backend] = obs.histogram(
+            f"faults.per_second.{backend}"
+        )
+    return rate
 
 
 def _signature(harness: CoSimHarness) -> tuple:
@@ -206,6 +235,101 @@ def _run_batched(
     ]
 
 
+def _fetch_table(context: _CampaignContext, config: CoreConfig) -> np.ndarray:
+    """Instruction word per possible PC value, as one gather table.
+
+    The PC bus is at most 8 bits (`CoreConfig` validates `pc_bits <=
+    8`), so the whole fetch path -- ROM lookup plus the synthetic
+    halt-branch padding for PCs past the program end -- precomputes
+    into a table of at most 256 words.  ``fetch[pc]`` then replaces the
+    per-lane Python fetch loop with one vectorized gather.
+    """
+    rom = context.rom
+    pc_bits = len(context.netlist.outputs["pc"].nets)
+    table = np.zeros(1 << pc_bits, dtype=np.uint64)
+    table[: len(rom)] = rom
+    halt_words = context.halt_words
+    for pc in range(len(rom), 1 << pc_bits):
+        word = halt_words.get(pc)
+        if word is None:
+            word = halt_words[pc] = encode_for_core(
+                Instruction(Mnemonic.BRN, target=pc, mask=0), config
+            )
+        table[pc] = word
+    return table
+
+
+def _run_batched_numpy(
+    program: Program,
+    config: CoreConfig,
+    cycles: int,
+    faults: list[StuckAtFault],
+    context: _CampaignContext | None = None,
+) -> list[tuple]:
+    """Architectural signatures of ``len(faults)`` faulty runs at once,
+    on the numpy bit-slice backend.
+
+    Same cycle structure as :func:`_run_batched` (mirroring
+    :meth:`CoSimHarness.step`), but the per-lane Python loops are gone:
+    instruction fetch is a table gather, data memory is one
+    ``(lanes, words)`` array read with fancy indexing and written back
+    under the ``we`` mask, so the harness stays O(kernel calls) rather
+    than O(lanes) per cycle.
+    """
+    if context is None:
+        context = _prepare_campaign(program, config)
+    lanes = len(faults)
+    sim = NumpySimulator(context.netlist, plan=LanePlan.for_faults(faults))
+    fetch = _fetch_table(context, config)
+    memory = np.tile(
+        np.asarray(context.base_memory, dtype=np.uint64), (lanes, 1)
+    )
+    lane_index = np.arange(lanes)
+
+    def provide() -> None:
+        sim.set_input("instr", fetch[sim.read_output_array("pc")])
+        sim.set_input(
+            "rdata_a", memory[lane_index, sim.read_output_array("addr_a")]
+        )
+        sim.set_input(
+            "rdata_b", memory[lane_index, sim.read_output_array("addr_b")]
+        )
+
+    sim.reset()
+    for _ in range(cycles):
+        sim.settle()
+        provide()
+        sim.settle()
+        provide()
+        sim.settle()
+        we = sim.read_output_array("we").astype(bool)
+        waddr = sim.read_output_array("waddr")
+        wdata = sim.read_output_array("wdata")
+        sim.tick()
+        memory[lane_index[we], waddr[we]] = wdata[we]
+
+    sim.settle()
+    pcs = sim.read_output("pc")
+    flag_values = [
+        sim.read_nets(context.flag_nets.get(flag.name, ()))
+        for flag in config.flags
+    ]
+    bar_values = [
+        sim.read_nets(context.bar_nets.get(index, ()))
+        for index in range(1, config.num_bars)
+    ]
+    memory_rows = memory.tolist()
+    return [
+        (
+            tuple(memory_rows[lane]),
+            pcs[lane],
+            tuple(values[lane] for values in flag_values),
+            tuple(values[lane] for values in bar_values),
+        )
+        for lane in range(lanes)
+    ]
+
+
 def _judge_one(
     program: Program,
     config: CoreConfig,
@@ -230,16 +354,19 @@ def _judge_batch(
     cycles: int,
     scalar_backend: str,
     faults: list[StuckAtFault],
+    runner=_run_batched,
 ) -> list[tuple]:
-    """Bit-parallel verdicts for one batch (``parallel_map`` target).
+    """Lane-parallel verdicts for one batch (``parallel_map`` target).
 
-    Falls back to one-at-a-time scalar simulation when the batched run
-    itself raises, so a wedging fault is attributed to the lane that
-    caused it -- exactly the serial campaign's recovery path.
+    ``runner`` is the lane backend (:func:`_run_batched` for bigint,
+    :func:`_run_batched_numpy` for bit-slice).  Falls back to
+    one-at-a-time scalar simulation when the batched run itself raises,
+    so a wedging fault is attributed to the lane that caused it --
+    exactly the serial campaign's recovery path.
     """
     context = _campaign_context(program, config)
     try:
-        outcomes = _run_batched(program, config, cycles, faults, context)
+        outcomes = runner(program, config, cycles, faults, context)
     except Exception:
         return [
             _judge_one(program, config, cycles, scalar_backend, fault)
@@ -254,7 +381,7 @@ def run_fault_campaign(
     stride: int = 8,
     max_faults: int | None = None,
     backend: str = "batched",
-    lanes: int = DEFAULT_LANES,
+    lanes: int | None = None,
     jobs: int | None = None,
 ) -> FaultCampaign:
     """Inject sampled stuck-at faults and count detections.
@@ -265,9 +392,13 @@ def run_fault_campaign(
         stride: Sample every ``stride``-th instance (full enumeration
             is quadratic in runtime; sampling estimates coverage).
         max_faults: Optional cap on injected faults.
-        backend: ``"batched"`` (default; bit-parallel compiled),
-            ``"compiled"`` (one fault at a time), or ``"interpreted"``.
-        lanes: Faults per bit-parallel pass in batched mode.
+        backend: ``"batched"`` (default; bigint bit-parallel),
+            ``"numpy"`` (vectorized bit-slice, fastest for large
+            campaigns), ``"compiled"`` (one fault at a time), or
+            ``"interpreted"``.
+        lanes: Faults per lane-parallel pass; defaults to
+            :data:`DEFAULT_LANES` (batched) or
+            :data:`DEFAULT_NUMPY_LANES` (numpy).
         jobs: Worker processes for the fault fan-out (``None`` defers
             to ``--jobs`` / ``REPRO_JOBS`` / serial).  Results are
             bit-exact against ``jobs=1``.
@@ -300,13 +431,27 @@ def run_fault_campaign(
             sites = sites[:max_faults]
 
         label = f"fault_campaign[{program.name}]"
-        if backend == "batched":
+        warm = partial(_campaign_context, program, config)
+        if backend in ("batched", "numpy"):
+            runner = _run_batched if backend == "batched" else _run_batched_numpy
+            if lanes is None:
+                lanes = (
+                    DEFAULT_LANES if backend == "batched" else DEFAULT_NUMPY_LANES
+                )
             verdicts = map_in_chunks(
-                partial(_judge_batch, program, config, cycles, scalar_backend),
+                partial(
+                    _judge_batch,
+                    program,
+                    config,
+                    cycles,
+                    scalar_backend,
+                    runner=runner,
+                ),
                 sites,
                 chunk_size=lanes,
                 jobs=jobs,
                 label=label,
+                warm=warm,
             )
         else:
             verdicts = parallel_map(
@@ -314,6 +459,7 @@ def run_fault_campaign(
                 sites,
                 jobs=jobs,
                 label=label,
+                warm=warm,
             )
 
         detected = 0
@@ -329,6 +475,7 @@ def run_fault_campaign(
         _FAULTS_DETECTED.inc(detected)
         if elapsed > 0:
             _FAULT_RATE.observe(len(sites) / elapsed)
+            _fault_rate(backend).observe(len(sites) / elapsed)
         sp.note(faults=len(sites), detected=detected)
         return FaultCampaign(
             total=len(sites), detected=detected, undetected_sites=tuple(undetected)

@@ -41,6 +41,28 @@ class SimulationError(ReproError):
     """Gate-level or instruction-level simulation failed."""
 
 
+class UnsupportedInLaneMode(SimulationError):
+    """A scalar-only feature was requested from a lane-packed run.
+
+    Bit-parallel and numpy bit-slice simulators advance many
+    independent runs per pass and do not maintain per-instance toggle
+    counters (each lane would need a popcount per instance per cycle).
+    Callers that need toggle/power data must use a scalar backend;
+    asking a lane simulator raises this instead of silently returning
+    stale zeros.
+    """
+
+    def __init__(self, feature: str, simulator: str) -> None:
+        super().__init__(
+            f"{feature} is not available in lane mode ({simulator} packs "
+            "many independent runs per pass and keeps no per-instance "
+            "toggle state); use CycleSimulator with backend='interpreted' "
+            "or 'compiled' when toggle/power data is needed"
+        )
+        self.feature = feature
+        self.simulator = simulator
+
+
 class IsaError(ReproError):
     """An instruction could not be encoded, decoded, or validated."""
 

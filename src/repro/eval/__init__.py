@@ -1,7 +1,13 @@
 """System-level evaluation: core + ROM + RAM composition and the
 regeneration of every table and figure in the paper."""
 
-from repro.eval.suite import SuiteResult, evaluate_suite
+from repro.eval.suite import SuiteResult, evaluate_suite, verify_suite
 from repro.eval.system import SystemMetrics, evaluate_system
 
-__all__ = ["SuiteResult", "SystemMetrics", "evaluate_suite", "evaluate_system"]
+__all__ = [
+    "SuiteResult",
+    "SystemMetrics",
+    "evaluate_suite",
+    "evaluate_system",
+    "verify_suite",
+]

@@ -7,6 +7,14 @@ grid behind Figure 8's subplots and Table 8's columns.  Each grid cell
 work, so :func:`evaluate_suite` fans cells out across worker processes
 via :func:`repro.exec.parallel_map`; results come back in grid order
 and are bit-exact against the serial run.
+
+:func:`verify_suite` additionally gate-level-verifies every
+native-width benchmark against the instruction-set simulator before
+(or independently of) an evaluation run, packing all programs that
+share a core configuration into the lanes of *one* lane-parallel
+simulation (:func:`repro.verify.differential.lane_verify`) -- the
+numpy bit-slice backend makes this a few kernel streams for the whole
+suite.
 """
 
 from __future__ import annotations
@@ -14,14 +22,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
+from repro.coregen.config import CoreConfig
+from repro.errors import SimulationError
 from repro.eval.figures import fig8_benchmark
 from repro.eval.system import SystemMetrics
 from repro.exec import parallel_map
+from repro.netlist.compile import BitParallelSimulator
+from repro.netlist.nsim import NumpySimulator
 from repro.pdk import canonical_technology
-from repro.programs.suite import BENCHMARKS
+from repro.programs.suite import BENCHMARKS, build_benchmark
 
 #: Technologies evaluated by default (both printed processes).
 DEFAULT_TECHNOLOGIES = ("EGFET", "CNT")
+
+#: Lane-parallel simulators selectable for suite verification.
+LANE_BACKENDS = {"batched": BitParallelSimulator, "numpy": NumpySimulator}
 
 
 @dataclass(frozen=True)
@@ -63,9 +78,73 @@ def _suite_cell(cell: tuple[str, int, str]) -> SuiteResult:
     )
 
 
+def verify_groups() -> list[tuple[CoreConfig, list[str], list]]:
+    """Native-width benchmarks grouped by core configuration.
+
+    Every benchmark version that runs at its native width (core width
+    == kernel width) lands in the group of the single-stage core that
+    executes it; one group therefore becomes one lane-packed
+    simulation in :func:`verify_suite`.
+    """
+    by_width: dict[int, tuple[list[str], list]] = {}
+    for name, spec in BENCHMARKS.items():
+        for width in spec.kernel_widths:
+            if not spec.supports(width, width):
+                continue
+            names, programs = by_width.setdefault(width, ([], []))
+            names.append(f"{name}{width}")
+            programs.append(build_benchmark(name, width, width))
+    return [
+        (CoreConfig(datawidth=width, num_bars=2), names, programs)
+        for width, (names, programs) in sorted(by_width.items())
+    ]
+
+
+def verify_suite(backend: str = "numpy") -> dict[str, int]:
+    """Gate-level-verify every native benchmark against the ISS.
+
+    All programs sharing a core configuration are packed into the
+    lanes of *one* lane-parallel simulation, so the whole suite costs
+    one gate-level pass per core width.  ``backend`` selects the lane
+    simulator (``"numpy"`` or ``"batched"``).
+
+    Returns:
+        ``{config_name: programs_verified}`` for each core swept.
+
+    Raises:
+        SimulationError: If any lane disagrees with the ISS, listing
+            every mismatching benchmark and its divergence details.
+    """
+    from repro.verify.differential import lane_verify
+
+    simulator = LANE_BACKENDS.get(backend)
+    if simulator is None:
+        choices = ", ".join(sorted(LANE_BACKENDS))
+        raise SimulationError(
+            f"unknown lane backend {backend!r} (choose from {choices})"
+        )
+    verified: dict[str, int] = {}
+    failures: list[str] = []
+    with obs.span("verify_suite", backend=backend):
+        for config, names, programs in verify_groups():
+            reports = lane_verify(programs, config, simulator=simulator)
+            for name, details in zip(names, reports):
+                if details:
+                    shown = "; ".join(details[:4])
+                    failures.append(f"{name} @ {config.name}: {shown}")
+            verified[config.name] = len(programs)
+    if failures:
+        raise SimulationError(
+            f"suite verification failed on {backend} backend: "
+            + " | ".join(failures)
+        )
+    return verified
+
+
 def evaluate_suite(
     technologies: tuple[str, ...] = DEFAULT_TECHNOLOGIES,
     jobs: int | None = None,
+    verify_backend: str | None = None,
 ) -> list[SuiteResult]:
     """Evaluate the full Figure 8 / Table 8 grid.
 
@@ -74,7 +153,13 @@ def evaluate_suite(
         jobs: Worker processes (``None`` defers to ``--jobs`` /
             ``REPRO_JOBS`` / serial).  Output order and values are
             identical for any job count.
+        verify_backend: When set (``"numpy"`` or ``"batched"``),
+            gate-level-verify every native benchmark via
+            :func:`verify_suite` before evaluating; a divergence
+            aborts the run.
     """
+    if verify_backend is not None:
+        verify_suite(verify_backend)
     cells = suite_grid(technologies)
     with obs.span("evaluate_suite", cells=len(cells)):
         return parallel_map(_suite_cell, cells, jobs=jobs, label="evaluate_suite")

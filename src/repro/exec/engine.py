@@ -10,8 +10,13 @@ one primitive, :func:`parallel_map`, that every fan-out layer shares:
   the ``fork`` start method where available (workers inherit warm
   in-memory memos for free), ``spawn`` otherwise;
 * **chunked scheduling** -- items are grouped into chunks sized for
-  ~4 waves per worker, amortizing task pickling without starving the
-  pool on skewed item costs;
+  ~2 waves per worker, amortizing task pickling and per-chunk obs
+  shipping without starving the pool on skewed item costs;
+* **warm workers** -- callers may pass a ``warm=`` initializer that
+  runs once per worker before its first chunk (e.g. pre-building a
+  campaign context and loading compiled kernels from the persistent
+  artifact cache), so per-worker setup cost is paid off the
+  critical path of the first dispatched chunk;
 * **deterministic reassembly** -- results come back in *submission*
   order regardless of completion order, so a parallel run is
   bit-exact against the serial run by construction;
@@ -47,8 +52,10 @@ _TASKS = _obs_counter("exec.tasks_executed")
 _CHUNKS = _obs_counter("exec.chunks_dispatched")
 _JOBS_GAUGE = _obs_gauge("exec.jobs")
 
-#: Target dispatch waves per worker when auto-sizing chunks.
-_WAVES_PER_WORKER = 4
+#: Target dispatch waves per worker when auto-sizing chunks.  Two
+#: waves balance pickling/obs-shipping overhead (fewer, larger chunks)
+#: against tail latency on skewed item costs (more, smaller chunks).
+_WAVES_PER_WORKER = 2
 
 # Session-wide default set by the CLI's --jobs flag (None = unset).
 _DEFAULT_JOBS: int | None = None
@@ -100,13 +107,26 @@ def _mp_context():
     )
 
 
-def _worker_init(obs_enabled: bool) -> None:
-    """Pool initializer: mark worker context, start obs from a clean slate."""
+def _worker_init(obs_enabled: bool, warm: Callable | None = None) -> None:
+    """Pool initializer: mark worker context, start obs from a clean slate.
+
+    ``warm`` (when given) runs after the obs reset so any setup work it
+    does -- elaborating a netlist, pulling compiled kernels from the
+    persistent artifact cache -- is accounted to the worker, not to the
+    first chunk's results.  Warm-up failures are deliberately
+    swallowed: the real chunk will hit the same error in a context
+    that can report it per-item.
+    """
     global _IN_WORKER
     _IN_WORKER = True
     STATE.enabled = obs_enabled
     TRACER.clear()
     REGISTRY.reset()
+    if warm is not None:
+        try:
+            warm()
+        except Exception:
+            pass
 
 
 def _run_chunk(fn: Callable, chunk: list) -> tuple:
@@ -150,6 +170,7 @@ def parallel_map(
     jobs: int | None = None,
     chunk_size: int | None = None,
     label: str = "parallel_map",
+    warm: Callable | None = None,
 ) -> list:
     """Apply ``fn`` to every item, fanning out across worker processes.
 
@@ -168,8 +189,13 @@ def parallel_map(
         jobs: Worker processes; ``None`` defers to
             :func:`resolve_jobs`.
         chunk_size: Items per dispatched task; ``None`` auto-sizes to
-            ~4 waves per worker.
+            ~2 waves per worker.
         label: Span/progress name for observability.
+        warm: Optional zero-argument callable run once per worker at
+            startup (must be picklable under ``spawn``; a
+            module-level :func:`functools.partial` works everywhere).
+            Ignored for serial runs -- inline execution shares the
+            caller's already-warm memos.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
@@ -196,7 +222,7 @@ def parallel_map(
             max_workers=workers,
             mp_context=_mp_context(),
             initializer=_worker_init,
-            initargs=(STATE.enabled,),
+            initargs=(STATE.enabled, warm),
         ) as pool:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
             # Submission order, not completion order: determinism.

@@ -57,9 +57,10 @@ import marshal
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UnsupportedInLaneMode
 from repro.exec.cache import load_artifact, source_digest, store_artifact, structural_hash
 from repro.netlist.core import CONST1, Instance, Netlist, SEQUENTIAL_CELLS
+from repro.netlist.lanes import LanePlan
 from repro.netlist.sta import _topological_order
 from repro.obs.metrics import counter as _obs_counter
 from repro.obs.runtime import STATE as _OBS
@@ -337,20 +338,33 @@ class BitParallelSimulator:
         faults: Optional per-lane stuck-at faults -- a sequence of
             ``lanes`` entries, each a
             :class:`~repro.netlist.faults.StuckAtFault` or ``None``
-            for a healthy lane.
+            for a healthy lane.  Ignored when ``plan`` is given.
+        plan: Full :class:`~repro.netlist.lanes.LanePlan` (lanes +
+            faults + memories); the same plan drives the numpy
+            bit-slice backend, keeping the two bit-exact by
+            construction.
     """
 
     def __init__(
         self,
         netlist: Netlist,
-        lanes: int,
+        lanes: int | None = None,
         faults: Sequence | None = None,
+        plan: LanePlan | None = None,
     ) -> None:
-        if lanes < 1:
-            raise SimulationError(f"need at least one lane, got {lanes}")
+        if plan is None:
+            if faults is not None:
+                plan = LanePlan.for_faults(faults)
+                if lanes is not None and lanes != plan.lanes:
+                    raise SimulationError(
+                        f"{len(plan.faults)} faults for {lanes} lanes"
+                    )
+            else:
+                plan = LanePlan(lanes if lanes is not None else 1)
         self.netlist = netlist
-        self.lanes = lanes
-        self.mask = (1 << lanes) - 1
+        self.plan = plan
+        self.lanes = plan.lanes
+        self.mask = (1 << plan.lanes) - 1
         self._compiled = compiled_netlist(netlist)
         self._values = [0] * netlist.net_count
         self._values[CONST1] = self.mask
@@ -359,23 +373,15 @@ class BitParallelSimulator:
         self._fault_nets: list[int] = []
         self._force_and: list[int] | None = None
         self._force_or: list[int] | None = None
-        if faults is not None and any(f is not None for f in faults):
-            if len(faults) != lanes:
-                raise SimulationError(
-                    f"{len(faults)} faults for {lanes} lanes"
-                )
+        forced = plan.forced_bits(netlist)
+        if forced:
             force_and = [self.mask] * netlist.net_count
             force_or = [0] * netlist.net_count
-            for lane, fault in enumerate(faults):
-                if fault is None:
-                    continue
-                if not 0 <= fault.instance_index < len(netlist.instances):
-                    raise SimulationError(f"no instance {fault.instance_index}")
-                net = netlist.instances[fault.instance_index].output
-                force_and[net] &= ~(1 << lane)
-                force_or[net] |= fault.stuck_value << lane
-                if net not in self._fault_nets:
-                    self._fault_nets.append(net)
+            for net, sites in forced.items():
+                for lane, stuck_value in sites:
+                    force_and[net] &= ~(1 << lane)
+                    force_or[net] |= stuck_value << lane
+                self._fault_nets.append(net)
             self._force_and = force_and
             self._force_or = force_or
 
@@ -453,3 +459,9 @@ class BitParallelSimulator:
         self.tick()
         self.set_input("rst_n", 1)
         self.settle()
+
+    # -- instrumentation ---------------------------------------------------
+
+    def toggle_counts(self):
+        """Lane runs keep no toggle state -- raise instead of lying."""
+        raise UnsupportedInLaneMode("toggle_counts", "BitParallelSimulator")

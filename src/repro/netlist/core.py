@@ -118,6 +118,7 @@ class Netlist:
         """
         state = dict(self.__dict__)
         state.pop("_compiled_sim", None)
+        state.pop("_numpy_sim", None)
         return state
 
     # -- net management ----------------------------------------------------

@@ -1,0 +1,105 @@
+"""Cross-run lane packing: one netlist, many independent runs.
+
+Both lane-parallel simulation backends -- the bigint
+:class:`~repro.netlist.compile.BitParallelSimulator` and the numpy
+bit-slice :class:`~repro.netlist.nsim.NumpySimulator` -- advance K
+*independent runs* of one netlist per pass.  The runs may differ only
+in three ways: forced nets (per-lane stuck-at faults), initial data
+memory, and per-cycle stimulus.  :class:`LanePlan` is the shared
+description of such a batch: the simulators consume its forced-net
+map, the campaign/verify harnesses consume its per-lane memory images,
+and stimulus stays with the harness (it is a per-cycle stream, driven
+through ``set_input`` with one value per lane).
+
+Keeping the plan backend-agnostic is what lets
+:func:`repro.coregen.fault_test.run_fault_campaign` and the verify
+differential executor switch between bigint lanes and numpy bit-slice
+words without touching batching logic -- and what keeps the two
+backends bit-exact by construction: they build their force masks from
+the *same* ``forced_bits`` map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LanePlan:
+    """K independent runs that share one netlist.
+
+    Attributes:
+        lanes: Number of packed runs (bigint width / bit-slice lanes).
+        faults: Optional per-lane stuck-at faults -- a ``lanes``-tuple
+            of :class:`~repro.netlist.faults.StuckAtFault` or ``None``
+            for a healthy lane.  ``None`` (or all-``None``) means no
+            forcing at all.
+        memories: Optional per-lane initial data-memory images (a
+            ``lanes``-tuple of word tuples).  Consumed by harnesses,
+            not by the simulators themselves.
+    """
+
+    lanes: int
+    faults: tuple | None = None
+    memories: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise SimulationError(f"need at least one lane, got {self.lanes}")
+        if self.faults is not None and len(self.faults) != self.lanes:
+            raise SimulationError(
+                f"{len(self.faults)} faults for {self.lanes} lanes"
+            )
+        if self.memories is not None and len(self.memories) != self.lanes:
+            raise SimulationError(
+                f"{len(self.memories)} memory images for {self.lanes} lanes"
+            )
+
+    @classmethod
+    def for_faults(cls, faults: Sequence) -> "LanePlan":
+        """One lane per entry of ``faults`` (``None`` = healthy lane)."""
+        faults = tuple(faults)
+        return cls(lanes=len(faults), faults=faults)
+
+    @property
+    def has_forces(self) -> bool:
+        """Whether any lane forces any net."""
+        return self.faults is not None and any(
+            fault is not None for fault in self.faults
+        )
+
+    def forced_bits(self, netlist) -> dict[int, list[tuple[int, int]]]:
+        """Forced-net map: ``net -> [(lane, stuck_value), ...]``.
+
+        Nets appear in order of first lane appearance (both backends
+        derive their fault-net ordering from this), and fault sites are
+        validated against ``netlist``.  Empty when the plan has no
+        forces.
+        """
+        forced: dict[int, list[tuple[int, int]]] = {}
+        if not self.has_forces:
+            return forced
+        for lane, fault in enumerate(self.faults):
+            if fault is None:
+                continue
+            if not 0 <= fault.instance_index < len(netlist.instances):
+                raise SimulationError(f"no instance {fault.instance_index}")
+            net = netlist.instances[fault.instance_index].output
+            forced.setdefault(net, []).append((lane, fault.stuck_value))
+        return forced
+
+    def memory_images(self, base: Sequence[int]) -> list[list[int]]:
+        """Per-lane initial data memories, one mutable list per lane.
+
+        Lanes with no explicit image in :attr:`memories` get a copy of
+        ``base`` -- the common case for fault campaigns, where every
+        lane starts from the program's data segment.
+        """
+        if self.memories is None:
+            return [list(base) for _ in range(self.lanes)]
+        return [
+            list(base if image is None else image) for image in self.memories
+        ]

@@ -28,6 +28,7 @@ from repro.verify.differential import (
     bitparallel_verify,
     differential_check,
     fault_site_for_output,
+    lane_verify,
     ps_isa_variant,
     remap_bars,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "differential_check",
     "emit_pytest_case",
     "fault_site_for_output",
+    "lane_verify",
     "lint_core",
     "lint_netlist",
     "ps_isa_variant",

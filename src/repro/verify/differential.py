@@ -10,6 +10,9 @@ configuration grid:
 * the compiled gate-level simulator (``backend="compiled"``);
 * :class:`~repro.netlist.compile.BitParallelSimulator` lanes (many
   programs through one netlist at once);
+* :class:`~repro.netlist.nsim.NumpySimulator` lanes (the vectorized
+  uint64 bit-slice backend, same lane packing, different kernel
+  machinery);
 * the **program-specific** shrunken core (Section 7): the same program
   re-verified on a core whose PC, BARs, flags, and operand fields were
   narrowed to exactly what it uses.
@@ -34,12 +37,13 @@ from repro.isa.analysis import analyze_program
 from repro.isa.program import Program
 from repro.isa.spec import Instruction, MemOperand, Mnemonic
 from repro.netlist.compile import BitParallelSimulator
+from repro.netlist.nsim import NumpySimulator
 from repro.obs.metrics import counter as _obs_counter
 from repro.obs.trace import span as _obs_span
 from repro.sim.machine import Machine
 
 #: Executors the differential stack runs, in order.
-DEFAULT_EXECUTORS = ("interpreted", "compiled", "bitparallel", "ps-isa")
+DEFAULT_EXECUTORS = ("interpreted", "compiled", "bitparallel", "numpy", "ps-isa")
 
 #: Cycle safety valve for fuzz-sized programs.
 DEFAULT_MAX_CYCLES = 100_000
@@ -193,17 +197,22 @@ def fault_site_for_output(netlist, bus: str, bit: int = 0, stuck: int = 1):
     return StuckAtFault(netlist.instances.index(driver), stuck)
 
 
-def bitparallel_verify(
+def lane_verify(
     programs: list[Program],
     config: CoreConfig,
     fault=None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    simulator=BitParallelSimulator,
 ) -> list[list[str]]:
-    """Run a batch of programs as bit-parallel lanes; diff each lane.
+    """Run a batch of programs as packed lanes; diff each lane.
 
-    One :class:`BitParallelSimulator` pass carries every program as a
+    One lane-parallel simulator pass carries every program as a
     separate lane of the same netlist, so a batch of N costs roughly
-    one gate-level simulation.  Returns one mismatch-string list per
+    one gate-level simulation.  ``simulator`` selects the lane backend
+    -- :class:`BitParallelSimulator` (bigint) or
+    :class:`NumpySimulator` (vectorized bit-slice); both share the
+    :class:`~repro.netlist.lanes.LanePlan` packing semantics, so this
+    harness is backend-agnostic.  Returns one mismatch-string list per
     program (empty = that lane agrees with the ISS).
 
     Single-stage cores step exactly as many cycles as the longest lane
@@ -216,7 +225,7 @@ def bitparallel_verify(
     lanes = len(programs)
     netlist = generate_core(config)
     faults = [fault] * lanes if fault is not None else None
-    sim = BitParallelSimulator(netlist, lanes, faults=faults)
+    sim = simulator(netlist, lanes, faults=faults)
     flag_nets, bar_nets = architectural_nets(netlist)
 
     mask = (1 << config.datawidth) - 1
@@ -311,6 +320,19 @@ def bitparallel_verify(
     return reports
 
 
+def bitparallel_verify(
+    programs: list[Program],
+    config: CoreConfig,
+    fault=None,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> list[list[str]]:
+    """:func:`lane_verify` on the bigint backend (back-compat name)."""
+    return lane_verify(
+        programs, config, fault=fault, max_cycles=max_cycles,
+        simulator=BitParallelSimulator,
+    )
+
+
 def differential_check(
     program: Program,
     config: CoreConfig,
@@ -351,15 +373,21 @@ def differential_check(
                 mismatches = [f"executor crashed: {error}"]
             record(backend, config.name, mismatches)
 
-        if "bitparallel" in executors:
+        for executor, simulator in (
+            ("bitparallel", BitParallelSimulator),
+            ("numpy", NumpySimulator),
+        ):
+            if executor not in executors:
+                continue
             try:
-                lanes = bitparallel_verify(
-                    [program], config, fault=fault, max_cycles=max_cycles
+                lanes = lane_verify(
+                    [program], config, fault=fault, max_cycles=max_cycles,
+                    simulator=simulator,
                 )
                 mismatches = lanes[0]
             except Exception as error:
                 mismatches = [f"executor crashed: {error}"]
-            record("bitparallel", config.name, mismatches)
+            record(executor, config.name, mismatches)
 
         if "ps-isa" in executors:
             try:

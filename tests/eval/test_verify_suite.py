@@ -1,0 +1,51 @@
+"""Lane-packed suite verification (:func:`repro.eval.suite.verify_suite`)."""
+
+import pytest
+
+import repro.eval.suite as suite_mod
+from repro.errors import SimulationError
+from repro.eval.suite import evaluate_suite, verify_groups, verify_suite
+
+
+def test_verify_groups_cover_native_widths():
+    groups = verify_groups()
+    widths = [config.datawidth for config, _, _ in groups]
+    assert widths == [8, 16, 32]
+    by_width = {
+        config.datawidth: names for config, names, _ in groups
+    }
+    # crc8 exists only at 8 bits; everything else at 8/16/32.
+    assert "crc88" in by_width[8]
+    assert len(by_width[8]) == 7
+    assert len(by_width[16]) == len(by_width[32]) == 6
+    for config, names, programs in groups:
+        assert len(names) == len(programs)
+        assert config.pipeline_stages == 1
+
+
+def test_verify_suite_rejects_unknown_backend():
+    with pytest.raises(SimulationError, match="unknown lane backend"):
+        verify_suite("jit")
+
+
+def test_verify_suite_batched_full():
+    verified = verify_suite("batched")
+    assert verified == {"p1_8_2": 7, "p1_16_2": 6, "p1_32_2": 6}
+
+
+def test_verify_suite_numpy_first_group(monkeypatch):
+    """The numpy leg on the 8-bit group (the full sweep runs in CI)."""
+    groups = verify_groups()[:1]
+    monkeypatch.setattr(suite_mod, "verify_groups", lambda: groups)
+    assert verify_suite("numpy") == {"p1_8_2": 7}
+
+
+def test_evaluate_suite_with_verification(monkeypatch):
+    """``verify_backend=`` gates evaluation on a clean verify pass."""
+    calls = []
+    monkeypatch.setattr(
+        suite_mod, "verify_suite", lambda backend: calls.append(backend) or {}
+    )
+    results = evaluate_suite(("EGFET",), verify_backend="numpy")
+    assert calls == ["numpy"]
+    assert results

@@ -30,6 +30,23 @@ def _traced_square(value):
     return value * value
 
 
+# Probe state for the warm-worker initializer tests: ``_mark_warm``
+# flips the flag inside a worker process; items read it back.
+_WARM_FLAG = {"warmed": False}
+
+
+def _mark_warm():
+    _WARM_FLAG["warmed"] = True
+
+
+def _warm_boom():
+    raise RuntimeError("warm-up failed")
+
+
+def _read_warm(value):
+    return (value, _WARM_FLAG["warmed"])
+
+
 class TestResolveJobs:
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
@@ -96,6 +113,25 @@ class TestParallelMap:
         assert parallel_map(_square, [], jobs=4) == []
         assert parallel_map(_square, [7], jobs=4) == [49]
 
+    def test_warm_runs_in_every_worker_before_items(self):
+        results = parallel_map(_read_warm, list(range(6)), jobs=2, warm=_mark_warm)
+        assert [value for value, _ in results] == list(range(6))
+        assert all(warmed for _, warmed in results)
+        # The parent process is never warmed -- only pool workers.
+        assert _WARM_FLAG["warmed"] is False
+
+    def test_warm_ignored_for_serial_runs(self):
+        assert parallel_map(_read_warm, [7], jobs=1, warm=_mark_warm) == [
+            (7, False)
+        ]
+        assert _WARM_FLAG["warmed"] is False
+
+    def test_warm_failure_is_swallowed(self):
+        items = list(range(4))
+        assert parallel_map(_square, items, jobs=2, warm=_warm_boom) == [
+            _square(value) for value in items
+        ]
+
     def test_worker_obs_ships_to_parent(self, obs_enabled):
         with obs.span("campaign"):
             results = parallel_map(_traced_square, list(range(8)), jobs=2)
@@ -130,6 +166,16 @@ class TestPipelineDeterminism:
         program = build_benchmark("mult", 8, 4)
         serial = run_fault_campaign(program, max_faults=96)
         parallel = run_fault_campaign(program, max_faults=96, jobs=2)
+        assert serial == parallel
+
+    def test_fault_campaign_numpy_parallel(self, cache_dir):
+        program = build_benchmark("mult", 8, 4)
+        serial = run_fault_campaign(
+            program, max_faults=96, backend="numpy", lanes=48
+        )
+        parallel = run_fault_campaign(
+            program, max_faults=96, backend="numpy", lanes=48, jobs=2
+        )
         assert serial == parallel
 
     def test_fault_campaign_scalar_fallback(self, cache_dir, monkeypatch):

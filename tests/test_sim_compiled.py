@@ -1,11 +1,11 @@
 """Equivalence suite: compiled simulation backends vs the interpreter.
 
-The compiled backend (and its bit-parallel lane mode) must be
-bit-exact with the reference interpreter -- same output values, same
-flop state, same toggle counts, same fixed-point behaviour -- on every
-configuration of the paper's Figure 7 sweep, under randomized
-stimulus.  Fault injection and fault campaigns must agree across all
-three backends as well.
+The compiled backend, its bit-parallel lane mode, and the vectorized
+numpy bit-slice backend must be bit-exact with the reference
+interpreter -- same output values, same flop state, same fixed-point
+behaviour -- on every configuration of the paper's Figure 7 sweep,
+under randomized stimulus.  Fault injection and fault campaigns must
+agree across all four backends as well, fault for fault.
 """
 
 import random
@@ -16,11 +16,12 @@ from repro.coregen.config import CoreConfig, standard_sweep
 from repro.coregen.cosim import cosim_verify
 from repro.coregen.fault_test import run_fault_campaign
 from repro.coregen.generator import generate_core
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UnsupportedInLaneMode
 from repro.isa.assembler import assemble
 from repro.netlist.compile import BitParallelSimulator, compiled_netlist
 from repro.netlist.core import Netlist
 from repro.netlist.faults import FaultySimulator, StuckAtFault, enumerate_fault_sites
+from repro.netlist.nsim import NumpySimulator
 from repro.netlist.sim import CycleSimulator
 
 
@@ -99,6 +100,70 @@ def test_bit_parallel_matches_scalar_lanes(config):
             sim.tick()
 
 
+@pytest.mark.parametrize("config", standard_sweep(), ids=lambda c: c.name)
+def test_numpy_matches_interpreter_on_sweep(config):
+    """Outputs, cycle counts, and architectural flop state agree on
+    all 24 cores, with every lane of the bit-slice matrix carrying the
+    same stimulus as the scalar reference."""
+    netlist = generate_core(config)
+    reference = CycleSimulator(netlist, backend="interpreted")
+    lanes = 3
+    vector = NumpySimulator(netlist, lanes)
+    rng = random.Random(config.name)
+    for cycle in range(20):
+        stimulus = random_stimulus(netlist, rng, cycle)
+        for name, value in stimulus.items():
+            reference.set_input(name, value)
+            vector.set_input(name, value)  # int broadcasts to all lanes
+        reference.settle()
+        vector.settle()
+        for name in netlist.outputs:
+            expected = reference.read_output(name)
+            assert vector.read_output(name) == [expected] * lanes, (
+                f"cycle {cycle}, output {name}"
+            )
+        reference.tick()
+        vector.tick()
+    assert vector.cycles == reference.cycles
+    # Architectural state: every flop output net agrees in every lane
+    # (>64 flops on the wide cores exercises chunked read_nets).
+    flop_nets = [
+        inst.output for inst in netlist.instances if inst.cell.startswith("DFF")
+    ]
+    expected = 0
+    for i, net in enumerate(flop_nets):
+        expected |= (reference._values[net] & 1) << i
+    assert vector.read_nets(flop_nets) == [expected] * lanes
+
+
+def test_numpy_lanes_match_bigint_lanes_across_word_boundary():
+    """70 lanes (two uint64 words, partial second word) are bit-exact
+    with the bigint lane backend under per-lane stimulus and reset."""
+    netlist = generate_core(CoreConfig(datawidth=8))
+    lanes = 70
+    vector = NumpySimulator(netlist, lanes)
+    parallel = BitParallelSimulator(netlist, lanes)
+    rng = random.Random(5)
+    for cycle in range(15):
+        for name, bus in netlist.inputs.items():
+            if name == "rst_n":
+                values = [
+                    0 if (cycle + lane) % 7 == 0 else 1 for lane in range(lanes)
+                ]
+            else:
+                values = [rng.randrange(1 << len(bus)) for _ in range(lanes)]
+            vector.set_input(name, values)
+            parallel.set_input(name, values)
+        vector.settle()
+        parallel.settle()
+        for name in netlist.outputs:
+            assert vector.read_output(name) == parallel.read_output(name), (
+                f"cycle {cycle}, output {name}"
+            )
+        vector.tick()
+        parallel.tick()
+
+
 def test_faulty_compiled_matches_interpreter():
     """Forced-settle fault injection is bit-exact, toggles included."""
     netlist = generate_core(CoreConfig(datawidth=8))
@@ -138,6 +203,51 @@ def test_bit_parallel_fault_lanes_match_scalar_faults():
         parallel.tick()
         for sim in scalars:
             sim.tick()
+
+
+def test_numpy_fault_lanes_match_scalar_faults():
+    """A numpy lane with a stuck-at fault equals the scalar
+    FaultySimulator, fault for fault."""
+    netlist = generate_core(CoreConfig(datawidth=8))
+    faults = enumerate_fault_sites(netlist, stride=211)
+    lanes = len(faults)
+    vector = NumpySimulator(netlist, lanes, faults=faults)
+    scalars = [
+        FaultySimulator(netlist, fault, backend="compiled") for fault in faults
+    ]
+    rng = random.Random(17)
+    for cycle in range(15):
+        stimulus = random_stimulus(netlist, rng, cycle)
+        for name, value in stimulus.items():
+            vector.set_input(name, value)
+            for sim in scalars:
+                sim.set_input(name, value)
+        vector.settle()
+        for sim in scalars:
+            sim.settle()
+        for name in netlist.outputs:
+            assert vector.read_output(name) == [
+                sim.read_output(name) for sim in scalars
+            ], f"cycle {cycle}, output {name}"
+        vector.tick()
+        for sim in scalars:
+            sim.tick()
+
+
+class TestLaneModeGuards:
+    @pytest.mark.parametrize(
+        "simulator", [BitParallelSimulator, NumpySimulator],
+        ids=lambda s: s.__name__,
+    )
+    def test_toggle_counts_raise_in_lane_mode(self, simulator):
+        """Lane backends must refuse toggle/power queries loudly
+        instead of silently returning nothing."""
+        netlist = generate_core(CoreConfig(datawidth=4))
+        sim = simulator(netlist, 4)
+        sim.reset()
+        sim.settle()
+        with pytest.raises(UnsupportedInLaneMode, match="lane mode"):
+            sim.toggle_counts()
 
 
 class TestFixedPointBehaviour:
@@ -189,7 +299,7 @@ class TestCampaignEquivalence:
         )
         campaigns = {
             backend: run_fault_campaign(program, stride=31, backend=backend)
-            for backend in ("interpreted", "compiled", "batched")
+            for backend in ("interpreted", "compiled", "batched", "numpy")
         }
         reference = campaigns["interpreted"]
         for backend, campaign in campaigns.items():
@@ -204,6 +314,20 @@ class TestCampaignEquivalence:
         campaign = run_fault_campaign(program, stride=40, backend="batched", lanes=7)
         assert campaign.total == campaign.detected + len(campaign.undetected_sites)
         assert campaign.total > 7
+
+    def test_numpy_packed_campaign_equals_scalar_runs(self):
+        """An N-fault packed numpy campaign detects exactly the same
+        faults as N independent scalar compiled runs -- the lane
+        packing property, checked fault for fault (lanes=5 forces
+        several partial batches)."""
+        program = assemble(
+            ".word x 3\n.word y 5\nADD x, y\nSTORE y, 1\nHALT\n", name="tiny"
+        )
+        scalar = run_fault_campaign(program, stride=13, backend="compiled")
+        packed = run_fault_campaign(program, stride=13, backend="numpy", lanes=5)
+        assert packed.total == scalar.total
+        assert packed.detected == scalar.detected
+        assert packed.undetected_sites == scalar.undetected_sites
 
 
 class TestCompiledCosim:
@@ -228,6 +352,26 @@ class TestCaching:
     def test_compiled_code_cached_on_netlist(self):
         netlist = generate_core(CoreConfig(datawidth=8))
         assert compiled_netlist(netlist) is compiled_netlist(netlist)
+
+    def test_numpy_code_cached_on_netlist(self):
+        from repro.netlist.nsim import numpy_netlist
+
+        netlist = generate_core(CoreConfig(datawidth=8))
+        assert numpy_netlist(netlist) is numpy_netlist(netlist)
+
+    def test_numpy_cache_dropped_on_pickle(self):
+        import pickle
+
+        from repro.netlist.nsim import numpy_netlist
+
+        netlist = generate_core(CoreConfig(datawidth=4))
+        numpy_netlist(netlist)
+        clone = pickle.loads(pickle.dumps(netlist))
+        assert not hasattr(clone, "_numpy_sim")
+        # And the clone recompiles to working kernels.
+        sim = NumpySimulator(clone, 2)
+        sim.reset()
+        sim.settle()
 
     def test_unknown_backend_rejected(self):
         netlist = generate_core(CoreConfig(datawidth=8))
