@@ -16,7 +16,13 @@ run-report superset (the run-report schema plus ``+bench``) that keeps
 the historical top-level keys (``cosim``, ``fault_campaign``,
 ``headline_speedup_p1_8_2``) alongside stage timings, the metrics
 snapshot, and environment/git metadata, so the speedup is tracked
-across PRs.
+across PRs.  Emission is deterministic (sorted keys, one fixed float
+encoding) and ``--compact`` elides the per-span detail so the
+checked-in file diffs by changed values, not layout; every emission
+also appends one compact record to the cross-run history ledger
+(``python -m repro history check`` then gates the headline ratios
+against their rolling median/MAD baseline -- see
+``docs/OBSERVABILITY.md``).
 
 It also measures the *instrumentation overhead budget*: the p1_8_2
 co-simulation is timed with the obs switch off and on, interleaved,
@@ -38,6 +44,7 @@ section (informational: probing is opt-in, so it has no budget).
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_sim_backends.py            # full
+    PYTHONPATH=src python benchmarks/bench_sim_backends.py --compact  # no spans
     PYTHONPATH=src python benchmarks/bench_sim_backends.py --smoke --check
 """
 
@@ -476,6 +483,7 @@ def main(argv: list[str]) -> int:
     """Run the benchmarks; write ``BENCH_sim.json`` unless ``--smoke``."""
     smoke = "--smoke" in argv
     check = "--check" in argv
+    compact = "--compact" in argv
     obs.enable()  # the bench itself reports through the telemetry layer
     start = time.perf_counter()
 
@@ -529,9 +537,15 @@ def main(argv: list[str]) -> int:
         )
 
     if smoke:
+        # The file stays untouched, but the measured ratios still feed
+        # the cross-run ledger so `history check` accumulates baseline
+        # even from smoke runs (no-op under REPRO_HISTORY=0).
+        from repro.obs import history
+
+        history.record_report(report)
         print("smoke mode: BENCH_sim.json left untouched")
     else:
-        obs.write_run_report(out, report)
+        obs.write_run_report(out, report, compact=compact)
         print(
             f"\nheadline cosim speedup ({HEADLINE.name}): "
             f"{report['headline_speedup_p1_8_2']}x -> {out}"

@@ -29,10 +29,19 @@ Usage::
                                        # waveforms + per-module /
                                        # per-instruction energy
                                        # (see docs/OBSERVABILITY.md)
+    python -m repro history check      # regression sentinel over the
+                                       # cross-run telemetry ledger
+    python -m repro history show       # recent ledger records
+    python -m repro dashboard --out dashboard.html
+                                       # self-contained HTML dashboard
+                                       # (inline-SVG trend sparklines)
 
 ``REPRO_TRACE=1`` in the environment is equivalent to ``--profile``;
-``REPRO_JOBS=N`` is equivalent to ``--jobs N``.  See
-``docs/OBSERVABILITY.md`` for the report schema and
+``REPRO_JOBS=N`` is equivalent to ``--jobs N``.  Every profiled run
+and bench emission also appends one compact record to the cross-run
+history ledger under ``$REPRO_HISTORY_DIR`` (default
+``~/.cache/repro/history``; opt out with ``REPRO_HISTORY=0``).  See
+``docs/OBSERVABILITY.md`` for the report/ledger schemas and
 ``docs/PARALLELISM.md`` for the execution/caching model.
 """
 
@@ -240,6 +249,14 @@ def main(argv: list[str]) -> int:
         from repro.apps.campaign import campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "history":
+        from repro.apps.history import history_main
+
+        return history_main(argv[1:])
+    if argv and argv[0] == "dashboard":
+        from repro.apps.history import dashboard_main
+
+        return dashboard_main(argv[1:])
 
     opts, requests, error = _split_flags(argv)
     if error:

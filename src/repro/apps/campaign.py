@@ -161,6 +161,24 @@ def campaign_main(argv: list[str]) -> int:
         f"({100.0 * result.coverage:.1f}% coverage) "
         f"in {elapsed:.2f}s ({rate:.0f} faults/s)"
     )
+    # One compact ledger record per campaign so faults/sec trends
+    # across runs (no-op under REPRO_HISTORY=0).
+    from repro.obs import history
+
+    history.append_record(
+        history.build_record(
+            "campaign",
+            ["campaign", program.name, design, backend],
+            {
+                "campaign.seconds": round(elapsed, 3),
+                "campaign.faults_per_s": round(rate, 1)
+                if elapsed > 0
+                else 0.0,
+                "campaign.coverage": round(result.coverage, 4),
+                "campaign.faults": result.total,
+            },
+        )
+    )
     if result.undetected_sites:
         shown = ", ".join(
             f"i{fault.instance_index}@{fault.stuck_value}"

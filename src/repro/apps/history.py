@@ -1,0 +1,190 @@
+"""``python -m repro history`` / ``python -m repro dashboard``.
+
+Command-line surface over the cross-run telemetry ledger
+(:mod:`repro.obs.history`) and its HTML dashboard
+(:mod:`repro.obs.dashboard`)::
+
+    python -m repro history show                  # recent records
+    python -m repro history check                 # regression sentinel
+    python -m repro history check --kind bench --window 10
+    python -m repro history append --report BENCH_sim.json
+    python -m repro dashboard --out dashboard.html
+
+``history check`` gates the *latest* (optionally kind/command
+filtered) record against the rolling median/MAD baseline of matching
+prior records and exits 1 on a statistical regression, 0 on a pass --
+including the cold-start case (no baseline yet), which is reported as
+informational.  ``history append`` feeds an existing report JSON into
+the ledger, which CI uses to accumulate a cached baseline across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _usage_history() -> str:
+    return (
+        "usage: python -m repro history show [--ledger PATH] [--limit N]\n"
+        "       python -m repro history check [--ledger PATH] [--kind K]\n"
+        "           [--command 'CMD ...'] [--window N] [--min-baseline N]\n"
+        "           [--mad-k F] [--rel-floor F]\n"
+        "       python -m repro history append --report PATH [--ledger PATH]"
+    )
+
+
+def _usage_dashboard() -> str:
+    return (
+        "usage: python -m repro dashboard [--out PATH] [--ledger PATH] "
+        "[--title TEXT]"
+    )
+
+
+def history_main(argv: list[str]) -> int:
+    """Entry point for the ``history`` subcommand."""
+    from repro.obs import history
+
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_usage_history())
+        return 0 if argv else 2
+    verb, rest = argv[0], argv[1:]
+    if verb not in ("show", "check", "append"):
+        print(f"unknown history verb {verb!r}", file=sys.stderr)
+        print(_usage_history(), file=sys.stderr)
+        return 2
+
+    opts = {
+        "--ledger": str,
+        "--limit": int,
+        "--kind": str,
+        "--command": str,
+        "--report": str,
+        "--window": int,
+        "--min-baseline": int,
+        "--mad-k": float,
+        "--rel-floor": float,
+    }
+    values: dict = {}
+
+    i = 0
+    while i < len(rest):
+        arg = rest[i]
+        if arg in ("-h", "--help"):
+            print(_usage_history())
+            return 0
+        if arg not in opts:
+            print(f"unknown option {arg}", file=sys.stderr)
+            print(_usage_history(), file=sys.stderr)
+            return 2
+        if i + 1 >= len(rest):
+            print(f"{arg} needs an argument", file=sys.stderr)
+            return 2
+        try:
+            values[arg] = opts[arg](rest[i + 1])
+        except ValueError:
+            print(f"{arg}: bad value {rest[i + 1]!r}", file=sys.stderr)
+            return 2
+        i += 2
+
+    ledger = values.get("--ledger")
+
+    if verb == "show":
+        records = history.read_ledger(ledger)
+        limit = values.get("--limit", 20)
+        if not records:
+            print(f"ledger {ledger or history.ledger_path()} is empty")
+            return 0
+        for record in records[-limit:]:
+            print(
+                f"{record.get('id', '?'):>16}  {record.get('ts', '?'):<25} "
+                f"{record.get('kind', '?'):<10} "
+                f"{' '.join(record.get('command', []))} "
+                f"({len(record.get('series', {}))} series)"
+            )
+        print(f"{len(records)} records in {ledger or history.ledger_path()}")
+        return 0
+
+    if verb == "append":
+        report_path = values.get("--report")
+        if not report_path:
+            print("history append needs --report PATH", file=sys.stderr)
+            return 2
+        try:
+            report = json.loads(open(report_path).read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read report {report_path}: {exc}", file=sys.stderr)
+            return 1
+        record = history.record_from_report(report)
+        record_id = history.append_record(record, path=ledger)
+        if record_id is None:
+            print("history disabled (REPRO_HISTORY=0); nothing appended")
+            return 0
+        print(
+            f"appended {record_id} ({len(record['series'])} series) "
+            f"-> {ledger or history.ledger_path()}"
+        )
+        return 0
+
+    # verb == "check"
+    command = values["--command"].split() if "--command" in values else None
+    kwargs = {}
+    if "--min-baseline" in values:
+        kwargs["min_baseline"] = values["--min-baseline"]
+    if "--mad-k" in values:
+        kwargs["mad_k"] = values["--mad-k"]
+    if "--rel-floor" in values:
+        kwargs["rel_floor"] = values["--rel-floor"]
+    result = history.check_latest(
+        path=ledger,
+        kind=values.get("--kind"),
+        command=command,
+        window=values.get("--window", history.DEFAULT_WINDOW),
+        **kwargs,
+    )
+    if result is None:
+        print(
+            "history check: no matching records in "
+            f"{ledger or history.ledger_path()} (informational pass)"
+        )
+        return 0
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def dashboard_main(argv: list[str]) -> int:
+    """Entry point for the ``dashboard`` subcommand."""
+    from repro.obs import history
+    from repro.obs.dashboard import render_dashboard
+
+    out = "dashboard.html"
+    ledger = None
+    title = "repro telemetry"
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("-h", "--help"):
+            print(_usage_dashboard())
+            return 0
+        if arg in ("--out", "--ledger", "--title"):
+            if i + 1 >= len(argv):
+                print(f"{arg} needs an argument", file=sys.stderr)
+                return 2
+            value = argv[i + 1]
+            if arg == "--out":
+                out = value
+            elif arg == "--ledger":
+                ledger = value
+            else:
+                title = value
+            i += 2
+            continue
+        print(f"unknown option {arg}", file=sys.stderr)
+        print(_usage_dashboard(), file=sys.stderr)
+        return 2
+    records = history.read_ledger(ledger)
+    from pathlib import Path
+
+    Path(out).write_text(render_dashboard(records, title=title))
+    print(f"dashboard ({len(records)} records) -> {out}")
+    return 0

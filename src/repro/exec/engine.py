@@ -24,7 +24,15 @@ one primitive, :func:`parallel_map`, that every fan-out layer shares:
   records spans/metrics locally and ships them back with its chunk;
   the parent re-roots the spans under its live span and folds the
   metrics into the process registry, keeping ``RUN_REPORT.json`` and
-  ``--profile`` truthful for parallel runs.
+  ``--profile`` truthful for parallel runs;
+* **per-worker telemetry** -- each chunk additionally ships its
+  compute time, queue-wait time, and worker pid; the parent folds them
+  into ``exec.worker.chunk_compute_s`` / ``exec.worker.chunk_wait_s``
+  histograms and, once the pool drains, derives fan-out health gauges:
+  ``exec.worker.utilization`` (summed busy time over ``workers x pool
+  wall``) and ``exec.worker.straggler_ratio`` (busiest worker over the
+  mean -- 1.0 is a perfectly balanced pool), so the history ledger and
+  dashboard can trend scheduling quality across runs.
 
 Worker count resolution (:func:`resolve_jobs`): an explicit ``jobs=``
 argument wins, then :func:`set_default_jobs` (the CLI's ``--jobs N``),
@@ -38,11 +46,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ConfigError
-from repro.obs.metrics import REGISTRY, counter as _obs_counter, gauge as _obs_gauge
+from repro.obs.metrics import (
+    REGISTRY,
+    counter as _obs_counter,
+    gauge as _obs_gauge,
+    histogram as _obs_histogram,
+)
 from repro.obs.progress import progress
 from repro.obs.runtime import STATE
 from repro.obs.trace import TRACER, span
@@ -51,6 +65,10 @@ _PARALLEL_RUNS = _obs_counter("exec.parallel_runs")
 _TASKS = _obs_counter("exec.tasks_executed")
 _CHUNKS = _obs_counter("exec.chunks_dispatched")
 _JOBS_GAUGE = _obs_gauge("exec.jobs")
+_CHUNK_COMPUTE = _obs_histogram("exec.worker.chunk_compute_s")
+_CHUNK_WAIT = _obs_histogram("exec.worker.chunk_wait_s")
+_UTILIZATION = _obs_gauge("exec.worker.utilization")
+_STRAGGLER = _obs_gauge("exec.worker.straggler_ratio")
 
 #: Target dispatch waves per worker when auto-sizing chunks.  Two
 #: waves balance pickling/obs-shipping overhead (fewer, larger chunks)
@@ -129,13 +147,23 @@ def _worker_init(obs_enabled: bool, warm: Callable | None = None) -> None:
             pass
 
 
-def _run_chunk(fn: Callable, chunk: list) -> tuple:
+def _run_chunk(fn: Callable, chunk: list, submitted_at: float) -> tuple:
     """Worker: apply ``fn`` to one chunk, bundling obs data as a delta.
 
     The tracer/registry are cleared after export so a worker that
     serves several chunks ships disjoint deltas (no double counting).
+
+    ``submitted_at`` is the parent's ``perf_counter`` at submission;
+    ``perf_counter`` reads the system-wide monotonic clock on the
+    platforms we run on, so ``start - submitted_at`` is the chunk's
+    queue wait (clamped at 0 in case a platform's clock is per
+    process).  Compute and wait ship back as the last tuple element so
+    the parent can attribute busy time per worker pid.
     """
+    start = time.perf_counter()
+    wait_s = max(0.0, start - submitted_at)
     results = [fn(item) for item in chunk]
+    compute_s = time.perf_counter() - start
     if STATE.enabled:
         spans = TRACER.events()
         metrics = REGISTRY.export_state()
@@ -143,7 +171,7 @@ def _run_chunk(fn: Callable, chunk: list) -> tuple:
         REGISTRY.reset()
     else:
         spans, metrics = [], {}
-    return results, spans, metrics
+    return results, spans, metrics, (os.getpid(), compute_s, wait_s)
 
 
 def _absorb_worker_obs(spans: list, metrics: dict) -> None:
@@ -218,20 +246,42 @@ def parallel_map(
             _CHUNKS.value += len(chunks)
             _JOBS_GAUGE.value = workers
         results: list = []
+        busy_by_pid: dict[int, float] = {}
+        pool_start = time.perf_counter()
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=_mp_context(),
             initializer=_worker_init,
             initargs=(STATE.enabled, warm),
         ) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            futures = [
+                pool.submit(_run_chunk, fn, chunk, time.perf_counter())
+                for chunk in chunks
+            ]
             # Submission order, not completion order: determinism.
             for future in progress(
                 futures, label, every=max(1, len(futures) // 8)
             ):
-                chunk_results, spans, metrics = future.result()
+                chunk_results, spans, metrics, timing = future.result()
                 results.extend(chunk_results)
                 _absorb_worker_obs(spans, metrics)
+                if STATE.enabled:
+                    pid, compute_s, wait_s = timing
+                    busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + compute_s
+                    _CHUNK_COMPUTE.observe(compute_s)
+                    _CHUNK_WAIT.observe(wait_s)
+        if STATE.enabled and busy_by_pid:
+            pool_wall = time.perf_counter() - pool_start
+            total_busy = sum(busy_by_pid.values())
+            if pool_wall > 0:
+                _UTILIZATION.value = round(
+                    total_busy / (workers * pool_wall), 4
+                )
+            mean_busy = total_busy / len(busy_by_pid)
+            if mean_busy > 0:
+                _STRAGGLER.value = round(
+                    max(busy_by_pid.values()) / mean_busy, 4
+                )
     return results
 
 

@@ -13,7 +13,10 @@ with this zero-dependency layer:
 * :func:`build_run_report` / :func:`write_run_report` -- structured
   ``RUN_REPORT.json`` emission (:mod:`repro.obs.report`);
 * :class:`VcdWriter` -- IEEE-1364 value-change-dump waveform emission
-  for the gate-level probes (:mod:`repro.obs.wave`).
+  for the gate-level probes (:mod:`repro.obs.wave`);
+* the cross-run telemetry ledger and regression sentinel
+  (:mod:`repro.obs.history`) every report emission feeds, and the
+  self-contained HTML dashboard over it (:mod:`repro.obs.dashboard`).
 
 Everything is off by default and no-op-cheap when off: one branch per
 event site (the benchmark suite asserts <2% overhead on the p1_8_2
@@ -42,12 +45,15 @@ from repro.obs.metrics import (
 from repro.obs.progress import progress
 from repro.obs.report import (
     build_run_report,
+    dump_report_json,
     environment_metadata,
     git_metadata,
     render_metrics,
     render_run_report,
     write_run_report,
 )
+from repro.obs import history
+from repro.obs import report
 from repro.obs.wave import VcdVar, VcdWriter
 
 __all__ = [
@@ -72,7 +78,9 @@ __all__ = [
     "histogram",
     "snapshot",
     "progress",
+    "history",
     "build_run_report",
+    "dump_report_json",
     "write_run_report",
     "render_run_report",
     "render_metrics",

@@ -238,3 +238,22 @@ def histogram(name: str) -> Histogram:
 def snapshot() -> dict:
     """Plain-data snapshot of the process-wide registry."""
     return REGISTRY.snapshot()
+
+
+def flatten_snapshot(snapshot: dict) -> dict:
+    """Flatten a :meth:`MetricsRegistry.snapshot` to scalars only.
+
+    Counters and gauges pass through under their own name; a histogram
+    contributes ``<name>.mean`` and ``<name>.count``.  Zero-valued
+    entries are dropped.  This is the shape the cross-run history
+    ledger (:mod:`repro.obs.history`) stores, one scalar per series.
+    """
+    flat: dict = {}
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            if value.get("count"):
+                flat[f"{name}.mean"] = value["mean"]
+                flat[f"{name}.count"] = value["count"]
+        elif isinstance(value, (int, float)) and value:
+            flat[name] = value
+    return flat

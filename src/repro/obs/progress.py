@@ -11,10 +11,21 @@ known -- an ETA::
     [obs] sweep: 8/24 (33%) 2.1/s eta 7.6s
 
 Lines go to stderr so piped table output stays clean.
+
+**Heartbeat mode**: when the output stream is *not* a tty (CI logs,
+piped output), item-count pacing alone can go silent for minutes --
+slow items mean the ``every`` boundary never arrives.  A wall-clock
+heartbeat therefore also flushes a status line whenever ``heartbeat``
+seconds have passed since the last emission (default
+:data:`HEARTBEAT_SECONDS` for non-ttys, off for interactive streams
+where item pacing suffices; ``REPRO_PROGRESS_HEARTBEAT`` overrides the
+interval, ``0`` disables).  Heartbeat lines carry the elapsed wall
+clock so a stalled campaign is distinguishable from a slow one.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Iterable, Iterator, TypeVar
@@ -23,6 +34,31 @@ from repro.obs.runtime import STATE
 
 T = TypeVar("T")
 
+#: Default wall-clock flush interval for non-tty streams, seconds.
+HEARTBEAT_SECONDS = 30.0
+
+
+def _resolve_heartbeat(heartbeat: float | None, stream) -> float:
+    """Effective heartbeat interval (0 = disabled) for one stream.
+
+    Explicit argument wins, then ``REPRO_PROGRESS_HEARTBEAT``, then
+    :data:`HEARTBEAT_SECONDS` for non-tty streams / disabled for ttys
+    (interactive terminals already see the item-paced lines scroll).
+    """
+    if heartbeat is not None:
+        return max(0.0, heartbeat)
+    env = os.environ.get("REPRO_PROGRESS_HEARTBEAT", "")
+    if env:
+        try:
+            return max(0.0, float(env))
+        except ValueError:
+            pass
+    try:
+        interactive = stream.isatty()
+    except (AttributeError, OSError):
+        interactive = False
+    return 0.0 if interactive else HEARTBEAT_SECONDS
+
 
 def progress(
     iterable: Iterable[T],
@@ -30,6 +66,7 @@ def progress(
     every: int = 10,
     total: int | None = None,
     stream=None,
+    heartbeat: float | None = None,
 ) -> Iterator[T]:
     """Yield from ``iterable``, logging rate/ETA when tracing is on.
 
@@ -40,6 +77,10 @@ def progress(
         total: Item count for percent/ETA; inferred via ``len`` when
             the iterable supports it.
         stream: Output stream (default ``sys.stderr``).
+        heartbeat: Also emit when this many wall-clock seconds passed
+            since the last line, regardless of item count.  ``None``
+            auto-selects (30s for non-tty streams, off for ttys);
+            ``0`` disables.
     """
     if not STATE.enabled:
         yield from iterable
@@ -50,18 +91,27 @@ def progress(
         except TypeError:
             total = None
     out = stream if stream is not None else sys.stderr
+    beat = _resolve_heartbeat(heartbeat, out)
     start = time.perf_counter()
+    last_emit = start
     done = 0
     for item in iterable:
         yield item
         done += 1
-        if done % every == 0 and done != total:
-            _emit(out, label, done, total, time.perf_counter() - start)
+        if done == total:
+            continue  # the final line below covers the last item
+        now = time.perf_counter()
+        if done % every == 0:
+            _emit(out, label, done, total, now - start)
+            last_emit = now
+        elif beat and now - last_emit >= beat:
+            _emit(out, label, done, total, now - start, heartbeat=True)
+            last_emit = now
     if done:
         _emit(out, label, done, total, time.perf_counter() - start, final=True)
 
 
-def _emit(out, label, done, total, elapsed, final=False) -> None:
+def _emit(out, label, done, total, elapsed, final=False, heartbeat=False) -> None:
     rate = done / elapsed if elapsed > 0 else 0.0
     parts = [f"[obs] {label}: {done}"]
     if total:
@@ -69,6 +119,9 @@ def _emit(out, label, done, total, elapsed, final=False) -> None:
     parts.append(f"{rate:.1f}/s")
     if final:
         parts.append(f"in {elapsed:.2f}s")
-    elif total and rate > 0:
-        parts.append(f"eta {(total - done) / rate:.1f}s")
+    else:
+        if total and rate > 0:
+            parts.append(f"eta {(total - done) / rate:.1f}s")
+        if heartbeat:
+            parts.append(f"elapsed {elapsed:.0f}s")
     print(" ".join(parts), file=out, flush=True)

@@ -8,10 +8,11 @@ runs across machines and commits.  ``python -m repro --profile ...``
 writes one automatically; harnesses call :func:`build_run_report` /
 :func:`write_run_report` directly.
 
-Schema (``repro.obs.run_report/v2``, a strict superset of v1)::
+Schema (``repro.obs.run_report/v3``, a strict superset of v2, itself a
+strict superset of v1)::
 
     {
-      "schema": "repro.obs.run_report/v2",
+      "schema": "repro.obs.run_report/v3",
       "generated": ISO-8601 UTC timestamp,
       "command": ["table7"],           # what ran
       "wall_seconds": 1.23,            # whole-run wall clock
@@ -24,14 +25,28 @@ Schema (``repro.obs.run_report/v2``, a strict superset of v1)::
       "metrics": {"compile.cache_hits": 3, ...},
       "environment": {"python": ..., "platform": ..., "argv": [...]},
       "git": {"commit": ..., "dirty": bool},  # best-effort, may be {}
-      "design_profiles": [...]         # v2: profile-design results
+      "design_profiles": [...],        # v2: profile-design results
+      "fingerprint": {                 # v3: env identity shared with
+        "cpu_count": 4, "platform": "Linux", "machine": "x86_64",
+        "python": "3.12.3", "git_sha": "..."   # the history ledger
+      },
+      "history_ref": "9f2c4e..."       # v3: ledger record id (absent
+                                       # when REPRO_HISTORY=0)
     }
 
 Every v1 key is unchanged; v2 adds ``design_profiles``, a list of
 design-under-test profiles (per-module energy attribution plus
 per-instruction histograms) as produced by
 :func:`repro.apps.profile.profile_design` -- empty for runs that
-profiled nothing.
+profiled nothing.  v3 adds ``fingerprint`` (the coarse environment
+identity block the cross-run ledger matches baselines on -- see
+:mod:`repro.obs.history`) and ``history_ref`` (the content-addressed
+id of the ledger record this emission appended).
+
+Serialization is deterministic: :func:`dump_report_json` always sorts
+keys, and ``compact=True`` additionally elides the per-span detail and
+drops indentation so checked-in reports (``BENCH_sim.json``) diff by
+value, not by layout.
 
 The terminal summary renders through
 :func:`repro.eval.report.render_table` so profiled runs read like the
@@ -55,7 +70,7 @@ from repro.obs import trace as _trace
 #: Detailed span events kept in a report (aggregates always cover all).
 MAX_REPORT_SPANS = 5000
 
-SCHEMA = "repro.obs.run_report/v2"
+SCHEMA = "repro.obs.run_report/v3"
 
 
 def environment_metadata() -> dict:
@@ -147,15 +162,45 @@ def build_run_report(
         "git": git_metadata(),
         "design_profiles": list(profiles) if profiles else [],
     }
+    from repro.obs import history as _history
+
+    report["fingerprint"] = _history.env_fingerprint()
     if extra:
         report.update(extra)
     return report
 
 
-def write_run_report(path, report: dict) -> Path:
-    """Serialize ``report`` to ``path`` as indented JSON."""
+def dump_report_json(report: dict, compact: bool = False) -> str:
+    """Deterministic JSON encoding for run reports.
+
+    Keys are always sorted so two reports with identical content are
+    byte-identical regardless of insertion order.  ``compact=True``
+    additionally replaces the per-span detail with an empty list
+    (``span_count`` and the stage aggregates still cover every span)
+    and uses one-space indentation -- the shape checked-in bench
+    baselines use so their diffs are dominated by changed *values*.
+    """
+    if compact and report.get("spans"):
+        report = {**report, "spans": []}
+    indent = 1 if compact else 2
+    return json.dumps(report, indent=indent, sort_keys=True) + "\n"
+
+
+def write_run_report(path, report: dict, compact: bool = False) -> Path:
+    """Serialize ``report`` to ``path``; feed the cross-run ledger.
+
+    Every emission appends one compact record to the history ledger
+    (:mod:`repro.obs.history`) and carries the record id back in the
+    report's ``history_ref`` -- unless ``REPRO_HISTORY=0``, in which
+    case the key is absent and nothing is written outside ``path``.
+    """
+    from repro.obs import history as _history
+
+    record_id = _history.record_report(report)
+    if record_id is not None:
+        report["history_ref"] = record_id
     path = Path(path)
-    path.write_text(json.dumps(report, indent=2) + "\n")
+    path.write_text(dump_report_json(report, compact=compact))
     return path
 
 

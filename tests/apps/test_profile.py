@@ -148,7 +148,7 @@ class TestCli:
             profile["energy_per_cycle"]
         )
 
-    def test_profiled_run_folds_into_v2_report(self, tmp_path, capsys):
+    def test_profiled_run_folds_into_run_report(self, tmp_path, capsys):
         from repro import obs
 
         report_path = tmp_path / "RUN_REPORT.json"
@@ -162,7 +162,7 @@ class TestCli:
             obs.reset()
         assert code == 0
         report = json.loads(report_path.read_text())
-        assert report["schema"] == "repro.obs.run_report/v2"
+        assert report["schema"] == "repro.obs.run_report/v3"
         assert len(report["design_profiles"]) == 1
         assert report["design_profiles"][0]["design"] == "p1_4_2"
 

@@ -1,0 +1,29 @@
+"""Suite-wide isolation for cross-run state.
+
+Every ``write_run_report`` (and the CLIs the tests drive) appends one
+record to the cross-run history ledger.  The suite must never pollute
+the developer's real ledger under ``~/.cache/repro/history`` — or read
+baselines out of it — so the whole session runs against a throwaway
+ledger directory.  Individual history tests still override
+``REPRO_HISTORY_DIR``/``REPRO_HISTORY`` per test via ``monkeypatch``.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_history_ledger(tmp_path_factory):
+    """Point the history ledger at a session-private directory."""
+    previous = os.environ.get("REPRO_HISTORY_DIR")
+    os.environ["REPRO_HISTORY_DIR"] = str(
+        tmp_path_factory.mktemp("history-ledger")
+    )
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_HISTORY_DIR", None)
+        else:
+            os.environ["REPRO_HISTORY_DIR"] = previous

@@ -149,6 +149,24 @@ class TestParallelMap:
             path.startswith("campaign/") for path in worker_paths
         )
 
+    def test_worker_telemetry_populated(self, obs_enabled):
+        """A parallel run leaves per-worker chunk timings behind:
+        wait vs compute histograms, pool utilization, straggler ratio."""
+        results = parallel_map(_square, list(range(16)), jobs=2)
+        assert results == [i * i for i in range(16)]
+        snapshot = obs.snapshot()
+        assert snapshot["exec.worker.chunk_compute_s"]["count"] >= 1
+        assert snapshot["exec.worker.chunk_wait_s"]["count"] >= 1
+        assert snapshot["exec.worker.chunk_wait_s"]["min"] >= 0.0
+        assert 0.0 < snapshot["exec.worker.utilization"] <= 1.0
+        assert snapshot["exec.worker.straggler_ratio"] >= 1.0
+
+    def test_worker_telemetry_absent_for_serial(self, obs_enabled):
+        parallel_map(_square, list(range(4)), jobs=1)
+        snapshot = obs.snapshot()
+        assert snapshot["exec.worker.chunk_compute_s"]["count"] == 0
+        assert snapshot["exec.worker.utilization"] == 0
+
 
 class TestPipelineDeterminism:
     def test_sweep_both_technologies(self, cache_dir):

@@ -1,0 +1,123 @@
+"""Tests for the self-contained HTML telemetry dashboard."""
+
+import re
+
+import pytest
+
+from repro.obs import dashboard, history
+
+
+@pytest.fixture
+def ledger_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_HISTORY", raising=False)
+    return tmp_path
+
+
+def _seed(values):
+    for i, speedup in enumerate(values):
+        history.append_record(
+            history.build_record(
+                "bench",
+                ["bench"],
+                {
+                    "bench.fault_campaign_numpy.speedup_vs_batched": speedup,
+                    "wall_seconds": 30.0 + i,
+                    "stage.sweep.wall_s": 10.0 + i,
+                    "stage.campaign.wall_s": 5.0,
+                },
+                ts=f"2026-08-{i + 1:02d}T00:00:00+00:00",
+            )
+        )
+
+
+class TestRender:
+    def test_byte_deterministic_given_fixed_ledger(self, ledger_dir):
+        """Acceptance pin: same ledger in, identical bytes out."""
+        _seed([5.8, 5.9, 6.0])
+        records = history.read_ledger()
+        assert dashboard.render_dashboard(records) == (
+            dashboard.render_dashboard(records)
+        )
+        # And through the file writer too.
+        a = ledger_dir / "a.html"
+        b = ledger_dir / "b.html"
+        dashboard.write_dashboard(a)
+        dashboard.write_dashboard(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_zero_external_references(self, ledger_dir):
+        """Acceptance pin: no CDN scripts, stylesheets, fonts, images."""
+        _seed([5.8, 5.9, 6.0])
+        html = dashboard.render_dashboard(history.read_ledger())
+        assert not re.search(r'\bsrc\s*=\s*["\']?(https?:)?//', html)
+        assert not re.search(r'\bhref\s*=\s*["\']?(https?:)?//', html)
+        assert "<script" not in html  # pure HTML+CSS+SVG, no JS at all
+        assert "@import" not in html
+        assert "url(" not in html
+
+    def test_sparklines_and_table_present(self, ledger_dir):
+        _seed([5.8, 5.9, 6.0, 5.95])
+        html = dashboard.render_dashboard(history.read_ledger())
+        assert "<svg" in html
+        assert "spark-line" in html
+        assert "<details" in html  # table view for accessibility
+        assert "speedup_vs_batched" in html
+        assert "prefers-color-scheme: dark" in html
+
+    def test_empty_ledger_renders_placeholder(self, ledger_dir):
+        html = dashboard.render_dashboard([])
+        assert "<html" in html
+        assert "The ledger is empty" in html
+
+    def test_single_record_renders(self, ledger_dir):
+        _seed([5.9])
+        html = dashboard.render_dashboard(history.read_ledger())
+        assert "<svg" in html
+
+    def test_html_is_balanced(self, ledger_dir):
+        from html.parser import HTMLParser
+
+        _seed([5.8, 5.9, 6.0])
+        html = dashboard.render_dashboard(history.read_ledger())
+
+        class Balance(HTMLParser):
+            VOID = {"br", "hr", "meta", "link", "img", "input", "circle",
+                    "line", "rect", "path", "polyline", "stop"}
+
+            def __init__(self):
+                super().__init__(convert_charrefs=True)
+                self.stack = []
+
+            def handle_starttag(self, tag, attrs):
+                if tag not in self.VOID:
+                    self.stack.append(tag)
+
+            def handle_endtag(self, tag):
+                if tag in self.VOID:  # self-closed <polyline/> etc.
+                    return
+                assert self.stack and self.stack[-1] == tag, (
+                    f"unbalanced </{tag}>, open: {self.stack[-5:]}"
+                )
+                self.stack.pop()
+
+        parser = Balance()
+        parser.feed(html)
+        assert parser.stack == []
+
+
+class TestCli:
+    def test_dashboard_cli_writes_file(self, ledger_dir, tmp_path, capsys):
+        from repro.__main__ import main
+
+        _seed([5.8, 5.9, 6.0])
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "dashboard" in capsys.readouterr().out
+        assert "<svg" in out.read_text()
+
+    def test_dashboard_cli_bad_option(self, ledger_dir, capsys):
+        from repro.__main__ import main
+
+        assert main(["dashboard", "--bogus"]) == 2

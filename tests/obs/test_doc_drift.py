@@ -28,6 +28,7 @@ INSTRUMENTED_MODULES = (
     "repro.apps.profile",
     "repro.verify.differential",
     "repro.verify.lint",
+    "repro.obs.history",
 )
 
 #: A backticked span counts as a metric name when it is all-lowercase
@@ -37,6 +38,10 @@ _NOT_METRICS = (".py", ".md", ".json", ".jsonl", ".vcd")
 
 #: The doc's naming-convention placeholder, not a real metric.
 _PLACEHOLDER = "subsystem.quantity"
+
+#: History-ledger *series* namespaces (see the "Run history" section):
+#: derived per-record numbers, not registry metrics.
+_SERIES_PREFIXES = ("bench.", "stage.", "metric.", "campaign.")
 
 
 def documented_metric_names() -> set[str]:
@@ -50,7 +55,7 @@ def documented_metric_names() -> set[str]:
             continue
         if span.startswith("repro.") or span.endswith(_NOT_METRICS):
             continue
-        if span == _PLACEHOLDER:
+        if span == _PLACEHOLDER or span.startswith(_SERIES_PREFIXES):
             continue
         names.add(span)
     return names

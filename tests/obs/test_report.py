@@ -39,6 +39,30 @@ class TestProgress:
         assert list(obs.progress([], "none", stream=stream)) == []
         assert stream.getvalue() == ""
 
+    def test_heartbeat_flushes_between_count_milestones(self, obs_enabled):
+        """Non-tty streams get wall-clock lines even when ``every`` is
+        far away — a tiny heartbeat makes every item emit."""
+        stream = io.StringIO()
+        list(obs.progress(
+            range(5), "slow", every=1000, stream=stream, heartbeat=1e-9,
+        ))
+        lines = stream.getvalue().splitlines()
+        # 4 heartbeat lines (not the final item) plus the final line.
+        assert len(lines) == 5
+        assert "elapsed" in lines[0]
+        assert lines[-1].startswith("[obs] slow: 5/5 (100%)")
+
+    def test_heartbeat_env_override(self, obs_enabled, monkeypatch):
+        from repro.obs.progress import _resolve_heartbeat
+
+        stream = io.StringIO()  # isatty() is False
+        assert _resolve_heartbeat(None, stream) == 30.0
+        monkeypatch.setenv("REPRO_PROGRESS_HEARTBEAT", "5")
+        assert _resolve_heartbeat(None, stream) == 5.0
+        assert _resolve_heartbeat(2.0, stream) == 2.0  # explicit wins
+        monkeypatch.setenv("REPRO_PROGRESS_HEARTBEAT", "0")
+        assert _resolve_heartbeat(None, stream) == 0.0
+
 
 class TestRunReport:
     def test_mini_sweep_report_schema(self, obs_enabled, tmp_path):
@@ -70,6 +94,26 @@ class TestRunReport:
         assert loaded["metrics"]["dse.evaluations"] >= 2
         assert loaded["environment"]["python"]
         assert isinstance(loaded["git"], dict)
+        # v3 additions: env fingerprint block + ledger back-reference.
+        assert set(loaded["fingerprint"]) == {
+            "cpu_count", "platform", "machine", "python", "git_sha",
+        }
+        assert loaded["history_ref"]
+
+    def test_schema_is_v3(self):
+        assert SCHEMA.endswith("/v3")
+
+    def test_compact_dump_elides_spans_sorts_keys(self, obs_enabled):
+        with obs.span("stage"):
+            pass
+        report = build_run_report(["compact"], 1.0)
+        full = obs.dump_report_json(report)
+        compact = obs.dump_report_json(report, compact=True)
+        assert len(compact) < len(full)
+        assert json.loads(compact)["spans"] == []
+        assert json.loads(compact)["span_count"] == report["span_count"]
+        keys = list(json.loads(full))
+        assert keys == sorted(keys)
 
     def test_span_detail_capped_but_aggregates_complete(self, obs_enabled):
         for _ in range(MAX_REPORT_SPANS + 10):
