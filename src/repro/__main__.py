@@ -29,6 +29,11 @@ Usage::
                                        # waveforms + per-module /
                                        # per-instruction energy
                                        # (see docs/OBSERVABILITY.md)
+    python -m repro yield p1_8_2 --instances 100000 --jobs 2
+                                       # fleet-scale Monte-Carlo yield
+                                       # campaign: fmax distribution,
+                                       # functional yield, cost and
+                                       # lifetime per printed unit
     python -m repro history check      # regression sentinel over the
                                        # cross-run telemetry ledger
     python -m repro history show       # recent ledger records
@@ -249,6 +254,10 @@ def main(argv: list[str]) -> int:
         from repro.apps.campaign import campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "yield":
+        from repro.apps.yieldcli import yield_main
+
+        return yield_main(argv[1:])
     if argv and argv[0] == "history":
         from repro.apps.history import history_main
 

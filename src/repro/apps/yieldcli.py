@@ -1,0 +1,175 @@
+"""``python -m repro yield``: fleet-scale Monte-Carlo yield campaigns.
+
+Prints a virtual fleet of each named core configuration and reports
+its fmax distribution, application-level functional yield, printed
+cost per working unit, and battery-lifetime quantiles::
+
+    python -m repro yield p1_8_2 --instances 100000 --jobs 2
+    python -m repro yield p1_4_2 p1_8_2 --instances 20000 --sigma 0.3
+    python -m repro yield p1_8_2 --device-yield 0.99995 --battery "Blue Spark 30"
+
+Results are bit-identical for any ``--jobs`` (see
+``docs/PARALLELISM.md``); ``--report PATH`` writes a full run report
+(fed into the history ledger), and every campaign appends one compact
+``yield`` history record so throughput and yield trend across runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _usage() -> str:
+    return (
+        "usage: python -m repro yield CONFIG [CONFIG...]\n"
+        "           [--instances N] [--jobs N] [--seed S] [--sigma X]\n"
+        "           [--device-yield Y] [--technology EGFET|CNT]\n"
+        "           [--program NAME] [--width N] [--lanes N] [--block N]\n"
+        "           [--duty F] [--battery NAME] [--report PATH]"
+    )
+
+
+def yield_main(argv: list[str]) -> int:
+    """Entry point for the ``yield`` subcommand."""
+    configs: list[str] = []
+    instances = 10_000
+    jobs: int | None = None
+    seed = 0xBEEF
+    sigma = 0.2
+    device_yield = 0.9999
+    technology = "EGFET"
+    program_name = "mult"
+    width: int | None = None
+    lanes: int | None = None
+    block: int | None = None
+    duty = 0.01
+    battery = "Molex"
+    report_path: str | None = None
+
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+
+        def value(cast=str):
+            if i + 1 >= len(argv):
+                raise ValueError(f"{arg} needs an argument")
+            return cast(argv[i + 1])
+
+        try:
+            if arg == "--instances":
+                instances = value(int)
+                i += 1
+            elif arg == "--jobs":
+                jobs = value(int)
+                i += 1
+            elif arg == "--seed":
+                seed = value(lambda s: int(s, 0))
+                i += 1
+            elif arg == "--sigma":
+                sigma = value(float)
+                i += 1
+            elif arg == "--device-yield":
+                device_yield = value(float)
+                i += 1
+            elif arg == "--technology":
+                technology = value()
+                i += 1
+            elif arg == "--program":
+                program_name = value()
+                i += 1
+            elif arg == "--width":
+                width = value(int)
+                i += 1
+            elif arg == "--lanes":
+                lanes = value(int)
+                i += 1
+            elif arg == "--block":
+                block = value(int)
+                i += 1
+            elif arg == "--duty":
+                duty = value(float)
+                i += 1
+            elif arg == "--battery":
+                battery = value()
+                i += 1
+            elif arg == "--report":
+                report_path = value()
+                i += 1
+            elif arg in ("-h", "--help"):
+                print(_usage())
+                return 0
+            elif arg.startswith("-"):
+                print(f"unknown option {arg}", file=sys.stderr)
+                print(_usage(), file=sys.stderr)
+                return 2
+            else:
+                configs.append(arg)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        i += 1
+
+    if not configs:
+        print("need at least one core configuration", file=sys.stderr)
+        print(_usage(), file=sys.stderr)
+        return 2
+
+    from repro import obs
+    from repro.coregen.config import config_from_name
+    from repro.errors import ReproError
+    from repro.mc.engine import DEFAULT_LANES, YieldSpec, run_yield_campaign
+    from repro.mc.timing import DEFAULT_BLOCK
+    from repro.obs import history
+
+    started = time.perf_counter()
+    campaigns: dict[str, dict] = {}
+    try:
+        for name in configs:
+            config = config_from_name(name)
+            spec = YieldSpec(
+                config=config,
+                technology=technology,
+                program_name=program_name,
+                program_width=width if width is not None else 8,
+                sigma=sigma,
+                device_yield=device_yield,
+                seed=seed,
+                lanes=lanes if lanes is not None else DEFAULT_LANES,
+                block=block if block is not None else DEFAULT_BLOCK,
+                duty=duty,
+                battery_name=battery,
+            )
+            report = run_yield_campaign(spec, instances, jobs=jobs)
+            print(report.render())
+            campaigns[report.design] = report.to_dict()
+            history.append_record(
+                history.build_record(
+                    "yield",
+                    ["yield", report.design, report.technology, report.program],
+                    {
+                        "mc.seconds": round(report.wall_seconds, 3),
+                        "mc.instances_per_s": round(
+                            report.instances_per_second, 1
+                        ),
+                        "mc.functional_yield": round(
+                            report.functional_yield, 4
+                        ),
+                        "mc.fmax_p05": round(report.fmax_quantiles[0.05], 2),
+                    },
+                )
+            )
+    except ReproError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    if report_path:
+        wall = time.perf_counter() - started
+        run_report = obs.build_run_report(
+            ["yield"] + list(argv),
+            wall,
+            extra={"yield_campaigns": campaigns},
+        )
+        obs.write_run_report(report_path, run_report)
+        print(f"report: {report_path}")
+    return 0

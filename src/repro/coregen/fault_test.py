@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from functools import partial
+from typing import Sequence
 
 import numpy as np
 
@@ -328,6 +329,43 @@ def _run_batched_numpy(
         )
         for lane in range(lanes)
     ]
+
+
+def golden_signature(
+    program: Program,
+    config: CoreConfig,
+    cycles: int,
+    backend: str = "compiled",
+) -> tuple:
+    """Architectural signature of the healthy core after ``cycles``."""
+    return _run(program, config, cycles, backend=backend)
+
+
+def lane_signatures(
+    program: Program,
+    config: CoreConfig,
+    cycles: int,
+    fault_sets: Sequence,
+    context: _CampaignContext | None = None,
+) -> list[tuple]:
+    """Architectural signatures of lane-packed faulty units (numpy).
+
+    One entry per element of ``fault_sets``; each entry may be a
+    single :class:`StuckAtFault`, a tuple of them (a multi-defect
+    printed unit), or ``None`` for a healthy lane -- the
+    :class:`LanePlan` per-lane fault semantics.  This is the
+    Monte-Carlo yield engine's doorway into the campaign machinery:
+    :mod:`repro.mc.fyield` packs sampled defective units through here
+    and compares against :func:`golden_signature`.  Pass ``context``
+    (see :func:`prepare_context`) to amortize elaboration across
+    batches.
+    """
+    return _run_batched_numpy(program, config, cycles, list(fault_sets), context)
+
+
+def prepare_context(program: Program, config: CoreConfig) -> _CampaignContext:
+    """Worker-memoized campaign context (public alias for engines)."""
+    return _campaign_context(program, config)
 
 
 def _judge_one(

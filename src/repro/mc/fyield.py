@@ -1,0 +1,151 @@
+"""Functional yield under sampled device defects, on the real netlist.
+
+``repro.pdk.variation.functional_yield`` answers the analytic question
+-- with per-device yield ``y`` and ``n`` devices, ``y^n`` of printed
+units are defect-*free*.  This module answers the question the paper's
+cost argument actually needs: what fraction of printed units *runs the
+application correctly*?  Those differ because a defect the program
+never exercises does not break the unit -- exactly the blind spot
+:mod:`repro.coregen.fault_test` measures from the other side -- so
+application-level yield sits above ``y^n``.
+
+Per printed unit, each cell instance fails independently with
+probability ``1 - y^devices(cell)`` (its transistor + resistor count
+from the library); a failed cell's output is stuck at a coin-flip
+value.  Sampling uses the stream-split scheme of
+:mod:`repro.mc.sampling` (domain ``"defects"``: cell ``k`` owns
+substream ``k``, unit ``i`` consumes draw ``i``), so a unit's defect
+set depends only on ``(seed, cell, unit)`` -- shard-invariant like the
+timing samples, with a scalar reference path
+(:func:`unit_defects`) the vectorized sampler is tested against.
+
+Defect-free units work by definition and skip simulation entirely --
+at realistic device yields that is most of the fleet, so the simulated
+work scales with the *defective* population.  Defective units are
+lane-packed (one unit per lane, all of its stuck-at faults forced at
+once) through the campaign machinery of
+:mod:`repro.coregen.fault_test` and compared against the golden
+signature: equal signature = working unit, divergence or a wedged
+simulation = broken unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coregen.fault_test import lane_signatures
+from repro.errors import PDKError
+from repro.netlist.core import Netlist
+from repro.netlist.faults import StuckAtFault
+from repro.pdk.cells import CellLibrary
+
+from repro.mc.sampling import SubstreamSampler
+
+#: Sampler namespace for defect draws.
+DEFECT_DOMAIN = "defects"
+
+#: Signature sentinel for a unit whose simulation wedged (certainly broken).
+WEDGED = ("wedged",)
+
+
+def defect_probabilities(
+    netlist: Netlist, library: CellLibrary, device_yield: float
+) -> np.ndarray:
+    """Per-instance failure probability ``1 - y^devices``."""
+    if not 0.0 < device_yield <= 1.0:
+        raise PDKError(f"device yield {device_yield} out of (0, 1]")
+    devices = np.array(
+        [
+            library.cell(i.cell).transistors + library.cell(i.cell).resistors
+            for i in netlist.instances
+        ],
+        dtype=np.float64,
+    )
+    return 1.0 - device_yield**devices
+
+
+def sample_defects(
+    netlist: Netlist,
+    library: CellLibrary,
+    device_yield: float,
+    lo: int,
+    hi: int,
+    seed: int,
+    block: int = 4096,
+) -> dict[int, tuple[StuckAtFault, ...]]:
+    """Defect sets of printed units ``[lo, hi)``, vectorized.
+
+    Returns only the *defective* units: ``unit index -> tuple of
+    stuck-at faults`` (cell-index order).  Cell ``k`` of unit ``i`` is
+    defective iff its uniform draw falls below ``p[k]``, and the stuck
+    value is bit 0 of the same sampler word (the uniform only consumes
+    bits 11..63), so one draw decides both -- and
+    :func:`unit_defects` reproduces any unit exactly.
+    """
+    if hi < lo:
+        raise PDKError(f"empty unit range [{lo}, {hi})")
+    p = defect_probabilities(netlist, library, device_yield)
+    sampler = SubstreamSampler(seed, len(netlist.instances), DEFECT_DOMAIN)
+    defects: dict[int, list[StuckAtFault]] = {}
+    for start in range(lo, hi, block):
+        stop = min(start + block, hi)
+        uniforms = sampler.uniforms(start, stop)
+        mask = uniforms < p[:, None]
+        if not mask.any():
+            continue
+        bits = sampler.bits(start, stop)
+        cell_rows, unit_cols = np.nonzero(mask)
+        stuck = bits[cell_rows, unit_cols]
+        for k, j, s in zip(
+            cell_rows.tolist(), unit_cols.tolist(), stuck.tolist()
+        ):
+            defects.setdefault(start + j, []).append(
+                StuckAtFault(instance_index=k, stuck_value=int(s))
+            )
+    return {unit: tuple(faults) for unit, faults in defects.items()}
+
+
+def unit_defects(
+    netlist: Netlist,
+    library: CellLibrary,
+    device_yield: float,
+    unit: int,
+    seed: int,
+) -> tuple[StuckAtFault, ...]:
+    """Scalar reference path: one unit's defect set, draw by draw."""
+    p = defect_probabilities(netlist, library, device_yield)
+    sampler = SubstreamSampler(seed, len(netlist.instances), DEFECT_DOMAIN)
+    faults = []
+    for k in range(len(netlist.instances)):
+        if sampler.uniform(k, unit) < p[k]:
+            faults.append(
+                StuckAtFault(instance_index=k, stuck_value=sampler.bit(k, unit))
+            )
+    return tuple(faults)
+
+
+def safe_signatures(
+    program,
+    config,
+    cycles: int,
+    fault_sets: list,
+    context=None,
+) -> list[tuple]:
+    """Lane-packed signatures with wedge isolation.
+
+    A pathological defect set can wedge the whole packed pass (e.g. a
+    stuck clock-tree cell).  When the batch raises, bisect it until the
+    offending lanes are isolated; a single lane that still raises
+    reports :data:`WEDGED` -- that unit is certainly broken.
+    """
+    if not fault_sets:
+        return []
+    try:
+        return lane_signatures(program, config, cycles, fault_sets, context)
+    except Exception:
+        if len(fault_sets) == 1:
+            return [WEDGED]
+        mid = len(fault_sets) // 2
+        return safe_signatures(
+            program, config, cycles, fault_sets[:mid], context
+        ) + safe_signatures(program, config, cycles, fault_sets[mid:], context)

@@ -1,0 +1,214 @@
+"""Deterministic counter-based substream sampling for Monte-Carlo runs.
+
+The old ``repro.pdk.variation._lcg_gauss`` drew every sample from one
+sequential LCG stream, so the factor assigned to cell ``k`` in trial
+``t`` depended on *how many draws happened before it* -- changing the
+trial count, the instance order, or the shard boundary silently
+re-diced every unit.  This module replaces it with a **stream-split
+counter scheme**: every sample is a pure hash of its coordinates, so
+any sub-range of units can be generated independently and identically.
+
+Stream-split scheme
+-------------------
+
+A sample is addressed by ``(seed, domain, stream, index)``:
+
+* ``seed`` -- the campaign seed (any Python int; masked to 64 bits);
+* ``domain`` -- a short string namespace (``"timing"``,
+  ``"defects"``) hashed with FNV-1a so different uses of the same
+  seed never collide;
+* ``stream`` -- the per-cell substream id (instance position in
+  ``netlist.instances``);
+* ``index`` -- the draw counter within the stream (the global printed
+  *unit* index -- never a shard-relative one).
+
+Key derivation is SplitMix64: the per-stream key is
+``mix64(mix64(seed ^ fnv(domain)) + (stream + 1) * GOLDEN)`` and the
+word for draw ``n`` is ``mix64(key + n * GOLDEN)``, where ``mix64`` is
+the SplitMix64 finalizer and ``GOLDEN`` is its odd increment
+(0x9E3779B97F4A7C15).  Uniforms take the top 53 bits
+(``((word >> 11) + 0.5) * 2**-53``, never 0 or 1); normals are
+Box-Muller over two consecutive draws (``n = 2*index`` and
+``2*index + 1``).
+
+Scalar == vectorized, bit-exact
+-------------------------------
+
+Both paths compute the *same* IEEE-754 operations on the same 64-bit
+words: the vectorized path uses ``uint64`` array arithmetic (wrapping
+multiply/add) and numpy ufuncs; the scalar reference path computes the
+words with Python integers masked to 64 bits and then applies the same
+``np.log``/``np.cos``/``np.sqrt`` ufuncs to ``np.float64`` scalars.
+Numpy ufuncs are value-deterministic across array shapes (and
+``math.log`` is *not* guaranteed to match ``np.log``, which is why the
+scalar path routes through numpy), so ``normal(s, i)`` equals
+``normals(lo, hi)[s, i - lo]`` exactly -- asserted by
+``tests/mc/test_sampling.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.metrics import counter as _obs_counter
+
+_MASK64 = (1 << 64) - 1
+
+#: SplitMix64 odd increment (golden-ratio constant).
+_GOLDEN = 0x9E3779B97F4A7C15
+
+#: FNV-1a 64-bit offset basis / prime, for hashing domain strings.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+_TWO_PI = 6.283185307179586
+_U53 = 2.0**-53
+
+_KEY_CACHE_HITS = _obs_counter("mc.sampler.cache_hits")
+_KEY_CACHE_MISSES = _obs_counter("mc.sampler.cache_misses")
+
+#: Per-process memo of derived stream-key vectors.  Key derivation is
+#: two mix rounds per stream -- cheap, but the timing engine asks for
+#: the same (seed, domain, streams) triple once per instance block, so
+#: campaigns over 10^5-10^6 units hit this dict thousands of times.
+_KEY_CACHE: dict[tuple[int, str, int], np.ndarray] = {}
+
+
+def _fnv1a(text: str) -> int:
+    value = _FNV_OFFSET
+    for byte in text.encode():
+        value = ((value ^ byte) * _FNV_PRIME) & _MASK64
+    return value
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer over Python ints (exact 64-bit wrap)."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _mix64_array(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    x = x.copy()
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def _base_key(seed: int, domain: str) -> int:
+    return _mix64((seed & _MASK64) ^ _fnv1a(domain))
+
+
+def stream_keys(seed: int, streams: int, domain: str) -> np.ndarray:
+    """Per-stream SplitMix64 keys, memoized per (seed, domain, count).
+
+    The returned array is shared -- treat it as read-only.
+    """
+    cache_key = (seed & _MASK64, domain, streams)
+    keys = _KEY_CACHE.get(cache_key)
+    if keys is not None:
+        _KEY_CACHE_HITS.inc()
+        return keys
+    _KEY_CACHE_MISSES.inc()
+    base = _base_key(seed, domain)
+    ids = np.arange(1, streams + 1, dtype=np.uint64)
+    keys = _mix64_array(np.uint64(base) + ids * np.uint64(_GOLDEN))
+    keys.setflags(write=False)
+    _KEY_CACHE[cache_key] = keys
+    return keys
+
+
+def clear_key_cache() -> None:
+    """Drop memoized stream keys (tests; bounded memory hygiene)."""
+    _KEY_CACHE.clear()
+
+
+class SubstreamSampler:
+    """Per-stream counter-based sampler for one (seed, domain) pair.
+
+    Args:
+        seed: Campaign seed (any int).
+        streams: Number of independent substreams (e.g. cell count).
+        domain: Namespace string separating different uses of the same
+            seed (timing factors vs defect draws).
+
+    ``normals(lo, hi)`` returns the ``(streams, hi - lo)`` matrix of
+    standard-normal draws for unit indices ``[lo, hi)``; ``normal(s,
+    i)`` is the scalar reference returning the identical value.  The
+    same pairing holds for ``uniforms``/``uniform`` (one word per
+    index; bit 0 of the same word is exposed as ``bits``/``bit`` for
+    auxiliary coin flips -- the uniform only consumes bits 11..63).
+    """
+
+    def __init__(self, seed: int, streams: int, domain: str) -> None:
+        self.seed = seed & _MASK64
+        self.streams = streams
+        self.domain = domain
+        self.keys = stream_keys(seed, streams, domain)
+
+    # -- word generation ---------------------------------------------------
+
+    def _words(self, counters: np.ndarray) -> np.ndarray:
+        """Words for a ``(count,)`` counter vector, all streams at once."""
+        return _mix64_array(
+            self.keys[:, None] + counters[None, :] * np.uint64(_GOLDEN)
+        )
+
+    def _word(self, stream: int, counter: int) -> int:
+        return _mix64(int(self.keys[stream]) + counter * _GOLDEN)
+
+    # -- uniforms ----------------------------------------------------------
+
+    def uniforms(self, lo: int, hi: int) -> np.ndarray:
+        """Uniform(0,1) matrix for unit indices ``[lo, hi)``."""
+        words = self._words(np.arange(lo, hi, dtype=np.uint64))
+        return ((words >> np.uint64(11)).astype(np.float64) + 0.5) * _U53
+
+    def uniform(self, stream: int, index: int) -> float:
+        """Scalar reference for ``uniforms(lo, hi)[stream, index - lo]``."""
+        word = self._word(stream, index)
+        return float(((word >> 11) + 0.5) * _U53)
+
+    def bits(self, lo: int, hi: int) -> np.ndarray:
+        """Bit 0 of each unit's word (independent of its uniform)."""
+        words = self._words(np.arange(lo, hi, dtype=np.uint64))
+        return (words & np.uint64(1)).astype(np.uint8)
+
+    def bit(self, stream: int, index: int) -> int:
+        """Scalar reference for ``bits(lo, hi)[stream, index - lo]``."""
+        return self._word(stream, index) & 1
+
+    # -- normals -----------------------------------------------------------
+
+    def normals(self, lo: int, hi: int) -> np.ndarray:
+        """Standard-normal matrix for unit indices ``[lo, hi)``.
+
+        Box-Muller over draw counters ``2*index`` and ``2*index + 1``.
+        """
+        counters = np.arange(lo, hi, dtype=np.uint64) * np.uint64(2)
+        w1 = self._words(counters)
+        w2 = self._words(counters + np.uint64(1))
+        u1 = ((w1 >> np.uint64(11)).astype(np.float64) + 0.5) * _U53
+        u2 = ((w2 >> np.uint64(11)).astype(np.float64) + 0.5) * _U53
+        return np.sqrt(-2.0 * np.log(u1)) * np.cos(_TWO_PI * u2)
+
+    def normal(self, stream: int, index: int) -> float:
+        """Scalar reference for ``normals(lo, hi)[stream, index - lo]``.
+
+        Computes the words with exact Python-int arithmetic, then the
+        float transform with numpy *scalar* ufuncs -- the same
+        operations the vectorized path applies element-wise, so the
+        result is bit-identical (``math.log`` would not be).
+        """
+        w1 = self._word(stream, 2 * index)
+        w2 = self._word(stream, 2 * index + 1)
+        u1 = np.float64(((w1 >> 11) + 0.5) * _U53)
+        u2 = np.float64(((w2 >> 11) + 0.5) * _U53)
+        return float(np.sqrt(-2.0 * np.log(u1)) * np.cos(_TWO_PI * u2))

@@ -1,0 +1,163 @@
+"""Mergeable log-bucket quantile sketches for streamed shard summaries.
+
+Yield campaign shards must not ship raw samples back to the parent --
+10^6 units x 8 bytes per axis is exactly the traffic sharding exists
+to avoid.  Each shard instead streams a :class:`QuantileSketch`: a
+DDSketch-style map of *relative-error* log buckets (bucket ``i``
+covers ``(gamma^(i-1), gamma^i]`` with ``gamma = (1 + alpha) / (1 -
+alpha)``) plus exact count / sum / min / max.
+
+Two properties the engine leans on:
+
+* **Relative-accuracy quantiles** -- any quantile comes back within
+  ``alpha`` relative error (default 0.5%), which is far inside the
+  Monte-Carlo noise of the campaigns themselves;
+* **Bit-exact merging** -- a value's bucket index is a pure function
+  of the value, and merging is integer bucket-count addition, so the
+  merged sketch is *identical* whatever the shard boundaries or worker
+  count were.  (The float ``sum`` is accumulated per added block and
+  merged in submission order, so equal shard geometry gives equal sums
+  too -- the shard-invariance contract tested by
+  ``tests/mc/test_engine.py``.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Default relative accuracy of reported quantiles.
+DEFAULT_ALPHA = 0.005
+
+
+class QuantileSketch:
+    """Log-bucket quantile sketch over positive samples.
+
+    Non-positive samples (a degenerate zero delay) land in a dedicated
+    zero bucket and report as 0.0.
+    """
+
+    __slots__ = ("alpha", "gamma", "_log_gamma", "buckets", "zeros",
+                 "count", "total", "min", "max")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha {alpha} out of (0, 1)")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self.gamma)
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add_array(self, values: np.ndarray) -> None:
+        """Fold one block of samples in (vectorized bucketing)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        lo = float(values.min())
+        hi = float(values.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
+        positive = values[values > 0.0]
+        self.zeros += int(values.size - positive.size)
+        if positive.size:
+            indices = np.ceil(
+                np.log(positive) / self._log_gamma
+            ).astype(np.int64)
+            unique, counts = np.unique(indices, return_counts=True)
+            buckets = self.buckets
+            for index, n in zip(unique.tolist(), counts.tolist()):
+                buckets[index] = buckets.get(index, 0) + n
+
+    def add(self, value: float) -> None:
+        """Fold one scalar sample in."""
+        self.add_array(np.array([value], dtype=np.float64))
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into self (bucket-count addition); returns self."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with alpha {self.alpha} != {other.alpha}"
+            )
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zeros += other.zeros
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate (relative error <= alpha).
+
+        Deterministic rule: the value of the bucket containing the
+        ``ceil(q * count)``-th smallest sample (rank 1 at ``q = 0``),
+        estimated at the bucket's harmonic midpoint ``2 * gamma^i /
+        (gamma + 1)`` and clamped to the exact observed ``[min, max]``.
+        The extreme ranks report the exact tracked extremes.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} out of [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(math.ceil(q * self.count)))
+        cumulative = self.zeros
+        if rank <= cumulative:
+            return 0.0
+        if rank >= self.count:
+            return self.max
+        if rank == 1 and self.zeros == 0:
+            return self.min
+        value = 0.0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                value = 2.0 * self.gamma**index / (self.gamma + 1.0)
+                break
+        if self.min is not None:
+            value = min(max(value, self.min), self.max)
+        return value
+
+    # -- serialization (shards ship dicts through parallel_map) -----------
+
+    def to_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+            "zeros": self.zeros,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuantileSketch":
+        sketch = cls(alpha=payload["alpha"])
+        sketch.buckets = {int(i): n for i, n in payload["buckets"].items()}
+        sketch.zeros = payload["zeros"]
+        sketch.count = payload["count"]
+        sketch.total = payload["total"]
+        sketch.min = payload["min"]
+        sketch.max = payload["max"]
+        return sketch

@@ -34,9 +34,14 @@ class LanePlan:
     Attributes:
         lanes: Number of packed runs (bigint width / bit-slice lanes).
         faults: Optional per-lane stuck-at faults -- a ``lanes``-tuple
-            of :class:`~repro.netlist.faults.StuckAtFault` or ``None``
-            for a healthy lane.  ``None`` (or all-``None``) means no
-            forcing at all.
+            where each entry is ``None`` (healthy lane), one
+            :class:`~repro.netlist.faults.StuckAtFault`, or a tuple of
+            them (a multi-defect printed unit).  ``None`` (or
+            all-``None``) means no forcing at all.  If one lane lists
+            two faults on the same net with conflicting values, the
+            backends' force order (and-mask then or-mask) makes
+            stuck-at-1 win; the Monte-Carlo defect sampler never emits
+            duplicate sites, so this only matters for hand-built plans.
         memories: Optional per-lane initial data-memory images (a
             ``lanes``-tuple of word tuples).  Consumed by harnesses,
             not by the simulators themselves.
@@ -60,15 +65,27 @@ class LanePlan:
 
     @classmethod
     def for_faults(cls, faults: Sequence) -> "LanePlan":
-        """One lane per entry of ``faults`` (``None`` = healthy lane)."""
+        """One lane per entry of ``faults`` (``None`` = healthy lane).
+
+        Entries may be single faults or per-lane fault tuples.
+        """
         faults = tuple(faults)
         return cls(lanes=len(faults), faults=faults)
+
+    @staticmethod
+    def _lane_faults(entry) -> tuple:
+        """Normalize one lane's entry to a (possibly empty) fault tuple."""
+        if entry is None:
+            return ()
+        if isinstance(entry, tuple):
+            return entry
+        return (entry,)
 
     @property
     def has_forces(self) -> bool:
         """Whether any lane forces any net."""
         return self.faults is not None and any(
-            fault is not None for fault in self.faults
+            self._lane_faults(entry) for entry in self.faults
         )
 
     def forced_bits(self, netlist) -> dict[int, list[tuple[int, int]]]:
@@ -82,13 +99,12 @@ class LanePlan:
         forced: dict[int, list[tuple[int, int]]] = {}
         if not self.has_forces:
             return forced
-        for lane, fault in enumerate(self.faults):
-            if fault is None:
-                continue
-            if not 0 <= fault.instance_index < len(netlist.instances):
-                raise SimulationError(f"no instance {fault.instance_index}")
-            net = netlist.instances[fault.instance_index].output
-            forced.setdefault(net, []).append((lane, fault.stuck_value))
+        for lane, entry in enumerate(self.faults):
+            for fault in self._lane_faults(entry):
+                if not 0 <= fault.instance_index < len(netlist.instances):
+                    raise SimulationError(f"no instance {fault.instance_index}")
+                net = netlist.instances[fault.instance_index].output
+                forced.setdefault(net, []).append((lane, fault.stuck_value))
         return forced
 
     def memory_images(self, base: Sequence[int]) -> list[list[int]]:

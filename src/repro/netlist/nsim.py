@@ -196,6 +196,19 @@ def _layout(netlist: Netlist) -> tuple[NumpyLayout, list[list[Instance]]]:
     )
 
 
+def levelized_layout(
+    netlist: Netlist,
+) -> tuple[NumpyLayout, list[list[Instance]]]:
+    """Public row layout + per-level instance lists for ``netlist``.
+
+    The same levelized geometry the generated simulation kernels use,
+    exposed for other vectorized passes over the value matrix -- the
+    Monte-Carlo timing engine (:mod:`repro.mc.timing`) propagates
+    arrival times level by level through exactly these rows.
+    """
+    return _layout(netlist)
+
+
 def _statements(instance: Instance, row_of: dict[int, int]) -> list[str]:
     ops = _CELL_OPS.get(instance.cell)
     if ops is None:

@@ -116,6 +116,17 @@ def _topological_order(netlist: Netlist) -> list[Instance]:
     return ordered
 
 
+def topological_order(netlist: Netlist) -> list[Instance]:
+    """Public alias of the combinational topological sort.
+
+    Shared by the polarity-aware STA here, the numpy kernel codegen
+    (:mod:`repro.netlist.nsim`), and the Monte-Carlo variation models
+    (:mod:`repro.pdk.variation`, :mod:`repro.mc.timing`) -- one order,
+    one cycle check.
+    """
+    return _topological_order(netlist)
+
+
 @dataclass
 class _Arrival:
     """Rise/fall arrival pair plus the path reaching the later one."""

@@ -184,6 +184,8 @@ _GROUPS = (
     ("Cache hit rates", lambda n: n.endswith("_hit_rate")),
     ("Campaign throughput",
      lambda n: n.startswith("metric.faults.") or n.endswith(".faults_per_s")),
+    ("Monte-Carlo yield",
+     lambda n: n.startswith("mc.") or n.startswith("metric.mc.")),
     ("Worker fan-out health", lambda n: n.startswith("metric.exec.worker")),
     ("Suite & stage timings",
      lambda n: n == "wall_seconds" or n.startswith("stage.")),

@@ -222,6 +222,34 @@ def extract_series(report: dict) -> dict:
             series[f"bench.parallel_scaling.jobs{jobs}.combined_s"] = (
                 entry["combined_s"]
             )
+    engine = report.get("yield_engine", {})
+    if _is_number(engine.get("speedup_vs_scalar")):
+        series["bench.yield_engine.speedup_vs_scalar"] = (
+            engine["speedup_vs_scalar"]
+        )
+    for path in ("vectorized", "scalar"):
+        entry = engine.get(path, {})
+        if _is_number(entry.get("instances_per_s")):
+            series[f"bench.yield_engine.{path}.instances_per_s"] = (
+                entry["instances_per_s"]
+            )
+
+    # Yield campaigns (python -m repro yield --report): headline
+    # throughput and the quality-of-result scalars per design.
+    for design, campaign in report.get("yield_campaigns", {}).items():
+        if _is_number(campaign.get("instances_per_second")):
+            series[f"mc.{design}.instances_per_s"] = (
+                campaign["instances_per_second"]
+            )
+        if _is_number(campaign.get("wall_seconds")):
+            series[f"mc.{design}.seconds"] = campaign["wall_seconds"]
+        if _is_number(campaign.get("functional_yield")):
+            series[f"mc.{design}.functional_yield"] = (
+                campaign["functional_yield"]
+            )
+        fmax = campaign.get("fmax_quantiles", {})
+        if _is_number(fmax.get("0.05")):
+            series[f"mc.{design}.fmax_p05"] = fmax["0.05"]
     return series
 
 
@@ -358,7 +386,8 @@ def series_direction(name: str) -> str | None:
     else (counts, coverage snapshots) is tracked but never gated.
     """
     if name.endswith(
-        (".speedup", ".faults_per_s", "_hit_rate", ".per_second.mean")
+        (".speedup", ".faults_per_s", "_hit_rate", ".per_second.mean",
+         ".instances_per_s")
     ) or name.rsplit(".", 1)[-1].startswith("speedup_vs_"):
         return "higher"
     if name.endswith(

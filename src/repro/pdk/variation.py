@@ -13,14 +13,24 @@ microprocessors, both quantified here:
   microprocessors must therefore be *small*, reinforcing the paper's
   minimal-gate-count ISA argument from a different direction.
 
-Randomness is a deterministic LCG (reproducible runs, no global
-state).
+Randomness is the deterministic **stream-split counter scheme** of
+:mod:`repro.mc.sampling`: cell instance ``k`` owns substream ``k``
+(domain ``"timing"``), and printed unit ``t`` consumes draw index
+``t`` of every substream.  A sample is a pure hash of ``(seed, cell,
+unit)`` -- *not* a position in one sequential stream -- so unit ``t``
+gets identical factors whether a campaign runs 10 trials or 10^6,
+serial or sharded.  :func:`monte_carlo_timing` below is the *scalar
+reference path* for that scheme; the vectorized fleet engine
+(:mod:`repro.mc.timing`) produces bit-identical delays at equal unit
+indices, and ``tests/mc/test_timing.py`` asserts it.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import PDKError
 from repro.netlist.core import CONST0, CONST1, Netlist, SEQUENTIAL_CELLS
@@ -29,22 +39,6 @@ from repro.pdk.cells import CellLibrary
 
 #: Measured EGFET per-device yield range (Section 3.1).
 EGFET_DEVICE_YIELD_RANGE = (0.90, 0.99)
-
-
-def _lcg_gauss(seed: int):
-    """Deterministic standard-normal stream (Box-Muller over an LCG)."""
-    state = seed & 0x7FFFFFFF or 1
-
-    def uniform() -> float:
-        nonlocal state
-        state = (1103515245 * state + 12345) & 0x7FFFFFFF
-        return (state + 1) / (0x7FFFFFFF + 2)
-
-    while True:
-        u1, u2 = uniform(), uniform()
-        radius = math.sqrt(-2.0 * math.log(u1))
-        yield radius * math.cos(2 * math.pi * u2)
-        yield radius * math.sin(2 * math.pi * u2)
 
 
 @dataclass(frozen=True)
@@ -81,17 +75,34 @@ def monte_carlo_timing(
     factor ``exp(sigma * N(0,1))`` per trial; propagation uses the
     worst-edge delay for speed (the spread, not the absolute value, is
     the quantity of interest).
+
+    This is the **scalar reference path** of the Monte-Carlo engine:
+    trial ``t`` draws from each cell substream at index ``t`` (the
+    stream-split scheme documented in :mod:`repro.mc.sampling`), so
+    trial ``t``'s factors are a pure function of ``(seed, cell, t)``
+    -- independent of the trial count and of any shard boundary -- and
+    ``repro.mc.timing.sample_delays(netlist, library, sigma, 0,
+    trials, seed)`` returns exactly ``self.samples``.  The float
+    transform deliberately routes through numpy scalar ufuncs (not
+    ``math.*``) so scalar and vectorized samples are bit-identical.
     """
     if sigma < 0:
         raise PDKError("sigma must be non-negative")
+    from repro.mc.sampling import SubstreamSampler
+    from repro.mc.timing import TIMING_DOMAIN
+
     order = _topological_order(netlist)
     base_delay = [library.cell(i.cell).worst_delay for i in netlist.instances]
     index_of = {id(instance): k for k, instance in enumerate(netlist.instances)}
-    gauss = _lcg_gauss(seed)
+    sampler = SubstreamSampler(seed, len(netlist.instances), TIMING_DOMAIN)
+    sigma64 = np.float64(sigma)
 
     samples = []
-    for _ in range(trials):
-        factors = [math.exp(sigma * next(gauss)) for _ in netlist.instances]
+    for trial in range(trials):
+        factors = [
+            float(np.exp(sigma64 * sampler.normal(k, trial)))
+            for k in range(len(netlist.instances))
+        ]
         arrival: dict[int, float] = {CONST0: 0.0, CONST1: 0.0}
         for bus in netlist.inputs.values():
             for net in bus:

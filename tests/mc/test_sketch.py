@@ -1,0 +1,104 @@
+"""Quantile sketch: accuracy, bit-exact merging, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.mc.sketch import QuantileSketch
+
+
+def _filled(values, alpha=0.005):
+    sketch = QuantileSketch(alpha=alpha)
+    sketch.add_array(np.asarray(values, dtype=np.float64))
+    return sketch
+
+
+def test_quantiles_within_relative_error():
+    rows = np.linspace(0.001, 10.0, 10_001)
+    sketch = _filled(rows)
+    for q in (0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+        exact = float(np.quantile(rows, q))
+        assert abs(sketch.quantile(q) - exact) <= 0.011 * exact
+
+
+def test_extremes_are_exact():
+    rows = np.array([3.0, 1.5, 9.0, 2.5])
+    sketch = _filled(rows)
+    assert sketch.quantile(0.0) == 1.5
+    assert sketch.quantile(1.0) == 9.0
+    assert sketch.min == 1.5
+    assert sketch.max == 9.0
+
+
+def test_mean_and_count_exact():
+    rows = np.array([1.0, 2.0, 3.0, 4.0])
+    sketch = _filled(rows)
+    assert sketch.count == 4
+    assert sketch.mean == 2.5
+
+
+def test_merge_is_bit_exact_for_any_split():
+    rows = np.exp(np.linspace(-3, 3, 5000))
+    whole = _filled(rows)
+    for cut in (1, 137, 2500, 4999):
+        left = _filled(rows[:cut])
+        right = _filled(rows[cut:])
+        merged = left.merge(right)
+        assert merged.buckets == whole.buckets
+        assert merged.count == whole.count
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        # Float totals match bit-exactly too when block boundaries
+        # match add_array boundaries (the engine's shard contract);
+        # across arbitrary cuts they match to accumulation order.
+        assert merged.total == pytest.approx(whole.total, rel=1e-12)
+
+
+def test_merge_order_does_not_change_buckets():
+    a = _filled(np.linspace(0.1, 1.0, 100))
+    b = _filled(np.linspace(1.0, 10.0, 100))
+    ab = _filled(np.linspace(0.1, 1.0, 100)).merge(b)
+    ba = _filled(np.linspace(1.0, 10.0, 100)).merge(a)
+    assert ab.buckets == ba.buckets
+    assert ab.count == ba.count
+
+
+def test_merge_rejects_mismatched_alpha():
+    with pytest.raises(ValueError):
+        QuantileSketch(alpha=0.005).merge(QuantileSketch(alpha=0.01))
+
+
+def test_zero_and_negative_values_bucket_separately():
+    sketch = _filled([0.0, 0.0, 1.0, 2.0])
+    assert sketch.zeros == 2
+    assert sketch.count == 4
+    assert sketch.quantile(0.25) == 0.0
+    assert sketch.quantile(1.0) == 2.0
+
+
+def test_empty_sketch():
+    sketch = QuantileSketch()
+    assert sketch.count == 0
+    assert sketch.mean == 0.0
+    assert sketch.quantile(0.5) == 0.0
+
+
+def test_round_trip_serialization():
+    rows = np.exp(np.linspace(-2, 2, 333))
+    sketch = _filled(rows)
+    clone = QuantileSketch.from_dict(sketch.to_dict())
+    assert clone.buckets == sketch.buckets
+    assert clone.count == sketch.count
+    assert clone.total == sketch.total
+    assert clone.min == sketch.min
+    assert clone.max == sketch.max
+    for q in (0.1, 0.5, 0.9):
+        assert clone.quantile(q) == sketch.quantile(q)
+
+
+def test_alpha_validation():
+    with pytest.raises(ValueError):
+        QuantileSketch(alpha=0.0)
+    with pytest.raises(ValueError):
+        QuantileSketch(alpha=1.0)
+    with pytest.raises(ValueError):
+        QuantileSketch().quantile(1.5)

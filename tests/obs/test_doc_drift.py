@@ -29,6 +29,9 @@ INSTRUMENTED_MODULES = (
     "repro.verify.differential",
     "repro.verify.lint",
     "repro.obs.history",
+    "repro.mc.sampling",
+    "repro.mc.timing",
+    "repro.mc.engine",
 )
 
 #: A backticked span counts as a metric name when it is all-lowercase
