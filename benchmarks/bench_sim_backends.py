@@ -13,7 +13,11 @@ The ``yield_engine`` section races the vectorized Monte-Carlo timing
 sampler (:mod:`repro.mc.timing`) against the scalar per-trial
 reference walk on the same fleet (bit-exact prefix asserted); its
 ``speedup_vs_scalar`` is gated by the cross-run history sentinel
-rather than a fixed floor.
+rather than a fixed floor.  The ``placement_quality`` section places
+a sweep cross-section on auto-sized printed fabrics in both
+technologies and tracks greedy-vs-annealed HPWL plus the wire-aware
+vs wire-blind fmax/energy deltas (:mod:`repro.place`); ``hpwl_m`` and
+``improvement_pct`` are sentinel-gated the same way.
 
 The run is emitted through the :mod:`repro.obs` layer: every stage is
 a tracing span, and ``BENCH_sim.json`` at the repository root is a
@@ -539,6 +543,75 @@ def bench_yield_engine(units: int = 50_000, scalar_trials: int = 24) -> dict:
     return results
 
 
+#: Sweep cross-section for the placement-quality bench.
+PLACEMENT_CONFIGS = ("p1_4_2", "p1_8_2", "p2_8_2", "p1_16_2")
+
+
+def bench_placement_quality(
+    configs=PLACEMENT_CONFIGS,
+    technologies=("EGFET", "CNT"),
+    seed: int = 0,
+) -> dict:
+    """Placement quality and wire-aware PPA across the sweep.
+
+    Places each config on its auto-sized fabric in both technologies
+    and records greedy-vs-annealed HPWL plus the wire-aware vs
+    wire-blind fmax/energy deltas.  Keys are ``<design>.<technology>``;
+    ``hpwl_m`` (lower) and ``improvement_pct`` (higher) are gated by
+    the cross-run history sentinel.  The run also asserts the placer's
+    two hard invariants -- annealed HPWL never worse than greedy, and
+    wire-aware PPA never better than wire-blind -- so a quality bug
+    fails the bench, not just a trend line.
+    """
+    from repro.coregen.config import config_from_name
+    from repro.coregen.generator import generate_core
+    from repro.pdk import technology_library
+    from repro.place import fabric_for, place, wire_aware_ppa
+
+    results: dict[str, dict] = {}
+    for name in configs:
+        netlist = generate_core(config_from_name(name))
+        for technology in technologies:
+            with obs.span(
+                "bench_placement", design=name, technology=technology
+            ):
+                start = time.perf_counter()
+                fabric = fabric_for(netlist, technology=technology)
+                placement = place(netlist, fabric, seed=seed)
+                ppa = wire_aware_ppa(
+                    netlist, placement, technology_library(technology)
+                )
+                elapsed = time.perf_counter() - start
+            if placement.hpwl > placement.greedy_hpwl:
+                raise AssertionError(
+                    f"{name}/{technology}: annealed HPWL worse than greedy"
+                )
+            if (
+                ppa["delay_overhead_pct"] < 0.0
+                or ppa["energy_overhead_pct"] < 0.0
+            ):
+                raise AssertionError(
+                    f"{name}/{technology}: wire-aware PPA better than blind"
+                )
+            results[f"{name}.{technology}"] = {
+                "fabric": fabric.name,
+                "greedy_hpwl_m": round(placement.greedy_hpwl, 6),
+                "hpwl_m": round(placement.hpwl, 6),
+                "improvement_pct": round(placement.improvement_pct, 2),
+                "delay_overhead_pct": round(ppa["delay_overhead_pct"], 3),
+                "energy_overhead_pct": round(ppa["energy_overhead_pct"], 3),
+                "wall_s": round(elapsed, 3),
+            }
+            print(
+                f"placement ({name}, {technology}): "
+                f"hpwl {placement.hpwl:.4g} m "
+                f"(greedy -{placement.improvement_pct:.1f}%), "
+                f"delay +{ppa['delay_overhead_pct']:.2f}%, "
+                f"energy +{ppa['energy_overhead_pct']:.2f}%"
+            )
+    return results
+
+
 def _baseline_regression(out_path: Path, overhead: dict) -> float | None:
     """Disabled-rate delta vs the checked-in baseline, percent (+ = slower)."""
     try:
@@ -566,6 +639,9 @@ def main(argv: list[str]) -> int:
         probe = bench_probe_overhead(pairs=24, chunk=96)
         scaling = bench_parallel_scaling(jobs_list=(1, 2), campaign_stride=8)
         yield_engine = bench_yield_engine(units=2_000, scalar_trials=8)
+        placement = bench_placement_quality(
+            configs=("p1_8_2",), technologies=("EGFET",)
+        )
     else:
         cosim = bench_cosim()
         fault = bench_fault_campaign()
@@ -574,6 +650,7 @@ def main(argv: list[str]) -> int:
         probe = bench_probe_overhead()
         scaling = bench_parallel_scaling()
         yield_engine = bench_yield_engine()
+        placement = bench_placement_quality()
 
     out = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
     report = obs.build_run_report(
@@ -589,6 +666,7 @@ def main(argv: list[str]) -> int:
     report["probe_overhead"] = probe
     report["parallel_scaling"] = scaling
     report["yield_engine"] = yield_engine
+    report["placement_quality"] = placement
     report["headline_speedup_p1_8_2"] = cosim[HEADLINE.name]["speedup"]
     report["headline_numpy_campaign"] = {
         "speedup_vs_interpreted": numpy_fault["speedup_vs_interpreted"],

@@ -34,6 +34,11 @@ Usage::
                                        # campaign: fmax distribution,
                                        # functional yield, cost and
                                        # lifetime per printed unit
+    python -m repro place p1_8_2 --fabric small --seed 0
+                                       # printed-fabric placement with
+                                       # wire RC back-annotation:
+                                       # layout.html + wire-aware vs
+                                       # wire-blind PPA
     python -m repro history check      # regression sentinel over the
                                        # cross-run telemetry ledger
     python -m repro history show       # recent ledger records
@@ -258,6 +263,10 @@ def main(argv: list[str]) -> int:
         from repro.apps.yieldcli import yield_main
 
         return yield_main(argv[1:])
+    if argv and argv[0] == "place":
+        from repro.apps.place import place_main
+
+        return place_main(argv[1:])
     if argv and argv[0] == "history":
         from repro.apps.history import history_main
 

@@ -35,8 +35,6 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Sequence
 
-import numpy as np
-
 from repro import obs
 from repro.coregen.config import CoreConfig
 from repro.coregen.cosim import CoSimHarness, architectural_nets
@@ -52,7 +50,7 @@ from repro.netlist.faults import (
     StuckAtFault,
     enumerate_fault_sites,
 )
-from repro.netlist.lanes import LanePlan
+from repro.netlist.lanes import LaneMemoryHarness, LanePlan
 from repro.netlist.nsim import NumpySimulator
 from repro.sim.machine import Machine
 
@@ -157,6 +155,48 @@ def _campaign_context(program: Program, config: CoreConfig) -> _CampaignContext:
     return _WORKER_CONTEXT[1]
 
 
+def halt_word_encoder(config: CoreConfig):
+    """``pc -> instruction word`` for fetches past the program end.
+
+    Encodes the same self-branch the scalar harness pads with; shared
+    by both lane backends and the differential verifier via
+    :class:`~repro.netlist.lanes.LaneMemoryHarness`.
+    """
+
+    def encode(pc: int) -> int:
+        return encode_for_core(
+            Instruction(Mnemonic.BRN, target=pc, mask=0), config
+        )
+
+    return encode
+
+
+def _lane_signatures(
+    harness: LaneMemoryHarness, config: CoreConfig, context: _CampaignContext
+) -> list[tuple]:
+    """Per-lane architectural signatures after a finished harness run."""
+    sim = harness.sim
+    memory_rows = harness.memory_rows()
+    pcs = sim.read_output("pc")
+    flag_values = [
+        sim.read_nets(context.flag_nets.get(flag.name, ()))
+        for flag in config.flags
+    ]
+    bar_values = [
+        sim.read_nets(context.bar_nets.get(index, ()))
+        for index in range(1, config.num_bars)
+    ]
+    return [
+        (
+            tuple(memory_rows[lane]),
+            pcs[lane],
+            tuple(values[lane] for values in flag_values),
+            tuple(values[lane] for values in bar_values),
+        )
+        for lane in range(harness.lanes)
+    ]
+
+
 def _run_batched(
     program: Program,
     config: CoreConfig,
@@ -169,95 +209,23 @@ def _run_batched(
     Mirrors :meth:`CoSimHarness.step` exactly -- three settles with
     behavioural ROM/RAM provided between them, then writeback -- but
     every lane carries its own fault and its own data-memory image.
+    The memory loop itself lives in the shared
+    :class:`~repro.netlist.lanes.LaneMemoryHarness`.
     """
     if context is None:
         context = _prepare_campaign(program, config)
-    rom = context.rom
-    halt_words = context.halt_words
     lanes = len(faults)
     sim = BitParallelSimulator(context.netlist, lanes, faults=faults)
-    memories = [list(context.base_memory) for _ in range(lanes)]
-
-    def provide() -> None:
-        words = []
-        for pc in sim.read_output("pc"):
-            if pc < len(rom):
-                words.append(rom[pc])
-            else:
-                word = halt_words.get(pc)
-                if word is None:
-                    word = halt_words[pc] = encode_for_core(
-                        Instruction(Mnemonic.BRN, target=pc, mask=0), config
-                    )
-                words.append(word)
-        sim.set_input("instr", words)
-        addr_a = sim.read_output("addr_a")
-        addr_b = sim.read_output("addr_b")
-        sim.set_input(
-            "rdata_a", [memories[lane][addr_a[lane]] for lane in range(lanes)]
-        )
-        sim.set_input(
-            "rdata_b", [memories[lane][addr_b[lane]] for lane in range(lanes)]
-        )
-
-    sim.reset()
-    for _ in range(cycles):
-        sim.settle()
-        provide()
-        sim.settle()
-        provide()
-        sim.settle()
-        we = sim.read_output("we")
-        waddr = sim.read_output("waddr")
-        wdata = sim.read_output("wdata")
-        sim.tick()
-        for lane in range(lanes):
-            if we[lane]:
-                memories[lane][waddr[lane]] = wdata[lane]
-
-    sim.settle()
-    pcs = sim.read_output("pc")
-    flag_values = [
-        sim.read_nets(context.flag_nets.get(flag.name, ()))
-        for flag in config.flags
-    ]
-    bar_values = [
-        sim.read_nets(context.bar_nets.get(index, ()))
-        for index in range(1, config.num_bars)
-    ]
-    return [
-        (
-            tuple(memories[lane]),
-            pcs[lane],
-            tuple(values[lane] for values in flag_values),
-            tuple(values[lane] for values in bar_values),
-        )
-        for lane in range(lanes)
-    ]
-
-
-def _fetch_table(context: _CampaignContext, config: CoreConfig) -> np.ndarray:
-    """Instruction word per possible PC value, as one gather table.
-
-    The PC bus is at most 8 bits (`CoreConfig` validates `pc_bits <=
-    8`), so the whole fetch path -- ROM lookup plus the synthetic
-    halt-branch padding for PCs past the program end -- precomputes
-    into a table of at most 256 words.  ``fetch[pc]`` then replaces the
-    per-lane Python fetch loop with one vectorized gather.
-    """
-    rom = context.rom
-    pc_bits = len(context.netlist.outputs["pc"].nets)
-    table = np.zeros(1 << pc_bits, dtype=np.uint64)
-    table[: len(rom)] = rom
-    halt_words = context.halt_words
-    for pc in range(len(rom), 1 << pc_bits):
-        word = halt_words.get(pc)
-        if word is None:
-            word = halt_words[pc] = encode_for_core(
-                Instruction(Mnemonic.BRN, target=pc, mask=0), config
-            )
-        table[pc] = word
-    return table
+    harness = LaneMemoryHarness(
+        sim,
+        lanes=lanes,
+        rom=context.rom,
+        base_memory=context.base_memory,
+        halt_word=halt_word_encoder(config),
+        halt_words=context.halt_words,
+    )
+    harness.run(cycles)
+    return _lane_signatures(harness, config, context)
 
 
 def _run_batched_numpy(
@@ -271,64 +239,27 @@ def _run_batched_numpy(
     on the numpy bit-slice backend.
 
     Same cycle structure as :func:`_run_batched` (mirroring
-    :meth:`CoSimHarness.step`), but the per-lane Python loops are gone:
-    instruction fetch is a table gather, data memory is one
+    :meth:`CoSimHarness.step`), but on the shared harness's array
+    path: instruction fetch is a table gather, data memory is one
     ``(lanes, words)`` array read with fancy indexing and written back
-    under the ``we`` mask, so the harness stays O(kernel calls) rather
+    under the ``we`` mask, so the run stays O(kernel calls) rather
     than O(lanes) per cycle.
     """
     if context is None:
         context = _prepare_campaign(program, config)
     lanes = len(faults)
     sim = NumpySimulator(context.netlist, plan=LanePlan.for_faults(faults))
-    fetch = _fetch_table(context, config)
-    memory = np.tile(
-        np.asarray(context.base_memory, dtype=np.uint64), (lanes, 1)
+    harness = LaneMemoryHarness(
+        sim,
+        lanes=lanes,
+        rom=context.rom,
+        base_memory=context.base_memory,
+        halt_word=halt_word_encoder(config),
+        halt_words=context.halt_words,
+        pc_bits=len(context.netlist.outputs["pc"].nets),
     )
-    lane_index = np.arange(lanes)
-
-    def provide() -> None:
-        sim.set_input("instr", fetch[sim.read_output_array("pc")])
-        sim.set_input(
-            "rdata_a", memory[lane_index, sim.read_output_array("addr_a")]
-        )
-        sim.set_input(
-            "rdata_b", memory[lane_index, sim.read_output_array("addr_b")]
-        )
-
-    sim.reset()
-    for _ in range(cycles):
-        sim.settle()
-        provide()
-        sim.settle()
-        provide()
-        sim.settle()
-        we = sim.read_output_array("we").astype(bool)
-        waddr = sim.read_output_array("waddr")
-        wdata = sim.read_output_array("wdata")
-        sim.tick()
-        memory[lane_index[we], waddr[we]] = wdata[we]
-
-    sim.settle()
-    pcs = sim.read_output("pc")
-    flag_values = [
-        sim.read_nets(context.flag_nets.get(flag.name, ()))
-        for flag in config.flags
-    ]
-    bar_values = [
-        sim.read_nets(context.bar_nets.get(index, ()))
-        for index in range(1, config.num_bars)
-    ]
-    memory_rows = memory.tolist()
-    return [
-        (
-            tuple(memory_rows[lane]),
-            pcs[lane],
-            tuple(values[lane] for values in flag_values),
-            tuple(values[lane] for values in bar_values),
-        )
-        for lane in range(lanes)
-    ]
+    harness.run(cycles)
+    return _lane_signatures(harness, config, context)
 
 
 def golden_signature(

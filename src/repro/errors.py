@@ -84,5 +84,14 @@ class MemoryModelError(ReproError):
     """A memory-array model was configured inconsistently."""
 
 
+class PlacementError(ReproError):
+    """A design could not be placed on a printed fabric.
+
+    Raised for malformed fabrics, unknown fabric names, and designs
+    whose slot demand overflows the fabric's capacity (the message
+    carries the fit report's per-kind diagnostics).
+    """
+
+
 class ConfigError(ReproError):
     """A core or system configuration was invalid."""

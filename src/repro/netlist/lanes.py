@@ -17,12 +17,22 @@ differential executor switch between bigint lanes and numpy bit-slice
 words without touching batching logic -- and what keeps the two
 backends bit-exact by construction: they build their force masks from
 the *same* ``forced_bits`` map.
+
+:class:`LaneMemoryHarness` is the matching *architectural* half: the
+behavioural instruction-ROM / data-RAM model every lane-packed core
+run needs (fetch with halt-branch padding past the program end, dual
+read ports, write-enable writeback).  The fault campaign and the
+differential verifier used to each maintain their own copy of this
+loop; they now both drive this one harness, which picks the vectorized
+array path automatically when the simulator exposes
+``read_output_array`` (numpy bit-slice) and the per-lane list path
+otherwise (bigint).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.errors import SimulationError
 
@@ -119,3 +129,204 @@ class LanePlan:
         return [
             list(base if image is None else image) for image in self.memories
         ]
+
+
+class LaneMemoryHarness:
+    """Behavioural ROM/RAM model around a lane-packed core simulator.
+
+    Drives the memory side of the canonical lane-parallel cycle --
+    settle, provide fetch+read data, settle, provide again, settle,
+    capture the write port, tick, write back -- for every lane at
+    once.  This is the loop :meth:`repro.coregen.cosim.CoSimHarness.step`
+    runs for one machine, generalized to K independent lanes and
+    shared by the fault campaign and the differential verifier.
+
+    Two execution paths, chosen automatically:
+
+    * **array path** when the simulator exposes ``read_output_array``
+      (the numpy bit-slice backend): instruction fetch is a
+      precomputed-table gather, data memory is one ``(lanes, words)``
+      ``uint64`` array read with fancy indexing and written back under
+      the ``we`` mask -- O(kernel calls), not O(lanes), per cycle.
+    * **list path** otherwise (bigint bit-parallel): per-lane Python
+      loops over the simulator's list-valued ports.
+
+    Both paths are bit-exact with each other and with the scalar
+    harness.
+
+    Args:
+        sim: A lane simulator (``BitParallelSimulator`` or
+            ``NumpySimulator``) already constructed over the netlist.
+        lanes: Lane count (must match the simulator's packing).
+        rom: Shared instruction ROM (every lane runs one program), or
+        roms: Per-lane instruction ROMs (one program per lane).
+            Exactly one of ``rom``/``roms`` must be given.
+        base_memory: Shared initial data image, copied per lane, or
+        memories: Per-lane initial data images.  Exactly one must be
+            given.
+        halt_word: ``pc -> instruction word`` for fetches past the
+            program end (the consumers encode a self-branch).  Kept a
+            callable so this module never imports the ISA layer.
+        halt_words: Optional shared memo dict for ``halt_word`` results
+            (entries are pure functions of the PC, so campaign contexts
+            pass one dict across many harnesses).
+        pc_bits: PC bus width; required on the array path (it sizes
+            the fetch table), ignored on the list path.
+    """
+
+    def __init__(
+        self,
+        sim,
+        *,
+        lanes: int,
+        rom: Sequence[int] | None = None,
+        roms: Sequence[Sequence[int]] | None = None,
+        base_memory: Sequence[int] | None = None,
+        memories: Sequence[Sequence[int]] | None = None,
+        halt_word: Callable[[int], int],
+        halt_words: dict[int, int] | None = None,
+        pc_bits: int | None = None,
+    ) -> None:
+        if (rom is None) == (roms is None):
+            raise SimulationError("pass exactly one of rom= or roms=")
+        if (base_memory is None) == (memories is None):
+            raise SimulationError(
+                "pass exactly one of base_memory= or memories="
+            )
+        if roms is not None and len(roms) != lanes:
+            raise SimulationError(f"{len(roms)} ROMs for {lanes} lanes")
+        if memories is not None and len(memories) != lanes:
+            raise SimulationError(
+                f"{len(memories)} memory images for {lanes} lanes"
+            )
+        self.sim = sim
+        self.lanes = lanes
+        self._rom = list(rom) if rom is not None else None
+        self._roms = (
+            [list(r) for r in roms] if roms is not None else None
+        )
+        self._halt_word = halt_word
+        self._halt_words = halt_words if halt_words is not None else {}
+        self.array_mode = hasattr(sim, "read_output_array")
+        if memories is None:
+            memories = [list(base_memory) for _ in range(lanes)]
+        if self.array_mode:
+            import numpy as np
+
+            if pc_bits is None:
+                raise SimulationError(
+                    "pc_bits is required on the array path"
+                )
+            self._np = np
+            self._memory = np.asarray(memories, dtype=np.uint64)
+            self._lane_index = np.arange(lanes)
+            self._fetch = self._build_fetch_table(pc_bits)
+        else:
+            self.memories = [list(image) for image in memories]
+
+    def _halt(self, pc: int) -> int:
+        word = self._halt_words.get(pc)
+        if word is None:
+            word = self._halt_words[pc] = self._halt_word(pc)
+        return word
+
+    def _build_fetch_table(self, pc_bits: int):
+        """Instruction word per (lane,) possible PC, as a gather table.
+
+        The PC bus is at most 8 bits, so the whole fetch path -- ROM
+        lookup plus synthetic halt padding past the program end --
+        precomputes into at most 256 words (per lane when ROMs
+        differ); ``fetch[pc]`` then replaces the per-lane Python
+        fetch loop with one vectorized gather.
+        """
+        np = self._np
+        size = 1 << pc_bits
+        if self._rom is not None:
+            table = np.zeros(size, dtype=np.uint64)
+            table[: len(self._rom)] = self._rom
+            for pc in range(len(self._rom), size):
+                table[pc] = self._halt(pc)
+            return table
+        table = np.zeros((self.lanes, size), dtype=np.uint64)
+        for lane, rom in enumerate(self._roms):
+            table[lane, : len(rom)] = rom
+            for pc in range(len(rom), size):
+                table[lane, pc] = self._halt(pc)
+        return table
+
+    def _provide_array(self) -> None:
+        sim = self.sim
+        pcs = sim.read_output_array("pc")
+        if self._fetch.ndim == 1:
+            sim.set_input("instr", self._fetch[pcs])
+        else:
+            sim.set_input("instr", self._fetch[self._lane_index, pcs])
+        sim.set_input(
+            "rdata_a",
+            self._memory[self._lane_index, sim.read_output_array("addr_a")],
+        )
+        sim.set_input(
+            "rdata_b",
+            self._memory[self._lane_index, sim.read_output_array("addr_b")],
+        )
+
+    def _provide_lists(self) -> None:
+        sim = self.sim
+        words = []
+        for lane, pc in enumerate(sim.read_output("pc")):
+            rom = self._rom if self._rom is not None else self._roms[lane]
+            if pc < len(rom):
+                words.append(rom[pc])
+            else:
+                words.append(self._halt(pc))
+        sim.set_input("instr", words)
+        addr_a = sim.read_output("addr_a")
+        addr_b = sim.read_output("addr_b")
+        memories = self.memories
+        sim.set_input(
+            "rdata_a",
+            [memories[lane][addr_a[lane]] for lane in range(self.lanes)],
+        )
+        sim.set_input(
+            "rdata_b",
+            [memories[lane][addr_b[lane]] for lane in range(self.lanes)],
+        )
+
+    def step(self) -> None:
+        """Advance every lane one architectural cycle."""
+        sim = self.sim
+        provide = (
+            self._provide_array if self.array_mode else self._provide_lists
+        )
+        sim.settle()
+        provide()
+        sim.settle()
+        provide()
+        sim.settle()
+        if self.array_mode:
+            we = sim.read_output_array("we").astype(bool)
+            waddr = sim.read_output_array("waddr")
+            wdata = sim.read_output_array("wdata")
+            sim.tick()
+            self._memory[self._lane_index[we], waddr[we]] = wdata[we]
+        else:
+            we = sim.read_output("we")
+            waddr = sim.read_output("waddr")
+            wdata = sim.read_output("wdata")
+            sim.tick()
+            for lane in range(self.lanes):
+                if we[lane]:
+                    self.memories[lane][waddr[lane]] = wdata[lane]
+
+    def run(self, cycles: int) -> None:
+        """Reset, run ``cycles`` architectural cycles, settle outputs."""
+        self.sim.reset()
+        for _ in range(cycles):
+            self.step()
+        self.sim.settle()
+
+    def memory_rows(self) -> list[list[int]]:
+        """Final per-lane data memories as plain Python int lists."""
+        if self.array_mode:
+            return self._memory.tolist()
+        return [list(image) for image in self.memories]

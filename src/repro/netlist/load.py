@@ -1,0 +1,144 @@
+"""Shared net-load model for timing and power.
+
+Before this module existed the two PPA analyses priced a net
+differently: :mod:`repro.netlist.sta` derated cell delay by logical
+fanout while :mod:`repro.netlist.power` charged multi-sink nets
+nothing at all.  Both now cost a net through the same model defined
+here:
+
+* every sink beyond the first adds one gate-input load, derating the
+  driving cell's delay by ``fanout_slope`` per extra load
+  (:func:`fanout_derate`);
+* a placed net additionally carries wire parasitics
+  (:class:`WireRC`): its capacitance converts to extra gate-equivalent
+  loads through the library's per-input capacitance (so wire load and
+  fanout load are the *same axis*, not two formulas), plus a
+  distributed-RC (Elmore) delay term ``0.5 * R_net * C_net`` added to
+  every transition through the net;
+* the switched wire capacitance costs ``0.5 * C_net * VDD^2`` per
+  driver output toggle, which power accounting adds to the driving
+  cell's switching energy.
+
+The wire-blind estimate is the explicit ``rc=None`` mode of
+:func:`repro.netlist.sta.timing_report` and the power reports: no
+:class:`RCAnnotation` means zero wire resistance and capacitance, and
+the arithmetic collapses bit-exactly to the historical fanout-only
+derate (pinned by ``tests/netlist/test_load.py``).  Placement-derived
+annotations come from :func:`repro.place.rc_annotation`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.netlist.core import Netlist
+
+#: Default incremental delay per extra fanout load (dimensionless).
+#: Canonical home; :mod:`repro.netlist.sta` re-exports it.
+DEFAULT_FANOUT_SLOPE = 0.05
+
+
+def fanout_counts(netlist: Netlist) -> dict[int, int]:
+    """Sink count per net: instance input pins plus primary outputs."""
+    counts: dict[int, int] = defaultdict(int)
+    for instance in netlist.instances:
+        for net in instance.inputs:
+            counts[net] += 1
+    for bus in netlist.outputs.values():
+        for net in bus:
+            counts[net] += 1
+    return counts
+
+
+def fanout_derate(fanout: int, slope: float = DEFAULT_FANOUT_SLOPE) -> float:
+    """Wire-blind delay derate: ``1 + slope * (fanout - 1)``, floored at 1."""
+    return 1.0 + slope * max(0, fanout - 1)
+
+
+@dataclass(frozen=True)
+class WireRC:
+    """Lumped parasitics of one routed net.
+
+    Attributes:
+        resistance: Total trace resistance in ohms.
+        capacitance: Total trace capacitance in farads.
+        length: Routed length estimate (HPWL) in metres.
+    """
+
+    resistance: float
+    capacitance: float
+    length: float
+
+    @property
+    def delay(self) -> float:
+        """Distributed-RC (Elmore) wire delay in seconds: ``R*C/2``."""
+        return 0.5 * self.resistance * self.capacitance
+
+    def switch_energy(self, vdd: float) -> float:
+        """Energy to charge the trace once: ``C * VDD^2 / 2`` joules."""
+        return 0.5 * self.capacitance * vdd * vdd
+
+
+@dataclass(frozen=True)
+class RCAnnotation:
+    """Per-net wire parasitics back-annotated from a placement.
+
+    Attributes:
+        source: Provenance label (e.g. ``"place:small:seed0"``).
+        nets: Mapping from net id to :class:`WireRC`.  Nets absent from
+            the map are treated as zero-length (local) wires.
+    """
+
+    source: str
+    nets: Mapping[int, WireRC]
+
+    def wire(self, net: int) -> WireRC | None:
+        """Parasitics of ``net``, or ``None`` for an unrouted net."""
+        return self.nets.get(net)
+
+    def wire_delay(self, net: int) -> float:
+        """Additive distributed wire delay of ``net`` in seconds."""
+        wire = self.nets.get(net)
+        return wire.delay if wire is not None else 0.0
+
+    def capacitance(self, net: int) -> float:
+        """Wire capacitance of ``net`` in farads (0.0 if unrouted)."""
+        wire = self.nets.get(net)
+        return wire.capacitance if wire is not None else 0.0
+
+    def switch_energy(self, net: int, vdd: float) -> float:
+        """Per-toggle wire switching energy of ``net`` in joules."""
+        wire = self.nets.get(net)
+        return wire.switch_energy(vdd) if wire is not None else 0.0
+
+    @property
+    def total_wirelength(self) -> float:
+        """Summed routed length over every annotated net, in metres."""
+        return sum(wire.length for wire in self.nets.values())
+
+    @property
+    def total_capacitance(self) -> float:
+        """Summed wire capacitance over every annotated net, in farads."""
+        return sum(wire.capacitance for wire in self.nets.values())
+
+
+def net_derate(
+    fanout: int,
+    wire_capacitance: float,
+    input_capacitance: float,
+    slope: float = DEFAULT_FANOUT_SLOPE,
+) -> float:
+    """Unified load derate: wire capacitance counts as extra fanout.
+
+    ``1 + slope * (fanout - 1 + C_wire / C_in)`` -- each sink past the
+    first is one gate-input load, and the routed trace adds
+    ``C_wire / C_in`` gate-equivalents on the same axis.  With zero
+    wire capacitance (or a library that characterizes no
+    ``input_capacitance``) this is exactly :func:`fanout_derate`.
+    """
+    loads = float(max(0, fanout - 1))
+    if wire_capacitance > 0.0 and input_capacitance > 0.0:
+        loads += wire_capacitance / input_capacitance
+    return 1.0 + slope * loads

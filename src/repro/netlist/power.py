@@ -21,6 +21,17 @@ per-cell-type energies, with a conservation invariant -- the
 attributed energies sum bit-exactly to the matching
 :func:`measured_power_report` total (the paper's Table 4 power splits,
 reproduced from measured switching instead of a flat factor).
+
+Net cost comes from the same shared load model STA uses
+(:mod:`repro.netlist.load`): in the wire-blind ``rc=None`` default a
+net is free on the power side (each sink's gate capacitance is part of
+the *sink* cell's characterized energy, while STA derates the driver's
+delay for the same loads), and with a placement-derived
+:class:`~repro.netlist.load.RCAnnotation` the routed wire capacitance
+joins on the identical axis both analyses share -- STA as extra
+gate-equivalent fanout on the driver, power as ``C_wire * VDD^2 / 2``
+per driver switch, charged to the driver's bucket.  ``rc=None``
+results stay bit-exact with the pre-placement flow.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.netlist.core import Netlist, SEQUENTIAL_CELLS
+from repro.netlist.load import RCAnnotation, fanout_counts
 from repro.obs.metrics import counter as _obs_counter
 from repro.obs.trace import span as _obs_span
 from repro.pdk.cells import CellLibrary
@@ -54,6 +66,11 @@ class PowerReport:
             cell is assumed active).  Making these explicit keeps
             sparse toggle maps honest: an instance absent from the map
             is *counted*, not silently dropped.
+        wire_energy: Per-cycle energy spent switching routed wire
+            capacitance (0.0 for wire-blind ``rc=None`` reports).
+            Informational -- each net's wire term is already folded
+            into its driver's combinational/sequential bucket, so
+            ``energy_per_cycle`` includes it.
     """
 
     energy_per_cycle: float
@@ -61,6 +78,7 @@ class PowerReport:
     sequential_energy: float
     activity: float
     static_only_cells: int = 0
+    wire_energy: float = 0.0
 
     def power_at(self, frequency: float) -> float:
         """Average power in watts when clocked at ``frequency`` Hz."""
@@ -78,14 +96,28 @@ def power_report(
     netlist: Netlist,
     library: CellLibrary,
     activity: float = PAPER_ACTIVITY_FACTOR,
+    rc: RCAnnotation | None = None,
 ) -> PowerReport:
-    """Estimate per-cycle energy with a flat activity factor."""
+    """Estimate per-cycle energy with a flat activity factor.
+
+    With ``rc`` (placement-derived wire parasitics), each driving
+    instance additionally charges its output net's routed wire
+    capacitance per switch (``C*VDD^2/2``, same activity factor);
+    ``rc=None`` is the wire-blind estimate, bit-exact with the
+    pre-placement analysis.
+    """
     with _obs_span("power", design=netlist.name, technology=library.name):
         _POWER_REPORTS.inc()
         combinational = 0.0
         sequential = 0.0
+        wire_total = 0.0
         for instance in netlist.instances:
-            energy = library.cell(instance.cell).energy * activity
+            if rc is None:
+                energy = library.cell(instance.cell).energy * activity
+            else:
+                wire = rc.switch_energy(instance.output, library.vdd)
+                energy = (library.cell(instance.cell).energy + wire) * activity
+                wire_total += wire * activity
             if instance.cell in SEQUENTIAL_CELLS:
                 sequential += energy
             else:
@@ -95,6 +127,7 @@ def power_report(
             combinational_energy=combinational,
             sequential_energy=sequential,
             activity=activity,
+            wire_energy=wire_total,
         )
 
 
@@ -103,6 +136,7 @@ def measured_power_report(
     library: CellLibrary,
     toggles_per_cell: Mapping[int, int],
     cycles: int,
+    rc: RCAnnotation | None = None,
 ) -> PowerReport:
     """Energy from measured toggle counts (one entry per instance index).
 
@@ -112,11 +146,37 @@ def measured_power_report(
         toggles_per_cell: Output-toggle count per instance index, as
             produced by the gate-level simulator.
         cycles: Number of simulated cycles the counts cover.
+        rc: Optional placement-derived wire parasitics; each measured
+            output toggle then also charges the net's routed trace.
+            ``rc=None`` is the wire-blind estimate, bit-exact with the
+            pre-placement analysis.
     """
     with _obs_span(
         "power_measured", design=netlist.name, technology=library.name
     ):
-        return _measured_power_report(netlist, library, toggles_per_cell, cycles)
+        return _measured_power_report(
+            netlist, library, toggles_per_cell, cycles, rc
+        )
+
+
+def _instance_energy(
+    instance,
+    library: CellLibrary,
+    toggles: int,
+    cycles: int,
+    rc: RCAnnotation | None,
+) -> float:
+    """Per-cycle energy of one instance's measured switching.
+
+    The single source of the per-instance float term: the measured
+    total and both attribution rollups call this with identical
+    arguments, so their sums agree to the last ulp (the conservation
+    invariant of :func:`attributed_power_report`).
+    """
+    if rc is None:
+        return library.cell(instance.cell).energy * toggles / max(1, cycles)
+    wire = rc.switch_energy(instance.output, library.vdd)
+    return (library.cell(instance.cell).energy + wire) * toggles / max(1, cycles)
 
 
 def _measured_power_report(
@@ -124,9 +184,11 @@ def _measured_power_report(
     library: CellLibrary,
     toggles_per_cell: Mapping[int, int],
     cycles: int,
+    rc: RCAnnotation | None = None,
 ) -> PowerReport:
     combinational = 0.0
     sequential = 0.0
+    wire_total = 0.0
     total_toggles = 0
     static_only = 0
     for index, instance in enumerate(netlist.instances):
@@ -134,7 +196,13 @@ def _measured_power_report(
         if not toggles:
             static_only += 1
         total_toggles += toggles
-        energy = library.cell(instance.cell).energy * toggles / max(1, cycles)
+        energy = _instance_energy(instance, library, toggles, cycles, rc)
+        if rc is not None:
+            wire_total += (
+                rc.switch_energy(instance.output, library.vdd)
+                * toggles
+                / max(1, cycles)
+            )
         if instance.cell in SEQUENTIAL_CELLS:
             sequential += energy
         else:
@@ -147,6 +215,7 @@ def _measured_power_report(
         sequential_energy=sequential,
         activity=observed_activity,
         static_only_cells=static_only,
+        wire_energy=wire_total,
     )
 
 
@@ -222,6 +291,7 @@ def attributed_power_report(
     toggles_per_cell: Mapping[int, int],
     cycles: int,
     modules: "list[str] | None" = None,
+    rc: RCAnnotation | None = None,
 ) -> AttributedPowerReport:
     """Roll measured toggles up into per-module / per-cell-type energy.
 
@@ -233,6 +303,10 @@ def attributed_power_report(
         cycles: Number of simulated cycles the counts cover.
         modules: Optional per-instance module labels (defaults to
             :func:`repro.netlist.probe.module_map`).
+        rc: Optional placement-derived wire parasitics; each net's
+            switched wire energy is attributed to its driving
+            instance's module and cell type, and conservation stays
+            bit-exact.
 
     The returned report's ``total`` is the exact
     :func:`measured_power_report` for the same inputs, and both
@@ -247,13 +321,15 @@ def attributed_power_report(
             from repro.netlist.probe import module_map
 
             modules = module_map(netlist)
-        total = _measured_power_report(netlist, library, toggles_per_cell, cycles)
+        total = _measured_power_report(
+            netlist, library, toggles_per_cell, cycles, rc
+        )
         by_module: dict[str, float] = {}
         by_cell: dict[str, float] = {}
         toggles_by_module: dict[str, int] = {}
         for index, instance in enumerate(netlist.instances):
             toggles = toggles_per_cell.get(index, 0)
-            energy = library.cell(instance.cell).energy * toggles / max(1, cycles)
+            energy = _instance_energy(instance, library, toggles, cycles, rc)
             module = modules[index]
             by_module[module] = by_module.get(module, 0.0) + energy
             by_cell[instance.cell] = by_cell.get(instance.cell, 0.0) + energy

@@ -21,9 +21,15 @@ A path endpoint's arrival is the max of its rise and fall times.  The
 clock period is the worst endpoint arrival; ``fmax = 1 / period``.  A
 ``pessimistic`` mode (worst delay on every edge) is kept for ablation.
 
-Each cell's delay is derated by ``1 + fanout_slope * (fanout - 1)`` --
-printed gates drive large electrolyte gate capacitances, so fanout
-matters.
+Each cell's delay is derated through the shared net-load model
+(:mod:`repro.netlist.load`): ``1 + fanout_slope * (fanout - 1)`` in
+the wire-blind default -- printed gates drive large electrolyte gate
+capacitances, so fanout matters -- and, when a placement-derived
+:class:`~repro.netlist.load.RCAnnotation` is supplied via ``rc=``,
+wire capacitance joins the same derate as extra gate-equivalent loads
+while the distributed wire delay (``R*C/2``) adds to every transition
+through the net.  ``rc=None`` is the explicit wire-blind mode and is
+bit-exact with the pre-placement analysis.
 """
 
 from __future__ import annotations
@@ -33,14 +39,18 @@ from dataclasses import dataclass
 
 from repro.errors import TimingError
 from repro.netlist.core import CONST0, CONST1, Instance, Netlist, SEQUENTIAL_CELLS
+from repro.netlist.load import (
+    DEFAULT_FANOUT_SLOPE,
+    RCAnnotation,
+    fanout_counts,
+    fanout_derate,
+    net_derate,
+)
 from repro.obs.metrics import counter as _obs_counter
 from repro.obs.trace import span as _obs_span
 from repro.pdk.cells import CellLibrary
 
 _STA_REPORTS = _obs_counter("sta.reports")
-
-#: Default incremental delay per extra fanout load (dimensionless).
-DEFAULT_FANOUT_SLOPE = 0.05
 
 #: Cells whose output transition is caused by the opposite input edge.
 INVERTING_CELLS = frozenset({"INVX1", "NAND2X1", "NOR2X1"})
@@ -66,15 +76,8 @@ class TimingReport:
     levels: int
 
 
-def _fanout_counts(netlist: Netlist) -> dict[int, int]:
-    counts: dict[int, int] = defaultdict(int)
-    for instance in netlist.instances:
-        for net in instance.inputs:
-            counts[net] += 1
-    for bus in netlist.outputs.values():
-        for net in bus:
-            counts[net] += 1
-    return counts
+# Shared with power: one sink count, one load model.
+_fanout_counts = fanout_counts
 
 
 def _topological_order(netlist: Netlist) -> list[Instance]:
@@ -151,6 +154,7 @@ def timing_report(
     input_arrivals: dict[str, float] | None = None,
     fanout_slope: float = DEFAULT_FANOUT_SLOPE,
     pessimistic: bool = False,
+    rc: RCAnnotation | None = None,
 ) -> TimingReport:
     """Run STA on ``netlist`` with cells timed from ``library``.
 
@@ -162,6 +166,10 @@ def timing_report(
         fanout_slope: Per-extra-load delay derate.
         pessimistic: Use the worst of rise/fall on every edge instead
             of polarity-aware propagation (ablation mode).
+        rc: Optional placement-derived wire parasitics
+            (:func:`repro.place.rc_annotation`).  ``None`` is the
+            wire-blind estimate, bit-exact with the pre-placement
+            analysis.
 
     Returns:
         A :class:`TimingReport`; ``fmax`` is infinite for a netlist
@@ -169,7 +177,7 @@ def timing_report(
     """
     with _obs_span("sta", design=netlist.name, technology=library.name) as sp:
         report = _timing_report(
-            netlist, library, input_arrivals, fanout_slope, pessimistic
+            netlist, library, input_arrivals, fanout_slope, pessimistic, rc
         )
         _STA_REPORTS.inc()
         sp.note(fmax=report.fmax, levels=report.levels)
@@ -182,14 +190,26 @@ def _timing_report(
     input_arrivals: dict[str, float] | None,
     fanout_slope: float,
     pessimistic: bool,
+    rc: RCAnnotation | None = None,
 ) -> TimingReport:
     input_arrivals = input_arrivals or {}
     fanouts = _fanout_counts(netlist)
+    input_cap = library.input_capacitance
 
     def delays(instance: Instance) -> tuple[float, float]:
         cell = library.cell(instance.cell)
-        derate = 1.0 + fanout_slope * max(0, fanouts.get(instance.output, 1) - 1)
-        rise, fall = cell.rise_delay * derate, cell.fall_delay * derate
+        fanout = fanouts.get(instance.output, 1)
+        if rc is None:
+            derate = fanout_derate(fanout, fanout_slope)
+            rise = cell.rise_delay * derate
+            fall = cell.fall_delay * derate
+        else:
+            derate = net_derate(
+                fanout, rc.capacitance(instance.output), input_cap, fanout_slope
+            )
+            wire = rc.wire_delay(instance.output)
+            rise = cell.rise_delay * derate + wire
+            fall = cell.fall_delay * derate + wire
         if pessimistic:
             worst = max(rise, fall)
             return worst, worst
@@ -202,7 +222,10 @@ def _timing_report(
     for name, bus in netlist.inputs.items():
         start = input_arrivals.get(name, 0.0)
         for net in bus:
-            arrival[net] = _Arrival(start, start, (), ())
+            # Port-driven nets have no driving cell to derate; their
+            # routed trace still delays every sink.
+            at = start if rc is None else start + rc.wire_delay(net)
+            arrival[net] = _Arrival(at, at, (), ())
 
     # Sequential outputs launch at clock-to-Q.
     for instance in netlist.instances:

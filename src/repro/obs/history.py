@@ -250,6 +250,30 @@ def extract_series(report: dict) -> dict:
         fmax = campaign.get("fmax_quantiles", {})
         if _is_number(fmax.get("0.05")):
             series[f"mc.{design}.fmax_p05"] = fmax["0.05"]
+
+    # Placements (python -m repro place --report): placement quality
+    # per design, gated so HPWL regressions trip the sentinel.
+    for design, placed in report.get("placements", {}).items():
+        if _is_number(placed.get("hpwl_m")):
+            series[f"place.{design}.hpwl_m"] = placed["hpwl_m"]
+        if _is_number(placed.get("improvement_pct")):
+            series[f"place.{design}.improvement_pct"] = (
+                placed["improvement_pct"]
+            )
+        if _is_number(placed.get("wall_s")):
+            series[f"place.{design}.wall_s"] = placed["wall_s"]
+
+    # Bench placement-quality section: greedy-vs-annealed HPWL and the
+    # wire-aware PPA overheads per (design, technology).
+    for key, entry in report.get("placement_quality", {}).items():
+        if not isinstance(entry, dict):
+            continue
+        if _is_number(entry.get("hpwl_m")):
+            series[f"bench.placement_quality.{key}.hpwl_m"] = entry["hpwl_m"]
+        if _is_number(entry.get("improvement_pct")):
+            series[f"bench.placement_quality.{key}.improvement_pct"] = (
+                entry["improvement_pct"]
+            )
     return series
 
 
@@ -387,12 +411,12 @@ def series_direction(name: str) -> str | None:
     """
     if name.endswith(
         (".speedup", ".faults_per_s", "_hit_rate", ".per_second.mean",
-         ".instances_per_s")
+         ".instances_per_s", ".improvement_pct")
     ) or name.rsplit(".", 1)[-1].startswith("speedup_vs_"):
         return "higher"
     if name.endswith(
         ("wall_seconds", ".wall_s", ".combined_s", ".seconds",
-         ".overhead_pct")
+         ".overhead_pct", ".hpwl_m")
     ):
         return "lower"
     return None

@@ -100,6 +100,15 @@ class CellLibrary:
         cells: Mapping from cell name to :class:`StandardCell`.
         mobility: Field-effect mobility in cm^2/Vs (Table 1 context).
         feature_length: Typical channel length in metres.
+        wire_resistance: Printed-trace sheet resistance per unit
+            length, in ohms/metre (0.0 = uncharacterized; wire-aware
+            analyses then add no resistive delay).
+        wire_capacitance: Printed-trace capacitance per unit length,
+            in farads/metre.
+        input_capacitance: Characteristic gate-input capacitance in
+            farads -- the unit that converts routed wire capacitance
+            into fanout-equivalent loads in the shared net-load model
+            (:mod:`repro.netlist.load`).
     """
 
     name: str
@@ -109,6 +118,9 @@ class CellLibrary:
     cells: Mapping[str, StandardCell]
     mobility: float
     feature_length: float
+    wire_resistance: float = 0.0
+    wire_capacitance: float = 0.0
+    input_capacitance: float = 0.0
     notes: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -116,6 +128,14 @@ class CellLibrary:
             raise PDKError(f"library {self.name!r}: vdd must be positive")
         if not self.cells:
             raise PDKError(f"library {self.name!r}: no cells")
+        if (
+            self.wire_resistance < 0
+            or self.wire_capacitance < 0
+            or self.input_capacitance < 0
+        ):
+            raise PDKError(
+                f"library {self.name!r}: wire/input parasitics must be >= 0"
+            )
 
     def __iter__(self) -> Iterator[StandardCell]:
         return iter(self.cells.values())

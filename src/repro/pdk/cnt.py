@@ -45,6 +45,18 @@ CNT_MOBILITY_CM2_VS = 25.0
 #: Typical CNT-TFT channel length in metres (several-micron features).
 CNT_CHANNEL_LENGTH_M = 4e-6
 
+#: Printed-interconnect parasitics per metre of routed trace.  Not
+#: characterized by the paper; engineering estimates for the narrower
+#: shadow-mask traces, scaled so a route a few (sub-mm) cell pitches
+#: long costs a fraction of one gate-input load -- the same relative
+#: weighting as the EGFET constants.
+CNT_WIRE_RESISTANCE_OHM_M = 5_000.0
+CNT_WIRE_CAPACITANCE_F_M = 1e-9
+
+#: Characteristic gate-input capacitance, consistent with Table 2
+#: switching energies at VDD = 3 V (E ~ C * VDD^2).
+CNT_INPUT_CAPACITANCE_F = 1e-11
+
 
 @lru_cache(maxsize=1)
 def cnt_tft_library() -> CellLibrary:
@@ -61,6 +73,9 @@ def cnt_tft_library() -> CellLibrary:
         cells=build_cells(_CNT_ROWS),
         mobility=CNT_MOBILITY_CM2_VS,
         feature_length=CNT_CHANNEL_LENGTH_M,
+        wire_resistance=CNT_WIRE_RESISTANCE_OHM_M,
+        wire_capacitance=CNT_WIRE_CAPACITANCE_F_M,
+        input_capacitance=CNT_INPUT_CAPACITANCE_F,
         notes=(
             "Ultrahigh-purity semiconducting CNT channel; pseudo-CMOS "
             "styling compensates single-polarity devices at the cost of "

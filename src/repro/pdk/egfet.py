@@ -50,6 +50,21 @@ EGFET_MOBILITY_CM2_VS = 126.0
 #: Measured device yield range reported in Section 3.1.
 EGFET_YIELD_RANGE = (0.90, 0.99)
 
+#: Printed-interconnect parasitics per metre of routed trace.  The
+#: paper characterizes cells, not wires, so these are engineering
+#: estimates for wide inkjet-printed conductive traces on foil, scaled
+#: to the technology's own loads: EGFET gate inputs are electrolyte
+#: capacitors of order :data:`EGFET_INPUT_CAPACITANCE_F`, so a route a
+#: few cell pitches long (cells are mm-scale) costs a comparable
+#: fraction of one gate load -- interconnect matters, but does not
+#: dominate a technology whose gates are this slow.
+EGFET_WIRE_RESISTANCE_OHM_M = 1_000.0
+EGFET_WIRE_CAPACITANCE_F_M = 1e-7
+
+#: Characteristic gate-input (electrolyte) capacitance, consistent
+#: with Table 2 switching energies at VDD = 1 V (E ~ C * VDD^2).
+EGFET_INPUT_CAPACITANCE_F = 5e-9
+
 
 @lru_cache(maxsize=1)
 def egfet_library() -> CellLibrary:
@@ -66,6 +81,9 @@ def egfet_library() -> CellLibrary:
         cells=build_cells(_EGFET_ROWS),
         mobility=EGFET_MOBILITY_CM2_VS,
         feature_length=EGFET_CHANNEL_LENGTH_M,
+        wire_resistance=EGFET_WIRE_RESISTANCE_OHM_M,
+        wire_capacitance=EGFET_WIRE_CAPACITANCE_F_M,
+        input_capacitance=EGFET_INPUT_CAPACITANCE_F,
         notes=(
             "In2O3 channel, ITO source/drain, solid composite electrolyte "
             "gate isolation, PEDOT:PSS top gate; printed with a Dimatix "

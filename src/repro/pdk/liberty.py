@@ -27,6 +27,9 @@ def dump_liberty(library: CellLibrary) -> str:
         f'  printing_route : "{library.printing_route}";',
         f"  mobility : {library.mobility};",
         f"  feature_length : {library.feature_length!r};",
+        f"  wire_resistance : {library.wire_resistance!r};",
+        f"  wire_capacitance : {library.wire_capacitance!r};",
+        f"  input_capacitance : {library.input_capacitance!r};",
     ]
     for cell in library:
         lines.extend(_dump_cell(cell))
@@ -104,6 +107,11 @@ def load_liberty(text: str) -> CellLibrary:
             cells=cells,
             mobility=float(header["mobility"]),
             feature_length=float(header["feature_length"]),
+            # Wire parasitics were added after the first dumps; older
+            # files load as uncharacterized (wire-blind) libraries.
+            wire_resistance=float(header.get("wire_resistance", 0.0)),
+            wire_capacitance=float(header.get("wire_capacitance", 0.0)),
+            input_capacitance=float(header.get("input_capacitance", 0.0)),
         )
     except (KeyError, ValueError) as exc:
         raise PDKError(f"library {name!r}: bad or missing attribute: {exc}") from exc

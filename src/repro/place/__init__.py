@@ -1,0 +1,64 @@
+"""Printed-fabric placement and wire RC back-annotation.
+
+The wire-blind PPA flow times and powers a netlist as if every net
+were free; this package closes that gap.  :mod:`repro.place.fabric`
+models the structured-ASIC printed substrate (fixed logic/sequential
+slot grids, technology-scaled pitch), :mod:`repro.place.placer` places
+a mapped netlist onto it (greedy seed-and-grow + deterministic
+simulated annealing) and derives per-net wire RC from placed HPWL, and
+:mod:`repro.place.layout` renders the result as a self-contained HTML
+layout/heatmap page.  The RC annotation feeds straight back into
+:func:`repro.netlist.sta.timing_report` and
+:func:`repro.netlist.power.power_report` via their ``rc=`` parameter;
+``rc=None`` stays the pinned wire-blind mode.
+
+``python -m repro place CONFIGS... --fabric F --seed S --jobs N`` runs
+the flow end to end.
+"""
+
+from repro.place.fabric import (
+    DEFAULT_SEQ_EVERY,
+    Fabric,
+    FitReport,
+    LOGIC_KIND,
+    NAMED_FABRICS,
+    SEQ_KIND,
+    fabric_for,
+    fit_report,
+    named_fabric,
+    slot_demand,
+    slot_kind_for_cell,
+)
+from repro.place.layout import render_layout, write_layout
+from repro.place.placer import (
+    DEFAULT_SWEEPS,
+    Placement,
+    dependency_levels,
+    net_lengths,
+    place,
+    rc_annotation,
+    wire_aware_ppa,
+)
+
+__all__ = [
+    "DEFAULT_SEQ_EVERY",
+    "DEFAULT_SWEEPS",
+    "Fabric",
+    "FitReport",
+    "LOGIC_KIND",
+    "NAMED_FABRICS",
+    "Placement",
+    "SEQ_KIND",
+    "dependency_levels",
+    "fabric_for",
+    "fit_report",
+    "named_fabric",
+    "net_lengths",
+    "place",
+    "rc_annotation",
+    "render_layout",
+    "slot_demand",
+    "slot_kind_for_cell",
+    "wire_aware_ppa",
+    "write_layout",
+]

@@ -1,0 +1,279 @@
+"""Printed fabrics: fixed-slot SASIC-style substrates.
+
+The paper's cores are printed as sheets of standard cells; a
+*fabric* models the structured-ASIC version of that substrate -- a
+``rows x cols`` grid of pre-printed cell slots in which placement may
+only assign compatible cells to compatible slots.  Two slot kinds
+exist, mirroring the cost cliff the paper builds its architecture
+argument on: ``"logic"`` slots take any combinational or tristate
+cell, ``"seq"`` slots take flip-flops and latches (which are several
+times larger, so the fabric provisions them sparsely -- every
+``seq_every``-th column).
+
+Geometry is technology-scaled: the slot pitch is the side of the
+largest cell in the technology's library (EGFET slots are mm-scale,
+CNT-TFT slots ~8x smaller), so the same ``small`` fabric names a
+physically different sheet per technology and all derived wirelengths
+are in metres.
+
+:func:`fit_report` answers "does p3_16_4 fit on fabric F?" with
+per-kind demand/capacity/utilization diagnostics; the placer refuses
+to place an overflowing design and carries that report in the raised
+:class:`~repro.errors.PlacementError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from math import ceil, sqrt
+
+from repro.errors import PlacementError
+from repro.netlist.core import Netlist, SEQUENTIAL_CELLS
+from repro.pdk import canonical_technology, technology_library
+
+#: Slot kind accepting combinational and tristate cells.
+LOGIC_KIND = "logic"
+
+#: Slot kind accepting flip-flops and latches.
+SEQ_KIND = "seq"
+
+#: Default spacing of sequential-slot columns.
+DEFAULT_SEQ_EVERY = 8
+
+#: Named fabric geometries (rows, cols), shared by both technologies.
+NAMED_FABRICS = {
+    "small": (24, 24),
+    "medium": (48, 48),
+    "large": (96, 96),
+}
+
+
+def slot_kind_for_cell(cell: str) -> str:
+    """The slot kind instances of library cell ``cell`` must occupy."""
+    return SEQ_KIND if cell in SEQUENTIAL_CELLS else LOGIC_KIND
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """A fixed-slot printed substrate.
+
+    Attributes:
+        name: Fabric label (``"small"``, ``"auto28x28"``, ...).
+        technology: Canonical technology name (``"EGFET"``/``"CNT"``),
+            which sets the slot pitch.
+        rows: Slot rows.
+        cols: Slot columns.
+        seq_every: Every ``seq_every``-th column holds sequential
+            slots; all other columns hold logic slots.
+    """
+
+    name: str
+    technology: str
+    rows: int
+    cols: int
+    seq_every: int = DEFAULT_SEQ_EVERY
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise PlacementError(
+                f"fabric {self.name!r}: needs at least one row and column"
+            )
+        if self.seq_every < 2:
+            raise PlacementError(
+                f"fabric {self.name!r}: seq_every must be >= 2"
+            )
+        object.__setattr__(
+            self, "technology", canonical_technology(self.technology)
+        )
+
+    @cached_property
+    def pitch(self) -> float:
+        """Slot pitch in metres: side of the technology's largest cell."""
+        library = technology_library(self.technology)
+        return sqrt(max(cell.area for cell in library))
+
+    def slot_kind(self, row: int, col: int) -> str:
+        """Kind of the slot at ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise PlacementError(
+                f"fabric {self.name!r}: slot ({row}, {col}) out of range"
+            )
+        if col % self.seq_every == self.seq_every - 1:
+            return SEQ_KIND
+        return LOGIC_KIND
+
+    def capacity(self) -> dict[str, int]:
+        """Slot count per kind."""
+        seq_cols = sum(
+            1
+            for col in range(self.cols)
+            if col % self.seq_every == self.seq_every - 1
+        )
+        seq = self.rows * seq_cols
+        return {LOGIC_KIND: self.rows * self.cols - seq, SEQ_KIND: seq}
+
+    def slots_of_kind(self, kind: str) -> list[tuple[int, int]]:
+        """Every ``(row, col)`` of ``kind``, row-major order."""
+        return [
+            (row, col)
+            for row in range(self.rows)
+            for col in range(self.cols)
+            if self.slot_kind(row, col) == kind
+        ]
+
+    def position(self, row: int, col: int) -> tuple[float, float]:
+        """Slot-centre ``(x, y)`` coordinates in metres."""
+        return ((col + 0.5) * self.pitch, (row + 0.5) * self.pitch)
+
+    @property
+    def die_area(self) -> float:
+        """Sheet area in m^2."""
+        return self.rows * self.cols * self.pitch * self.pitch
+
+
+def named_fabric(
+    name: str,
+    technology: str = "EGFET",
+    seq_every: int = DEFAULT_SEQ_EVERY,
+) -> Fabric:
+    """One of the :data:`NAMED_FABRICS` geometries, technology-scaled."""
+    try:
+        rows, cols = NAMED_FABRICS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_FABRICS))
+        raise PlacementError(
+            f"unknown fabric {name!r} (known: {known}, or 'auto')"
+        ) from None
+    return Fabric(
+        name=name, technology=technology, rows=rows, cols=cols,
+        seq_every=seq_every,
+    )
+
+
+def slot_demand(netlist: Netlist) -> dict[str, int]:
+    """Slots the design needs, per kind."""
+    demand = {LOGIC_KIND: 0, SEQ_KIND: 0}
+    for instance in netlist.instances:
+        demand[slot_kind_for_cell(instance.cell)] += 1
+    return demand
+
+
+def fabric_for(
+    netlist: Netlist,
+    technology: str = "EGFET",
+    utilization: float = 0.8,
+    seq_every: int = DEFAULT_SEQ_EVERY,
+) -> Fabric:
+    """Smallest square fabric fitting ``netlist`` at ``utilization``.
+
+    Grows the side length until both slot kinds fit with headroom --
+    the ``--fabric auto`` mode of the placement CLI.
+    """
+    if not 0.0 < utilization <= 1.0:
+        raise PlacementError(f"utilization must be in (0, 1], got {utilization}")
+    demand = slot_demand(netlist)
+    total = max(1, sum(demand.values()))
+    side = max(seq_every, ceil(sqrt(total / utilization)))
+    while True:
+        fabric = Fabric(
+            name=f"auto{side}x{side}", technology=technology,
+            rows=side, cols=side, seq_every=seq_every,
+        )
+        capacity = fabric.capacity()
+        if all(
+            demand[kind] <= utilization * capacity[kind] for kind in demand
+        ):
+            return fabric
+        side += 1
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Fit diagnostics for one design on one fabric.
+
+    Attributes:
+        design: Netlist name.
+        fabric: Fabric name.
+        technology: Canonical technology name.
+        demand: Slots needed per kind.
+        capacity: Slots available per kind.
+    """
+
+    design: str
+    fabric: str
+    technology: str
+    demand: dict[str, int]
+    capacity: dict[str, int]
+
+    @property
+    def overflow(self) -> dict[str, int]:
+        """Slots missing per kind (0 where the kind fits)."""
+        return {
+            kind: max(0, self.demand[kind] - self.capacity.get(kind, 0))
+            for kind in self.demand
+        }
+
+    @property
+    def utilization(self) -> dict[str, float]:
+        """Demand / capacity per kind (``inf`` for absent kinds)."""
+        return {
+            kind: (
+                self.demand[kind] / self.capacity[kind]
+                if self.capacity.get(kind)
+                else float("inf")
+            )
+            for kind in self.demand
+        }
+
+    @property
+    def fits(self) -> bool:
+        """Whether every slot kind fits."""
+        return not any(self.overflow.values())
+
+    def render(self) -> str:
+        """Human-readable fit table with overflow diagnostics."""
+        verdict = "fits" if self.fits else "OVERFLOW"
+        lines = [
+            f"fit: {self.design} on {self.fabric} "
+            f"({self.technology}): {verdict}"
+        ]
+        for kind in sorted(self.demand):
+            util = self.utilization[kind]
+            util_text = f"{100.0 * util:.1f}%" if util != float("inf") else "n/a"
+            line = (
+                f"  {kind:<5} {self.demand[kind]:>5} / "
+                f"{self.capacity.get(kind, 0):>5} slots ({util_text})"
+            )
+            missing = self.overflow[kind]
+            if missing:
+                line += f"  -- {missing} slot(s) short"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form for run reports."""
+        return {
+            "design": self.design,
+            "fabric": self.fabric,
+            "technology": self.technology,
+            "fits": self.fits,
+            "demand": dict(self.demand),
+            "capacity": dict(self.capacity),
+            "overflow": self.overflow,
+            "utilization": {
+                kind: round(value, 4) if value != float("inf") else None
+                for kind, value in self.utilization.items()
+            },
+        }
+
+
+def fit_report(netlist: Netlist, fabric: Fabric) -> FitReport:
+    """Per-kind demand vs capacity of ``netlist`` on ``fabric``."""
+    return FitReport(
+        design=netlist.name,
+        fabric=fabric.name,
+        technology=fabric.technology,
+        demand=slot_demand(netlist),
+        capacity=fabric.capacity(),
+    )

@@ -1,0 +1,236 @@
+"""Self-contained HTML view of one placement.
+
+Renders a :class:`~repro.place.placer.Placement` into a single static
+HTML file in the dashboard's visual style (:mod:`repro.obs.dashboard`):
+two inline-SVG panels -- a module map coloring every occupied slot by
+the module that owns its cell, and a wire-pressure heatmap shading each
+slot by the total placed HPWL of the nets its cell touches -- plus the
+fit table and headline placement stats.  Zero third-party dependencies
+and **byte-deterministic given a placement**: no timestamps, stable
+sort orders, one fixed float format (``%.6g``).
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.netlist.core import Netlist
+from repro.netlist.probe import module_map
+from repro.place.fabric import SEQ_KIND, fit_report
+from repro.place.placer import Placement, _NetModel, net_lengths
+
+#: Slot cell size (px) in the SVG panels.
+_SLOT_PX = 12
+
+#: Gap between slots (px).
+_GAP_PX = 2
+
+#: Fixed module palette, assigned to sorted module names round-robin.
+_PALETTE = (
+    "#2a78d6", "#d03b3b", "#006300", "#b8860b", "#7b3fb2",
+    "#0c8f8f", "#c2521f", "#5f5fd3", "#8f0c5c", "#4d6b1f",
+)
+
+_CSS = """\
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --ring: rgba(11,11,11,0.10);
+  --heat: #d03b3b; --empty: rgba(11,11,11,0.04);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --ring: rgba(255,255,255,0.10);
+    --heat: #e66767; --empty: rgba(255,255,255,0.06);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.panels { display: flex; flex-wrap: wrap; gap: 24px; }
+.panel {
+  background: var(--surface); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 12px 14px;
+}
+.legend { margin: 8px 0 0; font-size: 12px; color: var(--ink-2); }
+.legend .swatch {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin: 0 4px 0 10px;
+}
+table { border-collapse: collapse; background: var(--surface); }
+th, td {
+  text-align: left; padding: 4px 12px; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 600; }
+svg .slot-empty { fill: var(--empty); }
+svg .slot-seq-empty { fill: var(--empty); stroke: var(--grid); }
+svg .heat { fill: var(--heat); }
+"""
+
+
+def _fmt(value: float) -> str:
+    """One fixed, deterministic number format for the whole page."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    return f"{value:.6g}"
+
+
+def _slot_rect(row: int, col: int, extra: str) -> str:
+    x = col * (_SLOT_PX + _GAP_PX)
+    y = row * (_SLOT_PX + _GAP_PX)
+    return (
+        f'<rect x="{x}" y="{y}" width="{_SLOT_PX}" height="{_SLOT_PX}" '
+        f'rx="2" {extra}/>'
+    )
+
+
+def _grid_svg(fabric, body: list[str]) -> str:
+    width = fabric.cols * (_SLOT_PX + _GAP_PX) - _GAP_PX
+    height = fabric.rows * (_SLOT_PX + _GAP_PX) - _GAP_PX
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        + "".join(body)
+        + "</svg>"
+    )
+
+
+def _empty_rects(fabric, occupied: set) -> list[str]:
+    rects = []
+    for row in range(fabric.rows):
+        for col in range(fabric.cols):
+            if (row, col) in occupied:
+                continue
+            cls = (
+                "slot-seq-empty"
+                if fabric.slot_kind(row, col) == SEQ_KIND
+                else "slot-empty"
+            )
+            rects.append(_slot_rect(row, col, f'class="{cls}"'))
+    return rects
+
+
+def render_layout(netlist: Netlist, placement: Placement) -> str:
+    """The placement as one self-contained HTML page."""
+    fabric = placement.fabric
+    modules = module_map(netlist)
+    palette = {
+        name: _PALETTE[index % len(_PALETTE)]
+        for index, name in enumerate(sorted(set(modules)))
+    }
+    occupied = set(placement.locations)
+
+    module_rects = _empty_rects(fabric, occupied)
+    for index, (row, col) in enumerate(placement.locations):
+        instance = netlist.instances[index]
+        tip = html.escape(
+            f"{modules[index]} {instance.cell} @ ({row}, {col})"
+        )
+        module_rects.append(
+            _slot_rect(
+                row, col,
+                f'fill="{palette[modules[index]]}"><title>{tip}</title',
+            )
+        )
+
+    # Wire pressure: total placed HPWL of the nets each cell touches.
+    lengths = net_lengths(netlist, placement)
+    model = _NetModel(netlist, fabric)
+    pressure = [
+        sum(lengths.get(net, 0.0) for net in nets)
+        for nets in model.inst_nets
+    ]
+    peak = max(pressure, default=0.0) or 1.0
+    heat_rects = _empty_rects(fabric, occupied)
+    for index, (row, col) in enumerate(placement.locations):
+        opacity = 0.08 + 0.92 * pressure[index] / peak
+        tip = html.escape(
+            f"{netlist.instances[index].cell} @ ({row}, {col}): "
+            f"{_fmt(pressure[index])} m"
+        )
+        heat_rects.append(
+            _slot_rect(
+                row, col,
+                f'class="heat" fill-opacity="{opacity:.3f}">'
+                f"<title>{tip}</title",
+            )
+        )
+
+    legend = "".join(
+        f'<span class="swatch" style="background:{palette[name]}"></span>'
+        f"{html.escape(name)}"
+        for name in sorted(palette)
+    )
+
+    fit = fit_report(netlist, fabric)
+    stats = [
+        ("fabric", f"{fabric.name} ({fabric.rows}x{fabric.cols}, "
+                   f"{fabric.technology})"),
+        ("slot pitch", f"{_fmt(fabric.pitch)} m"),
+        ("seed", str(placement.seed)),
+        ("greedy HPWL", f"{_fmt(placement.greedy_hpwl)} m"),
+        ("annealed HPWL", f"{_fmt(placement.hpwl)} m"),
+        ("improvement", f"{_fmt(placement.improvement_pct)}%"),
+        ("anneal moves", f"{placement.anneal_accepted} accepted / "
+                         f"{placement.anneal_moves} proposed"),
+        ("total wirelength", f"{_fmt(sum(lengths.values()))} m"),
+    ]
+    stat_rows = "".join(
+        f"<tr><th>{html.escape(key)}</th><td>{html.escape(value)}</td></tr>"
+        for key, value in stats
+    )
+    fit_rows = "".join(
+        f"<tr><td>{html.escape(kind)}</td>"
+        f"<td>{fit.demand[kind]}</td><td>{fit.capacity[kind]}</td>"
+        f"<td>{_fmt(100.0 * fit.utilization[kind])}%</td></tr>"
+        for kind in sorted(fit.demand)
+    )
+
+    title = html.escape(f"{placement.design} on {fabric.name}")
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>layout: {title}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>layout: {title}</h1>
+<p class="sub">printed-fabric placement &mdash; hover a slot for its
+cell; sequential columns are outlined.</p>
+<div class="panels">
+<div class="panel"><h2>module map</h2>
+{_grid_svg(fabric, module_rects)}
+<p class="legend">{legend}</p></div>
+<div class="panel"><h2>wire pressure</h2>
+{_grid_svg(fabric, heat_rects)}
+<p class="legend">opacity &prop; total placed HPWL of the nets each
+cell touches</p></div>
+<div class="panel"><h2>placement</h2>
+<table>{stat_rows}</table>
+<h2>fit</h2>
+<table><tr><th>kind</th><th>demand</th><th>capacity</th>
+<th>utilization</th></tr>{fit_rows}</table></div>
+</div>
+</body>
+</html>
+"""
+
+
+def write_layout(
+    netlist: Netlist, placement: Placement, path: str | Path
+) -> Path:
+    """Render and write the layout page; returns the path."""
+    out = Path(path)
+    out.write_text(render_layout(netlist, placement), encoding="utf-8")
+    return out

@@ -30,13 +30,15 @@ from dataclasses import dataclass, replace
 
 from repro.coregen.config import CoreConfig, program_specific_config
 from repro.coregen.cosim import architectural_nets, cosim_verify
+from repro.coregen.fault_test import halt_word_encoder
 from repro.coregen.generator import generate_core
-from repro.coregen.isa_map import encode_for_core, encode_program_for_core
+from repro.coregen.isa_map import encode_program_for_core
 from repro.errors import ReproError
 from repro.isa.analysis import analyze_program
 from repro.isa.program import Program
 from repro.isa.spec import Instruction, MemOperand, Mnemonic
 from repro.netlist.compile import BitParallelSimulator
+from repro.netlist.lanes import LaneMemoryHarness
 from repro.netlist.nsim import NumpySimulator
 from repro.obs.metrics import counter as _obs_counter
 from repro.obs.trace import span as _obs_span
@@ -230,52 +232,27 @@ def lane_verify(
 
     mask = (1 << config.datawidth) - 1
     roms = [encode_program_for_core(p, config) for p in programs]
-    memories = []
+    initial = []
     for program in programs:
         memory = [0] * config.data_memory_words()
         for address, value in program.data.items():
             memory[address] = value & mask
-        memories.append(memory)
-    halt_words: dict[int, int] = {}
+        initial.append(memory)
 
-    def provide() -> None:
-        words = []
-        for lane, pc in enumerate(sim.read_output("pc")):
-            rom = roms[lane]
-            if pc < len(rom):
-                words.append(rom[pc])
-            else:
-                word = halt_words.get(pc)
-                if word is None:
-                    word = halt_words[pc] = encode_for_core(
-                        Instruction(Mnemonic.BRN, target=pc, mask=0), config
-                    )
-                words.append(word)
-        sim.set_input("instr", words)
-        addr_a = sim.read_output("addr_a")
-        addr_b = sim.read_output("addr_b")
-        sim.set_input("rdata_a", [memories[i][addr_a[i]] for i in range(lanes)])
-        sim.set_input("rdata_b", [memories[i][addr_b[i]] for i in range(lanes)])
+    harness = LaneMemoryHarness(
+        sim,
+        lanes=lanes,
+        roms=roms,
+        memories=initial,
+        halt_word=halt_word_encoder(config),
+        pc_bits=len(netlist.outputs["pc"].nets),
+    )
 
     steps = max(m.stats.instructions for m in machines)
     if config.pipeline_stages > 1:
         steps = config.pipeline_stages * steps + 2 * len(max(roms, key=len)) + 24
-    sim.reset()
-    for _ in range(steps):
-        sim.settle()
-        provide()
-        sim.settle()
-        provide()
-        sim.settle()
-        we = sim.read_output("we")
-        waddr = sim.read_output("waddr")
-        wdata = sim.read_output("wdata")
-        sim.tick()
-        for lane in range(lanes):
-            if we[lane]:
-                memories[lane][waddr[lane]] = wdata[lane]
-
-    sim.settle()
+    harness.run(steps)
+    memories = harness.memory_rows()
     pcs = sim.read_output("pc")
     flag_values = {
         flag: sim.read_nets(flag_nets.get(flag.name, ()))

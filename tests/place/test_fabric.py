@@ -1,0 +1,108 @@
+"""Fabric model: geometry, capacity, fit diagnostics, auto-sizing."""
+
+import math
+
+import pytest
+
+from repro.coregen.config import config_from_name
+from repro.coregen.generator import generate_core
+from repro.errors import PlacementError
+from repro.pdk import technology_library
+from repro.place import (
+    Fabric,
+    LOGIC_KIND,
+    SEQ_KIND,
+    fabric_for,
+    fit_report,
+    named_fabric,
+    slot_demand,
+    slot_kind_for_cell,
+)
+
+
+class TestFabric:
+    def test_named_fabrics(self):
+        small = named_fabric("small")
+        assert (small.rows, small.cols) == (24, 24)
+        assert small.technology == "EGFET"
+        assert named_fabric("large").rows == 96
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(PlacementError, match="small"):
+            named_fabric("tiny")
+
+    def test_capacity_partitions_the_grid(self):
+        fabric = named_fabric("small")
+        capacity = fabric.capacity()
+        assert capacity[LOGIC_KIND] + capacity[SEQ_KIND] == 24 * 24
+        assert capacity[SEQ_KIND] == 24 * (24 // 8)
+        assert len(fabric.slots_of_kind(SEQ_KIND)) == capacity[SEQ_KIND]
+
+    def test_slot_kind_matches_slots_of_kind(self):
+        fabric = Fabric(name="t", technology="EGFET", rows=4, cols=9,
+                        seq_every=3)
+        for row, col in fabric.slots_of_kind(SEQ_KIND):
+            assert fabric.slot_kind(row, col) == SEQ_KIND
+
+    def test_pitch_is_largest_cell_side(self):
+        for technology in ("EGFET", "CNT"):
+            library = technology_library(technology)
+            expected = math.sqrt(max(cell.area for cell in library))
+            assert named_fabric("small", technology).pitch == expected
+
+    def test_cnt_sheet_is_much_smaller(self):
+        egfet = named_fabric("small", "EGFET")
+        cnt = named_fabric("small", "CNT")
+        assert egfet.die_area > 20 * cnt.die_area
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(PlacementError):
+            Fabric(name="z", technology="EGFET", rows=0, cols=4)
+        with pytest.raises(PlacementError):
+            Fabric(name="z", technology="EGFET", rows=4, cols=4, seq_every=1)
+
+    def test_slot_kind_bounds_checked(self):
+        with pytest.raises(PlacementError):
+            named_fabric("small").slot_kind(24, 0)
+
+
+class TestFit:
+    def test_slot_kind_for_cell(self):
+        assert slot_kind_for_cell("DFFX1") == SEQ_KIND
+        assert slot_kind_for_cell("NAND2X1") == LOGIC_KIND
+
+    def test_p1_8_2_fits_small(self):
+        netlist = generate_core(config_from_name("p1_8_2"))
+        fit = fit_report(netlist, named_fabric("small"))
+        assert fit.fits
+        assert fit.overflow == {LOGIC_KIND: 0, SEQ_KIND: 0}
+        assert "fits" in fit.render()
+
+    def test_p3_16_4_overflows_small_with_diagnostics(self):
+        netlist = generate_core(config_from_name("p3_16_4"))
+        fit = fit_report(netlist, named_fabric("small"))
+        assert not fit.fits
+        assert fit.overflow[LOGIC_KIND] > 0
+        text = fit.render()
+        assert "OVERFLOW" in text
+        assert "slot(s) short" in text
+        assert fit.to_dict()["fits"] is False
+
+    def test_fabric_for_fits_every_sweep_config(self):
+        for name in ("p1_4_2", "p3_16_4", "p3_32_4"):
+            netlist = generate_core(config_from_name(name))
+            fabric = fabric_for(netlist)
+            fit = fit_report(netlist, fabric)
+            assert fit.fits, fit.render()
+            demand = slot_demand(netlist)
+            # Auto-sizing honours the utilization headroom per kind.
+            for kind, used in demand.items():
+                assert used <= 0.8 * fabric.capacity()[kind]
+
+    def test_medium_fits_every_sweep_config(self):
+        from repro.coregen.config import standard_sweep
+
+        fabric = named_fabric("medium")
+        for config in standard_sweep():
+            fit = fit_report(generate_core(config), fabric)
+            assert fit.fits, fit.render()

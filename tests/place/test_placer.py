@@ -1,0 +1,123 @@
+"""Placer properties: determinism, HPWL improvement, overflow, RC."""
+
+import pytest
+
+from repro.coregen.config import config_from_name
+from repro.coregen.generator import generate_core
+from repro.errors import PlacementError
+from repro.netlist.core import SEQUENTIAL_CELLS
+from repro.pdk import technology_library
+from repro.place import (
+    dependency_levels,
+    fabric_for,
+    named_fabric,
+    net_lengths,
+    place,
+    rc_annotation,
+)
+from repro.place.fabric import slot_kind_for_cell
+
+
+@pytest.fixture(scope="module")
+def placed():
+    """One placed headline core, shared across the property tests."""
+    netlist = generate_core(config_from_name("p1_8_2"))
+    fabric = named_fabric("small")
+    return netlist, fabric, place(netlist, fabric, seed=0)
+
+
+class TestPlacement:
+    def test_every_instance_gets_a_unique_compatible_slot(self, placed):
+        netlist, fabric, placement = placed
+        assert len(placement.locations) == len(netlist.instances)
+        assert len(set(placement.locations)) == len(placement.locations)
+        for instance, (row, col) in zip(
+            netlist.instances, placement.locations
+        ):
+            assert fabric.slot_kind(row, col) == slot_kind_for_cell(
+                instance.cell
+            )
+
+    def test_annealed_hpwl_never_worse_than_greedy(self, placed):
+        _, _, placement = placed
+        assert placement.hpwl <= placement.greedy_hpwl
+        assert placement.improvement_pct >= 0.0
+
+    def test_same_seed_is_byte_identical(self, placed):
+        netlist, fabric, placement = placed
+        again = place(netlist, fabric, seed=0)
+        assert again.locations == placement.locations
+        assert again.hpwl == placement.hpwl
+        assert again.anneal_accepted == placement.anneal_accepted
+
+    def test_different_seed_changes_the_anneal(self, placed):
+        netlist, fabric, placement = placed
+        other = place(netlist, fabric, seed=1)
+        assert other.locations != placement.locations
+        # Both still beat (or match) the same deterministic greedy seed.
+        assert other.greedy_hpwl == placement.greedy_hpwl
+        assert other.hpwl <= other.greedy_hpwl
+
+    def test_overflow_raises_with_fit_diagnostics(self):
+        netlist = generate_core(config_from_name("p3_16_4"))
+        with pytest.raises(PlacementError) as err:
+            place(netlist, named_fabric("small"))
+        assert "OVERFLOW" in str(err.value)
+        assert "slot(s) short" in str(err.value)
+
+    def test_dependency_levels(self, placed):
+        netlist, _, _ = placed
+        levels = dependency_levels(netlist)
+        driver_level = {
+            inst.output: levels[i]
+            for i, inst in enumerate(netlist.instances)
+        }
+        for i, instance in enumerate(netlist.instances):
+            if instance.cell in SEQUENTIAL_CELLS:
+                assert levels[i] == 0
+            else:
+                for net in instance.inputs:
+                    if net in driver_level:
+                        fed_by = netlist.instances[
+                            [x.output for x in netlist.instances].index(net)
+                        ]
+                        if fed_by.cell not in SEQUENTIAL_CELLS:
+                            assert levels[i] > driver_level[net]
+
+
+class TestRcAnnotation:
+    def test_net_lengths_are_positive_and_finite(self, placed):
+        netlist, _, placement = placed
+        lengths = net_lengths(netlist, placement)
+        assert lengths
+        assert all(length >= 0.0 for length in lengths.values())
+        assert sum(lengths.values()) > 0.0
+
+    def test_rc_scales_with_library_constants(self, placed):
+        netlist, _, placement = placed
+        library = technology_library("EGFET")
+        rc = rc_annotation(netlist, placement, library)
+        assert rc.source == "place:small:seed0"
+        lengths = net_lengths(netlist, placement)
+        for net, wire in rc.nets.items():
+            assert wire.resistance == pytest.approx(
+                library.wire_resistance * lengths[net]
+            )
+            assert wire.capacitance == pytest.approx(
+                library.wire_capacitance * lengths[net]
+            )
+
+    def test_cnt_fabric_yields_shorter_wires(self):
+        netlist = generate_core(config_from_name("p1_8_2"))
+        egfet = place(netlist, named_fabric("small", "EGFET"), seed=0)
+        cnt = place(netlist, named_fabric("small", "CNT"), seed=0)
+        # Same slot grid, ~8x smaller pitch: the CNT sheet's wires are
+        # physically shorter even though the placement problem is
+        # identical.
+        assert cnt.hpwl < egfet.hpwl / 5
+
+    def test_auto_fabric_placement(self):
+        netlist = generate_core(config_from_name("p1_4_2"))
+        fabric = fabric_for(netlist)
+        placement = place(netlist, fabric, seed=0)
+        assert placement.hpwl <= placement.greedy_hpwl

@@ -1,0 +1,116 @@
+"""Wire-aware PPA: monotonicity vs the wire-blind mode, conservation.
+
+Physics check: routed wire only ever *adds* load and delay, so the
+wire-aware numbers must be >= the wire-blind (``rc=None``) numbers on
+every design -- and the attribution conservation invariant must keep
+holding bit-exactly with wire energy folded into the buckets.
+"""
+
+import pytest
+
+from repro.coregen.config import CoreConfig, config_from_name
+from repro.coregen.cosim import CoSimHarness
+from repro.coregen.generator import generate_core
+from repro.netlist.power import (
+    attributed_power_report,
+    measured_power_report,
+    power_report,
+)
+from repro.netlist.sta import timing_report
+from repro.pdk import technology_library
+from repro.place import named_fabric, place, rc_annotation, wire_aware_ppa
+
+#: A cross-section of the sweep (the full 24-config x 2-technology
+#: grid is exercised by the placement-quality bench).
+SWEEP = ("p1_4_2", "p1_8_2", "p2_8_2", "p1_16_2")
+
+
+@pytest.mark.parametrize("name", SWEEP)
+@pytest.mark.parametrize("technology", ("EGFET", "CNT"))
+def test_wire_aware_is_strictly_worse_than_blind(name, technology):
+    netlist = generate_core(config_from_name(name))
+    fabric = named_fabric("medium", technology)
+    placement = place(netlist, fabric, seed=0)
+    library = technology_library(technology)
+    ppa = wire_aware_ppa(netlist, placement, library)
+    assert (
+        ppa["wire_aware"]["critical_path_delay"]
+        > ppa["wire_blind"]["critical_path_delay"]
+    )
+    assert (
+        ppa["wire_aware"]["energy_per_cycle"]
+        > ppa["wire_blind"]["energy_per_cycle"]
+    )
+    assert ppa["wire_aware"]["fmax"] < ppa["wire_blind"]["fmax"]
+    assert ppa["delay_overhead_pct"] > 0.0
+    assert ppa["energy_overhead_pct"] > 0.0
+
+
+def test_wire_energy_is_reported_and_folded():
+    netlist = generate_core(config_from_name("p1_8_2"))
+    placement = place(netlist, named_fabric("small"), seed=0)
+    library = technology_library("EGFET")
+    rc = rc_annotation(netlist, placement, library)
+    report = power_report(netlist, library, rc=rc)
+    blind = power_report(netlist, library)
+    assert report.wire_energy > 0.0
+    assert report.energy_per_cycle == pytest.approx(
+        blind.energy_per_cycle + report.wire_energy
+    )
+    # Wire terms live inside the comb/seq buckets, not beside them.
+    assert report.energy_per_cycle == (
+        report.combinational_energy + report.sequential_energy
+    )
+
+
+class TestMeasuredConservationWithWire:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        from repro.programs import build_benchmark
+
+        config = CoreConfig(datawidth=8)
+        program = build_benchmark("mult", 8, 8)
+        harness = CoSimHarness(program, config)
+        for _ in range(50):
+            harness.step()
+        netlist = harness.netlist
+        placement = place(netlist, named_fabric("small"), seed=0)
+        return netlist, placement, harness.sim.toggle_counts(), harness.sim.cycles
+
+    @pytest.mark.parametrize("technology", ("EGFET", "CNT"))
+    def test_conservation_stays_bit_exact_with_wire_energy(
+        self, measured, technology
+    ):
+        netlist, placement, toggles, cycles = measured
+        library = technology_library(technology)
+        rc = rc_annotation(netlist, placement, library)
+        report = attributed_power_report(
+            netlist, library, toggles, cycles, rc=rc
+        )
+        assert report.conservation_error() == (0.0, 0.0)
+        assert (
+            sum(report.by_module.values()) == report.total.energy_per_cycle
+        )
+        assert sum(report.by_cell.values()) == report.total.energy_per_cycle
+        direct = measured_power_report(netlist, library, toggles, cycles, rc=rc)
+        assert report.total == direct
+        # And the wire-aware measured total exceeds the blind one.
+        blind = measured_power_report(netlist, library, toggles, cycles)
+        assert direct.energy_per_cycle > blind.energy_per_cycle
+
+    def test_rc_none_measured_total_unchanged(self, measured):
+        netlist, _, toggles, cycles = measured
+        library = technology_library("EGFET")
+        with_kwarg = measured_power_report(
+            netlist, library, toggles, cycles, rc=None
+        )
+        without = measured_power_report(netlist, library, toggles, cycles)
+        assert with_kwarg == without
+
+
+def test_rc_none_timing_identical_to_omitting_the_kwarg():
+    netlist = generate_core(config_from_name("p1_8_2"))
+    library = technology_library("EGFET")
+    assert timing_report(netlist, library, rc=None) == timing_report(
+        netlist, library
+    )
