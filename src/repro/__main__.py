@@ -45,6 +45,11 @@ Usage::
     python -m repro dashboard --out dashboard.html
                                        # self-contained HTML dashboard
                                        # (inline-SVG trend sparklines)
+    python -m repro serve --port 8097 --jobs 2
+                                       # long-running DSE service:
+                                       # job queue over the drivers,
+                                       # /metrics + SSE + per-job
+                                       # traces (see docs/SERVE.md)
 
 ``REPRO_TRACE=1`` in the environment is equivalent to ``--profile``;
 ``REPRO_JOBS=N`` is equivalent to ``--jobs N``.  Every profiled run
@@ -275,6 +280,10 @@ def main(argv: list[str]) -> int:
         from repro.apps.history import dashboard_main
 
         return dashboard_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
 
     opts, requests, error = _split_flags(argv)
     if error:
@@ -332,7 +341,9 @@ def _finish(command: list[str], start: float, opts: dict, profile: bool) -> int:
     print(obs.render_run_report(report))
     print(f"run report -> {path}")
     if opts["trace_out"]:
-        count = obs.export_trace_jsonl(opts["trace_out"])
+        # Suffix picks the format: .json = ready-to-load JSON array,
+        # anything else = streaming JSONL (see obs.export_trace).
+        count = obs.export_trace(opts["trace_out"])
         print(f"trace ({count} spans) -> {opts['trace_out']}")
     return 0
 

@@ -57,9 +57,10 @@ from repro.obs.metrics import (
     gauge as _obs_gauge,
     histogram as _obs_histogram,
 )
-from repro.obs.progress import progress
+from repro.obs import live as _live
+from repro.obs.progress import progress, set_progress_sink
 from repro.obs.runtime import STATE
-from repro.obs.trace import TRACER, span
+from repro.obs.trace import TRACER, current_trace_id, set_trace_id, span
 
 _PARALLEL_RUNS = _obs_counter("exec.parallel_runs")
 _TASKS = _obs_counter("exec.tasks_executed")
@@ -140,6 +141,13 @@ def _worker_init(obs_enabled: bool, warm: Callable | None = None) -> None:
     STATE.enabled = obs_enabled
     TRACER.clear()
     REGISTRY.reset()
+    # Fork-inherited serve state must not leak into workers: a copied
+    # live bus would publish into dead subscriber queues, a copied
+    # progress sink would call into the parent's job table, and a
+    # copied thread trace-id would stamp unrelated chunks.
+    _live.deactivate()
+    set_progress_sink(None)
+    set_trace_id(None)
     if warm is not None:
         try:
             warm()
@@ -147,7 +155,12 @@ def _worker_init(obs_enabled: bool, warm: Callable | None = None) -> None:
             pass
 
 
-def _run_chunk(fn: Callable, chunk: list, submitted_at: float) -> tuple:
+def _run_chunk(
+    fn: Callable,
+    chunk: list,
+    submitted_at: float,
+    trace_id: str | None = None,
+) -> tuple:
     """Worker: apply ``fn`` to one chunk, bundling obs data as a delta.
 
     The tracer/registry are cleared after export so a worker that
@@ -159,7 +172,12 @@ def _run_chunk(fn: Callable, chunk: list, submitted_at: float) -> tuple:
     queue wait (clamped at 0 in case a platform's clock is per
     process).  Compute and wait ship back as the last tuple element so
     the parent can attribute busy time per worker pid.
+
+    ``trace_id`` is the *submitting thread's* trace id, forwarded so
+    every span this chunk records carries the job's id across the
+    process boundary (see :func:`repro.obs.trace.set_trace_id`).
     """
+    set_trace_id(trace_id)
     start = time.perf_counter()
     wait_s = max(0.0, start - submitted_at)
     results = [fn(item) for item in chunk]
@@ -255,7 +273,13 @@ def parallel_map(
             initargs=(STATE.enabled, warm),
         ) as pool:
             futures = [
-                pool.submit(_run_chunk, fn, chunk, time.perf_counter())
+                pool.submit(
+                    _run_chunk,
+                    fn,
+                    chunk,
+                    time.perf_counter(),
+                    current_trace_id(),
+                )
                 for chunk in chunks
             ]
             # Submission order, not completion order: determinism.

@@ -30,7 +30,16 @@ from __future__ import annotations
 import os
 
 from repro.obs.runtime import STATE, disable, enable, enabled
-from repro.obs.trace import NULL_SPAN, TRACER, SpanEvent, Tracer, load_jsonl, span
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACER,
+    SpanEvent,
+    Tracer,
+    current_trace_id,
+    load_jsonl,
+    set_trace_id,
+    span,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -42,7 +51,13 @@ from repro.obs.metrics import (
     histogram,
     snapshot,
 )
-from repro.obs.progress import progress
+from repro.obs.progress import (
+    ProgressEvent,
+    format_progress_line,
+    progress,
+    progress_sink,
+    set_progress_sink,
+)
 from repro.obs.report import (
     build_run_report,
     dump_report_json,
@@ -53,6 +68,8 @@ from repro.obs.report import (
     write_run_report,
 )
 from repro.obs import history
+from repro.obs import live
+from repro.obs import promtext
 from repro.obs import report
 from repro.obs.wave import VcdVar, VcdWriter
 
@@ -68,6 +85,8 @@ __all__ = [
     "Tracer",
     "TRACER",
     "load_jsonl",
+    "set_trace_id",
+    "current_trace_id",
     "Counter",
     "Gauge",
     "Histogram",
@@ -78,7 +97,13 @@ __all__ = [
     "histogram",
     "snapshot",
     "progress",
+    "ProgressEvent",
+    "format_progress_line",
+    "progress_sink",
+    "set_progress_sink",
     "history",
+    "live",
+    "promtext",
     "build_run_report",
     "dump_report_json",
     "write_run_report",
@@ -87,6 +112,7 @@ __all__ = [
     "environment_metadata",
     "git_metadata",
     "export_trace_jsonl",
+    "export_trace",
     "VcdVar",
     "VcdWriter",
 ]
@@ -100,6 +126,19 @@ def reset() -> None:
 
 def export_trace_jsonl(path) -> int:
     """Write the collected spans as Chrome-trace JSONL; event count."""
+    return TRACER.export_jsonl(path)
+
+
+def export_trace(path) -> int:
+    """Write the collected spans, format chosen by suffix.
+
+    ``.json`` produces a valid JSON-array Chrome trace that loads
+    directly in Perfetto / ``chrome://tracing``; any other suffix
+    (conventionally ``.jsonl``) keeps the streaming one-event-per-line
+    format.  Returns the event count either way.
+    """
+    if str(path).endswith(".json"):
+        return TRACER.export_json(path)
     return TRACER.export_jsonl(path)
 
 

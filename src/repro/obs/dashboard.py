@@ -88,6 +88,10 @@ svg .bar { fill: var(--series); }
 svg .axis { stroke: var(--baseline); }
 """
 
+#: Public alias for reuse by other HTML surfaces (the serve status
+#: page shares the dashboard's look without re-authoring the CSS).
+DASHBOARD_CSS = _CSS
+
 
 def _fmt(value: float) -> str:
     """One fixed, deterministic number format for the whole page."""
@@ -124,6 +128,10 @@ def _spark_svg(values: Sequence[float], tooltip: str) -> str:
         f'<circle class="spark-dot" cx="{last_x}" cy="{last_y}" r="4" '
         f'stroke-width="2"/></svg>'
     )
+
+
+#: Public alias (same reuse rationale as :data:`DASHBOARD_CSS`).
+spark_svg = _spark_svg
 
 
 def _series_values(
@@ -187,6 +195,8 @@ _GROUPS = (
     ("Monte-Carlo yield",
      lambda n: n.startswith("mc.") or n.startswith("metric.mc.")),
     ("Worker fan-out health", lambda n: n.startswith("metric.exec.worker")),
+    ("Service latency",
+     lambda n: n.startswith("serve.") or n.startswith("metric.serve.")),
     ("Suite & stage timings",
      lambda n: n == "wall_seconds" or n.startswith("stage.")),
 )

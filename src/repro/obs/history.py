@@ -353,6 +353,18 @@ def append_record(record: dict, path=None) -> str | None:
         _APPEND_ERRORS.inc()
         return None
     _APPENDS.inc()
+    from repro.obs import live as _live
+
+    if _live.ACTIVE is not None:
+        _live.publish(
+            "ledger",
+            {
+                "id": record["id"],
+                "kind": record.get("kind"),
+                "command": record.get("command", []),
+                "series_count": len(record.get("series", {})),
+            },
+        )
     return record["id"]
 
 
@@ -416,7 +428,7 @@ def series_direction(name: str) -> str | None:
         return "higher"
     if name.endswith(
         ("wall_seconds", ".wall_s", ".combined_s", ".seconds",
-         ".overhead_pct", ".hpwl_m")
+         ".overhead_pct", ".hpwl_m", ".queue_wait_s")
     ):
         return "lower"
     return None

@@ -1,0 +1,267 @@
+"""Live telemetry bus: in-process pub/sub for a long-running service.
+
+The rest of :mod:`repro.obs` is *post-hoc*: spans, metrics, and run
+reports only become visible when the process exits and writes its
+artifacts.  A long-running server (``python -m repro serve``) needs the
+same telemetry *live* — jobs in flight, progress rates, spans as they
+close — so this module adds one **bus** the existing instrumentation
+sites publish into when (and only when) a bus is active:
+
+* **off by default, one branch per site when off** — the hooks in
+  :mod:`repro.obs.trace` / :mod:`repro.obs.progress` /
+  :mod:`repro.obs.report` / :mod:`repro.obs.history` read the module
+  global :data:`ACTIVE` and return when it is ``None``, the same
+  contract the obs switch itself follows;
+* **bounded everywhere** — the bus keeps a bounded ring of recent
+  events (:meth:`LiveBus.recent` serves late-joining dashboards), and
+  every subscriber owns a *bounded* queue: a slow consumer drops its
+  oldest events (counted per subscription and in the
+  ``live.events_dropped`` metric) instead of ever blocking a
+  publisher;
+* **taps** — synchronous callbacks for in-process consumers (the serve
+  job table folds ``progress`` events into per-job ETA this way)
+  that must never throw into an instrumentation site;
+* **periodic snapshot deltas** — :class:`SnapshotTicker` publishes a
+  ``metrics`` event every interval carrying only the series that
+  *changed* since the previous tick, so SSE streams and the live
+  status page get cheap incremental registry updates.
+
+Event shape (JSON-serializable): ``{"seq": int, "ts": epoch_seconds,
+"kind": str, "data": {...}}`` with ``kind`` one of ``span`` / ``spans``
+(worker batch summaries) / ``progress`` / ``metrics`` / ``report`` /
+``ledger`` / ``job`` / ``shutdown``.  See ``docs/SERVE.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Sequence
+
+from repro.obs.metrics import REGISTRY, counter as _obs_counter
+from repro.obs.metrics import flatten_snapshot
+
+_PUBLISHED = _obs_counter("live.events_published")
+_DROPPED = _obs_counter("live.events_dropped")
+
+#: Recent events kept in the bus ring (late-joiner catch-up window).
+DEFAULT_BUFFER = 512
+
+#: Per-subscription bounded queue size (events, not bytes).
+DEFAULT_QUEUE = 256
+
+
+class Subscription:
+    """One consumer's bounded event queue (drop-oldest on overflow).
+
+    Producers call :meth:`put` (never blocks); the consumer loops on
+    :meth:`get`, which waits up to ``timeout`` seconds and drains every
+    queued event at once.  ``dropped`` counts events this subscriber
+    lost to its own bound — the serve SSE handler reports it so a slow
+    client can tell its stream has holes.
+    """
+
+    __slots__ = ("maxlen", "dropped", "closed", "_events", "_cond")
+
+    def __init__(self, maxlen: int = DEFAULT_QUEUE) -> None:
+        self.maxlen = max(1, int(maxlen))
+        self.dropped = 0
+        self.closed = False
+        self._events: deque = deque()
+        self._cond = threading.Condition()
+
+    def put(self, event: dict) -> None:
+        """Enqueue one event; drop the oldest (and count) when full."""
+        with self._cond:
+            if self.closed:
+                return
+            if len(self._events) >= self.maxlen:
+                self._events.popleft()
+                self.dropped += 1
+                _DROPPED.inc()
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def get(self, timeout: float | None = None) -> list[dict]:
+        """Every queued event (oldest first); ``[]`` on timeout/close."""
+        with self._cond:
+            if not self._events and not self.closed:
+                self._cond.wait(timeout)
+            events = list(self._events)
+            self._events.clear()
+            return events
+
+    def close(self) -> None:
+        """Wake the consumer and refuse further events."""
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+
+class LiveBus:
+    """Thread-safe fan-out of telemetry events to bounded consumers."""
+
+    def __init__(self, buffer: int = DEFAULT_BUFFER) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._recent: deque = deque(maxlen=max(1, int(buffer)))
+        self._subs: list[Subscription] = []
+        self._taps: list[Callable[[dict], None]] = []
+
+    # -- publishing --------------------------------------------------------
+
+    def publish(self, kind: str, data: dict) -> dict:
+        """Stamp, buffer, and fan one event out; returns the event.
+
+        Never blocks and never raises into the instrumentation site:
+        a failing tap is swallowed, a full subscriber queue drops its
+        oldest event.
+        """
+        with self._lock:
+            self._seq += 1
+            event = {
+                "seq": self._seq,
+                "ts": round(time.time(), 6),
+                "kind": kind,
+                "data": data,
+            }
+            self._recent.append(event)
+            subs = list(self._subs)
+            taps = list(self._taps)
+        _PUBLISHED.inc()
+        for tap in taps:
+            try:
+                tap(event)
+            except Exception:
+                pass
+        for sub in subs:
+            sub.put(event)
+        return event
+
+    # -- consumers ---------------------------------------------------------
+
+    def subscribe(self, maxlen: int = DEFAULT_QUEUE) -> Subscription:
+        sub = Subscription(maxlen=maxlen)
+        with self._lock:
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        sub.close()
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+
+    def close_all(self) -> None:
+        """Close every subscription (the serve shutdown path)."""
+        with self._lock:
+            subs, self._subs = list(self._subs), []
+        for sub in subs:
+            sub.close()
+
+    def add_tap(self, tap: Callable[[dict], None]) -> None:
+        with self._lock:
+            self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[dict], None]) -> None:
+        with self._lock:
+            if tap in self._taps:
+                self._taps.remove(tap)
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def recent(self, kinds: Sequence[str] | None = None) -> list[dict]:
+        """Snapshot of the ring buffer, optionally filtered by kind."""
+        with self._lock:
+            events = list(self._recent)
+        if kinds is None:
+            return events
+        wanted = set(kinds)
+        return [e for e in events if e["kind"] in wanted]
+
+
+class SnapshotTicker:
+    """Background thread publishing periodic metrics snapshot deltas.
+
+    Every ``interval`` seconds the process-wide registry is flattened
+    (:func:`repro.obs.metrics.flatten_snapshot`) and diffed against the
+    previous tick; only changed series ship, as one ``metrics`` event.
+    A tick with no changes publishes nothing, so an idle server's
+    event stream carries only SSE heartbeats.
+    """
+
+    def __init__(self, bus: LiveBus, interval: float = 2.0) -> None:
+        self.bus = bus
+        self.interval = max(0.05, float(interval))
+        self._stop = threading.Event()
+        self._last: dict = {}
+        self._thread: threading.Thread | None = None
+
+    def tick(self) -> dict | None:
+        """One snapshot delta (also used directly by tests); None = no change."""
+        # Bus-internal counters are excluded: the tick's own publish
+        # bumps live.events_published, which would otherwise make every
+        # tick "changed" and the idle stream never quiesce.
+        flat = {
+            name: value
+            for name, value in flatten_snapshot(REGISTRY.snapshot()).items()
+            if not name.startswith(("live.", "metric.live."))
+        }
+        delta = {
+            name: value
+            for name, value in flat.items()
+            if self._last.get(name) != value
+        }
+        self._last = flat
+        if not delta:
+            return None
+        return self.bus.publish("metrics", {"delta": delta})
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    def start(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serve-metrics", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+#: The process-wide active bus; ``None`` keeps every hook a no-op.
+ACTIVE: LiveBus | None = None
+
+
+def activate(bus: LiveBus | None = None) -> LiveBus:
+    """Install (and return) the process-wide bus; idempotent-friendly."""
+    global ACTIVE
+    ACTIVE = bus if bus is not None else LiveBus()
+    return ACTIVE
+
+
+def deactivate() -> None:
+    """Remove the bus: every instrumentation hook goes back to a branch."""
+    global ACTIVE
+    ACTIVE = None
+
+
+def active() -> LiveBus | None:
+    """The currently installed bus, or ``None``."""
+    return ACTIVE
+
+
+def publish(kind: str, data: dict) -> None:
+    """Publish onto the active bus, if any (the hook entry point)."""
+    bus = ACTIVE
+    if bus is not None:
+        bus.publish(kind, data)

@@ -135,6 +135,17 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def metrics(self) -> dict[str, object]:
+        """Shallow copy of the name -> metric-instance map.
+
+        Unlike :meth:`snapshot` this keeps the metric *objects* (and
+        therefore their kinds), which the Prometheus exposition
+        (:mod:`repro.obs.promtext`) needs to pick the right family
+        type per metric.
+        """
+        with self._lock:
+            return dict(self._metrics)
+
     def snapshot(self) -> dict:
         """Plain-data view of every metric, sorted by name.
 

@@ -21,6 +21,15 @@ seconds have passed since the last emission (default
 where item pacing suffices; ``REPRO_PROGRESS_HEARTBEAT`` overrides the
 interval, ``0`` disables).  Heartbeat lines carry the elapsed wall
 clock so a stalled campaign is distinguishable from a slow one.
+
+**Pluggable sink**: every emission builds one structured
+:class:`ProgressEvent`; the default sink renders it with
+:func:`format_progress_line` (byte-identical to the historical stderr
+format) and prints it, while :func:`set_progress_sink` swaps in any
+callable -- the serve layer folds events into per-job progress/ETA
+this way instead of scraping stderr.  Independently of the sink, each
+event also publishes onto the live bus (:mod:`repro.obs.live`) when
+one is active.
 """
 
 from __future__ import annotations
@@ -28,14 +37,87 @@ from __future__ import annotations
 import os
 import sys
 import time
-from typing import Iterable, Iterator, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, TypeVar
 
+from repro.obs import live
 from repro.obs.runtime import STATE
+from repro.obs.trace import current_trace_id
 
 T = TypeVar("T")
 
 #: Default wall-clock flush interval for non-tty streams, seconds.
 HEARTBEAT_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress emission (item-paced, heartbeat, or final).
+
+    Attributes:
+        label: Loop name (the line prefix).
+        done: Items completed so far.
+        total: Known item count, or None.
+        elapsed_s: Wall-clock seconds since the loop started.
+        rate: Items per second (0.0 before any time elapsed).
+        final: True for the closing line after the last item.
+        heartbeat: True when emitted by the wall-clock heartbeat.
+        trace_id: The emitting thread's trace id, or None.
+    """
+
+    label: str
+    done: int
+    total: int | None
+    elapsed_s: float
+    rate: float
+    final: bool = False
+    heartbeat: bool = False
+    trace_id: str | None = None
+
+    @property
+    def percent(self) -> int | None:
+        """Whole-number completion percent, or None without a total."""
+        if not self.total:
+            return None
+        return 100 * self.done // self.total
+
+    @property
+    def eta_s(self) -> float | None:
+        """Seconds remaining at the current rate, or None."""
+        if self.final or not self.total or self.rate <= 0:
+            return None
+        return (self.total - self.done) / self.rate
+
+
+def format_progress_line(event: ProgressEvent) -> str:
+    """Render one event exactly as the historical stderr line."""
+    parts = [f"[obs] {event.label}: {event.done}"]
+    if event.total:
+        parts[0] += f"/{event.total} ({100 * event.done // event.total}%)"
+    parts.append(f"{event.rate:.1f}/s")
+    if event.final:
+        parts.append(f"in {event.elapsed_s:.2f}s")
+    else:
+        if event.total and event.rate > 0:
+            parts.append(f"eta {(event.total - event.done) / event.rate:.1f}s")
+        if event.heartbeat:
+            parts.append(f"elapsed {event.elapsed_s:.0f}s")
+    return " ".join(parts)
+
+
+#: Installed sink, or None for the default stderr-line behavior.
+_SINK: Callable[[ProgressEvent], None] | None = None
+
+
+def set_progress_sink(sink: Callable[[ProgressEvent], None] | None) -> None:
+    """Install a progress sink (``None`` restores the default lines)."""
+    global _SINK
+    _SINK = sink
+
+
+def progress_sink() -> Callable[[ProgressEvent], None] | None:
+    """The installed sink, or None under the default behavior."""
+    return _SINK
 
 
 def _resolve_heartbeat(heartbeat: float | None, stream) -> float:
@@ -113,15 +195,32 @@ def progress(
 
 def _emit(out, label, done, total, elapsed, final=False, heartbeat=False) -> None:
     rate = done / elapsed if elapsed > 0 else 0.0
-    parts = [f"[obs] {label}: {done}"]
-    if total:
-        parts[0] += f"/{total} ({100 * done // total}%)"
-    parts.append(f"{rate:.1f}/s")
-    if final:
-        parts.append(f"in {elapsed:.2f}s")
+    event = ProgressEvent(
+        label=label,
+        done=done,
+        total=total,
+        elapsed_s=elapsed,
+        rate=rate,
+        final=final,
+        heartbeat=heartbeat,
+        trace_id=current_trace_id(),
+    )
+    if live.ACTIVE is not None:
+        live.publish(
+            "progress",
+            {
+                "label": event.label,
+                "done": event.done,
+                "total": event.total,
+                "rate": round(event.rate, 3),
+                "percent": event.percent,
+                "eta_s": None if event.eta_s is None else round(event.eta_s, 1),
+                "final": event.final,
+                "trace_id": event.trace_id,
+            },
+        )
+    sink = _SINK
+    if sink is not None:
+        sink(event)
     else:
-        if total and rate > 0:
-            parts.append(f"eta {(total - done) / rate:.1f}s")
-        if heartbeat:
-            parts.append(f"elapsed {elapsed:.0f}s")
-    print(" ".join(parts), file=out, flush=True)
+        print(format_progress_line(event), file=out, flush=True)

@@ -1,0 +1,105 @@
+"""Prometheus text exposition of the :mod:`repro.obs.metrics` registry.
+
+``GET /metrics`` on the serve endpoint renders the whole process-wide
+registry in the Prometheus text format (version 0.0.4) so any standard
+scraper can poll a long-running ``python -m repro serve`` instance:
+
+* every metric is exported under the ``repro_`` prefix with its dotted
+  name sanitized to the Prometheus grammar (``serve.jobs.completed``
+  -> ``repro_serve_jobs_completed``; any character outside
+  ``[a-zA-Z0-9_:]`` becomes ``_``, and a leading digit gains a ``_``);
+* :class:`~repro.obs.metrics.Counter` -> ``counter``,
+  :class:`~repro.obs.metrics.Gauge` -> ``gauge``;
+* :class:`~repro.obs.metrics.Histogram` (count/sum/min/max, no
+  buckets) -> a ``summary`` family (``_count`` + ``_sum`` samples,
+  which is exactly what a quantile-less summary is allowed to carry)
+  plus two companion gauges ``<name>_min`` / ``<name>_max`` when at
+  least one sample was observed.
+
+The output is deterministic (sorted by exported family name) and
+round-trips through the strict parser in
+``tests/obs/test_promtext.py``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+
+#: Prefix applied to every exported metric family.
+PREFIX = "repro_"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str, prefix: str = PREFIX) -> str:
+    """Map a dotted registry name onto the Prometheus name grammar."""
+    flat = _INVALID.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return prefix + flat
+
+
+def _format_value(value) -> str:
+    """One deterministic sample encoding (ints stay integral)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The whole registry as Prometheus text exposition format.
+
+    Families are emitted sorted by exported name; a metric that was
+    never touched still appears (counters/gauges at 0, histograms with
+    ``_count 0`` / ``_sum 0``) so scrapes see stable series sets.
+    """
+    registry = registry if registry is not None else REGISTRY
+    families: list[tuple[str, list[str]]] = []
+    for name, metric in registry.metrics().items():
+        exported = sanitize_name(name)
+        lines = [
+            f"# HELP {exported} {_escape_help(f'repro metric {name}')}",
+        ]
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {exported} counter")
+            lines.append(f"{exported} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {exported} gauge")
+            lines.append(f"{exported} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            summary = metric.summary()
+            lines.append(f"# TYPE {exported} summary")
+            lines.append(f"{exported}_count {_format_value(summary['count'])}")
+            lines.append(f"{exported}_sum {_format_value(summary['sum'])}")
+            if summary["count"]:
+                for bound in ("min", "max"):
+                    companion = f"{exported}_{bound}"
+                    lines.append(
+                        f"# HELP {companion} "
+                        f"{_escape_help(f'repro metric {name} ({bound})')}"
+                    )
+                    lines.append(f"# TYPE {companion} gauge")
+                    lines.append(
+                        f"{companion} {_format_value(summary[bound])}"
+                    )
+        else:  # pragma: no cover - registry only holds the three kinds
+            continue
+        families.append((exported, lines))
+    out: list[str] = []
+    for _, lines in sorted(families):
+        out.extend(lines)
+    return "\n".join(out) + "\n"

@@ -16,10 +16,19 @@ no-op context manager -- no allocation, no clock reads -- so
 instrumented call sites cost a function call and a branch.
 
 The recorded events export as JSON Lines with Chrome-trace-compatible
-fields (``name``/``ph``/``ts``/``dur``/``pid``/``tid``/``args``); the
-file loads directly into Perfetto / ``chrome://tracing`` after
-wrapping the lines in a JSON array, and one-event-per-line keeps it
-greppable and streamable.
+fields (``name``/``ph``/``ts``/``dur``/``pid``/``tid``/``args``) via
+:meth:`Tracer.export_jsonl` -- one event per line keeps the file
+greppable and streamable -- or as a ready-to-load JSON array via
+:meth:`Tracer.export_json` for direct Perfetto / ``chrome://tracing``
+consumption.
+
+**Trace IDs**: a long-running service runs many logical jobs through
+one process-wide tracer, so each thread may carry a *trace id*
+(:func:`set_trace_id`) that stamps every span it records.  The id
+rides along when span batches ship across process boundaries (the
+:mod:`repro.exec` engine forwards the submitting thread's id into its
+workers), letting :meth:`Tracer.drain` stitch one job's spans --
+across threads *and* worker processes -- into a single trace.
 """
 
 from __future__ import annotations
@@ -30,12 +39,27 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import live
 from repro.obs.runtime import STATE
 
 # Wall-clock anchor: perf_counter gives monotonic durations, this pair
 # maps them back onto the epoch for absolute ``ts`` fields.
 _EPOCH0 = time.time()
 _PERF0 = time.perf_counter()
+
+# Per-thread trace id; workers inherit theirs from the submitting
+# thread via the exec engine, not from this local.
+_TRACE_LOCAL = threading.local()
+
+
+def set_trace_id(trace_id: str | None) -> None:
+    """Stamp (or clear, with ``None``) this thread's trace id."""
+    _TRACE_LOCAL.trace_id = trace_id
+
+
+def current_trace_id() -> str | None:
+    """This thread's trace id, or ``None`` when unset."""
+    return getattr(_TRACE_LOCAL, "trace_id", None)
 
 
 def _epoch_us(perf_now: float) -> float:
@@ -56,6 +80,11 @@ class SpanEvent:
         thread_id: ``threading.get_ident()`` of the recording thread.
         attrs: Key=value attributes given at creation or via ``note``.
         error: Exception type name if the span body raised, else None.
+        pid: OS process id captured when the span closed (``0`` on
+            legacy events; :meth:`to_chrome` falls back to the current
+            process).  Captured at *record* time so spans shipped from
+            pool workers keep their worker pid after crossing back.
+        trace_id: The recording thread's trace id at close, or None.
     """
 
     name: str
@@ -67,6 +96,8 @@ class SpanEvent:
     thread_id: int
     attrs: dict = field(default_factory=dict)
     error: str | None = None
+    pid: int = 0
+    trace_id: str | None = None
 
     def to_chrome(self) -> dict:
         """Chrome-trace ``X`` (complete) event for this span."""
@@ -75,12 +106,14 @@ class SpanEvent:
         args["cpu_s"] = round(self.cpu_s, 9)
         if self.error is not None:
             args["error"] = self.error
+        if self.trace_id is not None:
+            args["trace_id"] = self.trace_id
         return {
             "name": self.name,
             "ph": "X",
             "ts": round(self.start_us, 3),
             "dur": round(self.wall_s * 1e6, 3),
-            "pid": os.getpid(),
+            "pid": self.pid or os.getpid(),
             "tid": self.thread_id,
             "cat": "repro",
             "args": args,
@@ -155,6 +188,8 @@ class _Span:
                 thread_id=threading.get_ident(),
                 attrs=self.attrs,
                 error=None if exc_type is None else exc_type.__name__,
+                pid=os.getpid(),
+                trace_id=current_trace_id(),
             )
         )
         return False  # never swallow exceptions
@@ -179,6 +214,18 @@ class Tracer:
     def _record(self, event: SpanEvent) -> None:
         with self._lock:
             self._events.append(event)
+        if live.ACTIVE is not None:
+            live.publish(
+                "span",
+                {
+                    "name": event.name,
+                    "path": event.path,
+                    "wall_s": round(event.wall_s, 6),
+                    "pid": event.pid,
+                    "trace_id": event.trace_id,
+                    "error": event.error,
+                },
+            )
 
     def span(self, name: str, **attrs) -> _Span:
         """A live span; prefer the module-level :func:`span` gate."""
@@ -189,10 +236,22 @@ class Tracer:
 
         The caller is responsible for re-rooting ``path``/``depth``
         first if the spans should nest under the current position (see
-        :meth:`current_path`); events are appended verbatim.
+        :meth:`current_path`); events are appended verbatim.  On a live
+        bus a whole batch publishes as one ``spans`` summary event
+        rather than per-span, to bound SSE volume for big fan-outs.
         """
         with self._lock:
             self._events.extend(events)
+        if live.ACTIVE is not None and events:
+            live.publish(
+                "spans",
+                {
+                    "count": len(events),
+                    "pids": sorted({e.pid for e in events if e.pid}),
+                    "trace_id": events[0].trace_id,
+                    "wall_s": round(sum(e.wall_s for e in events), 6),
+                },
+            )
 
     def current_path(self) -> tuple[str, int]:
         """This thread's open-span nesting as ``(slash_path, depth)``.
@@ -217,6 +276,22 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+
+    def drain(self, predicate) -> list[SpanEvent]:
+        """Remove and return every span matching ``predicate``.
+
+        The serve layer drains a finished job's spans (matched by
+        trace id) out of the process-wide tracer into per-job storage,
+        which both stitches the job's trace and keeps the long-running
+        collector from growing without bound.
+        """
+        with self._lock:
+            kept: list[SpanEvent] = []
+            taken: list[SpanEvent] = []
+            for event in self._events:
+                (taken if predicate(event) else kept).append(event)
+            self._events = kept
+        return taken
 
     def summaries(self, depth: int | None = None) -> list[SpanSummary]:
         """Per-name aggregates (count, total wall, total CPU).
@@ -256,6 +331,17 @@ class Tracer:
         with open(path, "w") as handle:
             for event in events:
                 handle.write(json.dumps(event.to_chrome()) + "\n")
+        return len(events)
+
+    def export_json(self, path) -> int:
+        """Write a JSON-array Chrome trace (loads directly in Perfetto)."""
+        events = self.events()
+        with open(path, "w") as handle:
+            handle.write("[\n")
+            for index, event in enumerate(events):
+                comma = "," if index + 1 < len(events) else ""
+                handle.write(json.dumps(event.to_chrome()) + comma + "\n")
+            handle.write("]\n")
         return len(events)
 
 

@@ -1,0 +1,188 @@
+"""``python -m repro serve``: flags, env knobs, and graceful shutdown.
+
+::
+
+    python -m repro serve --port 8097 --jobs 2
+    python -m repro serve --port 0          # ephemeral port (CI)
+
+Every flag has a ``REPRO_SERVE_*`` environment fallback (flag wins):
+
+=====================  =============================  ===============
+flag                   environment variable           default
+=====================  =============================  ===============
+``--host``             ``REPRO_SERVE_HOST``           ``127.0.0.1``
+``--port``             ``REPRO_SERVE_PORT``           ``8097``
+``--jobs``             ``REPRO_SERVE_JOBS``           1
+``--workers``          ``REPRO_SERVE_WORKERS``        1
+``--max-jobs``         ``REPRO_SERVE_MAX_JOBS``       256
+``--heartbeat``        ``REPRO_SERVE_HEARTBEAT``      15.0
+``--tick``             ``REPRO_SERVE_TICK``           2.0
+``--drain-timeout``    ``REPRO_SERVE_DRAIN_TIMEOUT``  10.0
+=====================  =============================  ===============
+
+``--jobs N`` is the **per-job process fan-out** (it becomes the
+session default for :func:`repro.exec.parallel_map`, so a sweep job
+spreads over N worker processes); ``--workers K`` is how many jobs
+execute *concurrently* on service worker threads.
+
+On SIGTERM/SIGINT the service stops accepting jobs (``/readyz`` flips
+to 503), drains in-flight jobs for up to ``--drain-timeout`` seconds
+(their ledger records flush as each completes), publishes a final
+``shutdown`` SSE event, closes every stream, and exits 0.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+
+
+def _usage() -> str:
+    return (
+        "usage: python -m repro serve [--host H] [--port P] [--jobs N]\n"
+        "           [--workers K] [--max-jobs M] [--heartbeat S]\n"
+        "           [--tick S] [--drain-timeout S] [--verbose]"
+    )
+
+
+def _env(name: str, cast, fallback):
+    raw = os.environ.get(name, "")
+    if raw:
+        try:
+            return cast(raw)
+        except ValueError:
+            print(f"ignoring bad {name}={raw!r}", file=sys.stderr)
+    return fallback
+
+
+def serve_main(argv: list[str]) -> int:
+    """Entry point for the ``serve`` subcommand."""
+    host = _env("REPRO_SERVE_HOST", str, "127.0.0.1")
+    port = _env("REPRO_SERVE_PORT", int, 8097)
+    jobs = _env("REPRO_SERVE_JOBS", int, 1)
+    workers = _env("REPRO_SERVE_WORKERS", int, 1)
+    max_jobs = _env("REPRO_SERVE_MAX_JOBS", int, 256)
+    heartbeat = _env("REPRO_SERVE_HEARTBEAT", float, 15.0)
+    tick = _env("REPRO_SERVE_TICK", float, 2.0)
+    drain_timeout = _env("REPRO_SERVE_DRAIN_TIMEOUT", float, 10.0)
+    verbose = False
+
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+
+        def value(cast=str):
+            if i + 1 >= len(argv):
+                raise ValueError(f"{arg} needs an argument")
+            return cast(argv[i + 1])
+
+        try:
+            if arg == "--host":
+                host = value()
+                i += 1
+            elif arg == "--port":
+                port = value(int)
+                i += 1
+            elif arg == "--jobs":
+                jobs = value(int)
+                i += 1
+            elif arg == "--workers":
+                workers = value(int)
+                i += 1
+            elif arg == "--max-jobs":
+                max_jobs = value(int)
+                i += 1
+            elif arg == "--heartbeat":
+                heartbeat = value(float)
+                i += 1
+            elif arg == "--tick":
+                tick = value(float)
+                i += 1
+            elif arg == "--drain-timeout":
+                drain_timeout = value(float)
+                i += 1
+            elif arg == "--verbose":
+                verbose = True
+            elif arg in ("-h", "--help"):
+                print(_usage())
+                return 0
+            else:
+                print(f"unknown option {arg}", file=sys.stderr)
+                print(_usage(), file=sys.stderr)
+                return 2
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        i += 1
+
+    from repro import exec as _exec
+    from repro import obs
+    from repro.obs import live
+    from repro.serve.jobs import JobManager
+    from repro.serve.server import ReproServer
+
+    obs.enable()
+    if jobs and jobs > 1:
+        _exec.set_default_jobs(jobs)
+
+    bus = live.activate()
+    ticker = live.SnapshotTicker(bus, interval=tick)
+    manager = JobManager(workers=workers, max_jobs=max_jobs)
+    bus.add_tap(manager.tap)
+    manager.start()
+    ticker.start()
+
+    server = ReproServer(
+        (host, port), manager, bus, heartbeat=heartbeat, quiet=not verbose
+    )
+    bound_port = server.server_address[1]
+    # Parsed by CI / subprocess tests: keep this line's shape stable.
+    print(f"serving on http://{host}:{bound_port}", flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        print(
+            f"received {signal.Signals(signum).name}, draining...",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop.set()
+
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    try:
+        stop.wait()
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+
+    drained = manager.drain(timeout=drain_timeout)
+    if not drained:
+        print(
+            f"drain timed out after {drain_timeout:.1f}s; "
+            "abandoning in-flight jobs",
+            file=sys.stderr,
+            flush=True,
+        )
+    ticker.stop()
+    bus.publish(
+        "shutdown",
+        {"drained": drained, "uptime_s": round(time.time() - server.started_ts, 1)},
+    )
+    bus.close_all()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=2.0)
+    manager.stop()
+    live.deactivate()
+    print("shutdown complete", flush=True)
+    return 0

@@ -1,0 +1,96 @@
+"""Server-Sent-Events framing over the live telemetry bus.
+
+``GET /events`` streams every :mod:`repro.obs.live` event to the
+client as one SSE message (``event:`` = the bus kind, ``data:`` = the
+JSON-encoded event).  The stream protocol:
+
+* an opening ``: connected`` comment, then events as they arrive;
+* a ``: keepalive`` comment whenever ``heartbeat`` seconds pass with
+  no traffic, so proxies and clients can detect a dead connection;
+* each client owns a *bounded* bus subscription — a consumer that
+  reads slower than the bus publishes loses its oldest events
+  (``serve.sse.dropped`` counts them, and a ``: dropped N`` comment
+  tells the client its stream has holes) rather than ever blocking
+  the publishers;
+* a final ``shutdown`` event (published by the serve drain path)
+  followed by subscription close ends the stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Sequence
+
+from repro.obs import live
+from repro.obs.metrics import counter as _obs_counter, gauge as _obs_gauge
+
+_SSE_EVENTS = _obs_counter("serve.sse.events")
+_SSE_DROPPED = _obs_counter("serve.sse.dropped")
+_SSE_CLIENTS = _obs_gauge("serve.sse.clients")
+
+#: Seconds of silence before a keepalive comment ships.
+DEFAULT_HEARTBEAT = 15.0
+
+
+def format_event(event: dict) -> bytes:
+    """One bus event as an SSE message (named event + JSON data)."""
+    data = json.dumps(event, separators=(",", ":"))
+    return (
+        f"event: {event.get('kind', 'message')}\n"
+        f"id: {event.get('seq', '')}\n"
+        f"data: {data}\n\n"
+    ).encode()
+
+
+def comment(text: str) -> bytes:
+    """An SSE comment line (ignored by EventSource, keeps pipes warm)."""
+    return f": {text}\n\n".encode()
+
+
+def event_stream(
+    bus: live.LiveBus,
+    heartbeat: float = DEFAULT_HEARTBEAT,
+    maxlen: int = live.DEFAULT_QUEUE,
+    kinds: Sequence[str] | None = None,
+    replay: bool = False,
+) -> Iterator[bytes]:
+    """Yield SSE chunks until the bus closes the subscription.
+
+    Args:
+        bus: The live bus to subscribe to.
+        heartbeat: Keepalive interval (seconds of silence).
+        maxlen: Per-client bounded queue size.
+        kinds: Optional whitelist of event kinds to forward.
+        replay: Start with the bus's recent-event ring so a
+            late-joining client sees context before live events.
+    """
+    wanted = None if kinds is None else set(kinds)
+    sub = bus.subscribe(maxlen=maxlen)
+    _SSE_CLIENTS.set(bus.subscriber_count())
+    reported_drops = 0
+    try:
+        yield comment("connected")
+        if replay:
+            for event in bus.recent(kinds=kinds):
+                _SSE_EVENTS.inc()
+                yield format_event(event)
+        while True:
+            events = sub.get(timeout=heartbeat)
+            if sub.dropped > reported_drops:
+                delta = sub.dropped - reported_drops
+                reported_drops = sub.dropped
+                _SSE_DROPPED.inc(delta)
+                yield comment(f"dropped {delta}")
+            if not events:
+                if sub.closed:
+                    return
+                yield comment("keepalive")
+                continue
+            for event in events:
+                if wanted is not None and event.get("kind") not in wanted:
+                    continue
+                _SSE_EVENTS.inc()
+                yield format_event(event)
+    finally:
+        bus.unsubscribe(sub)
+        _SSE_CLIENTS.set(bus.subscriber_count())

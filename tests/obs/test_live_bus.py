@@ -1,0 +1,109 @@
+"""The live telemetry bus: pub/sub, bounds, taps, snapshot deltas."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import live
+
+
+@pytest.fixture
+def bus():
+    installed = live.activate(live.LiveBus(buffer=16))
+    try:
+        yield installed
+    finally:
+        live.deactivate()
+
+
+class TestLiveBus:
+    def test_publish_stamps_seq_ts_kind(self, bus):
+        sub = bus.subscribe()
+        bus.publish("job", {"id": "job-0001"})
+        bus.publish("job", {"id": "job-0002"})
+        events = sub.get(timeout=0.1)
+        assert [e["seq"] for e in events] == [1, 2]
+        assert all(e["kind"] == "job" for e in events)
+        assert events[0]["data"] == {"id": "job-0001"}
+        assert events[0]["ts"] > 0
+
+    def test_module_publish_is_noop_without_active_bus(self):
+        live.deactivate()
+        live.publish("job", {"id": "x"})  # must not raise
+
+    def test_ring_buffer_bounds_recent(self, bus):
+        for i in range(40):
+            bus.publish("span", {"i": i})
+        recent = bus.recent()
+        assert len(recent) == 16  # buffer=16
+        assert recent[-1]["data"]["i"] == 39
+        assert bus.recent(kinds=["progress"]) == []
+
+    def test_slow_subscriber_drops_oldest_never_blocks(self, bus, obs_enabled):
+        sub = bus.subscribe(maxlen=4)
+        for i in range(10):
+            bus.publish("span", {"i": i})
+        assert sub.dropped == 6
+        events = sub.get(timeout=0)
+        assert [e["data"]["i"] for e in events] == [6, 7, 8, 9]
+        assert obs.REGISTRY.counter("live.events_dropped").value >= 6
+
+    def test_failing_tap_is_swallowed(self, bus):
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("tap bug")
+
+        bus.add_tap(bad)
+        bus.add_tap(seen.append)
+        bus.publish("job", {"id": "j"})
+        assert len(seen) == 1
+        bus.remove_tap(bad)
+
+    def test_close_all_wakes_subscribers(self, bus):
+        sub = bus.subscribe()
+        waiter = threading.Thread(target=lambda: sub.get(timeout=5))
+        waiter.start()
+        bus.close_all()
+        waiter.join(timeout=2)
+        assert not waiter.is_alive()
+        assert sub.closed
+        sub.put({"kind": "late"})  # refused after close
+        assert sub.get(timeout=0) == []
+
+    def test_span_hook_publishes_when_active(self, bus, obs_enabled):
+        sub = bus.subscribe()
+        with obs.span("stage_x", design="p1_8_2"):
+            pass
+        events = [e for e in sub.get(timeout=0.1) if e["kind"] == "span"]
+        assert len(events) == 1
+        assert events[0]["data"]["name"] == "stage_x"
+        assert events[0]["data"]["pid"] > 0
+
+    def test_span_hook_silent_when_inactive(self, obs_enabled):
+        live.deactivate()
+        with obs.span("quiet"):
+            pass  # no bus, no error
+
+
+class TestSnapshotTicker:
+    def test_tick_publishes_only_changed_series(self, bus, obs_enabled):
+        sub = bus.subscribe()
+        ticker = live.SnapshotTicker(bus, interval=60)
+        counter = obs.counter("live_test.ticks")
+        counter.inc(3)
+        event = ticker.tick()
+        assert event is not None
+        assert event["data"]["delta"]["live_test.ticks"] == 3
+        assert ticker.tick() is None  # nothing changed: no event
+        counter.inc()
+        event = ticker.tick()
+        assert event["data"]["delta"] == {"live_test.ticks": 4}
+        assert len([e for e in sub.get(timeout=0) if e["kind"] == "metrics"]) == 2
+
+    def test_start_stop_thread(self, bus):
+        ticker = live.SnapshotTicker(bus, interval=0.05)
+        ticker.start()
+        ticker.stop()
+        assert ticker._thread is None

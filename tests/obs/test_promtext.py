@@ -1,0 +1,130 @@
+"""Prometheus text exposition: grammar, types, and a strict round-trip.
+
+``parse_prometheus`` below is deliberately strict — unknown line
+shapes, bad names, or samples outside their family fail the parse —
+so ``GET /metrics`` output is guaranteed consumable by real scrapers.
+"""
+
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import PREFIX, render_prometheus, sanitize_name
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*) (\S+)$")
+
+
+def parse_prometheus(text: str) -> dict:
+    """Strict parser: {family: {"type": ..., "samples": {name: float}}}."""
+    families: dict = {}
+    current = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name = rest.split(" ", 1)[0]
+            assert _NAME.match(name), f"bad family name {name!r}"
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split(" ", 1)
+            assert _NAME.match(name), f"bad family name {name!r}"
+            assert kind in ("counter", "gauge", "summary", "histogram", "untyped")
+            current = name
+            families[name] = {"type": kind, "samples": {}}
+            continue
+        assert not line.startswith("#"), f"unknown comment line {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line {line!r}"
+        sample, value = match.group(1), float(match.group(2))
+        assert current is not None, f"sample {sample!r} before any # TYPE"
+        if families[current]["type"] == "summary":
+            assert sample in (f"{current}_count", f"{current}_sum"), (
+                f"sample {sample!r} outside summary family {current!r}"
+            )
+        else:
+            assert sample == current, (
+                f"sample {sample!r} outside family {current!r}"
+            )
+        families[current]["samples"][sample] = value
+    return families
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert sanitize_name("serve.jobs.completed") == (
+            "repro_serve_jobs_completed"
+        )
+
+    def test_arbitrary_junk_is_flattened(self):
+        flat = sanitize_name("a-b c.d/e")
+        assert flat.startswith(PREFIX)
+        assert _NAME.match(flat)
+
+    def test_leading_digit_gets_underscore(self):
+        assert _NAME.match(sanitize_name("1wire.count", prefix=""))
+
+
+class TestRenderPrometheus:
+    def test_round_trips_strict_parser(self, obs_enabled):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").value = 7
+        registry.gauge("serve.queue_depth").value = 2.5
+        hist = registry.histogram("serve.job.wall_s")
+        hist.observe(0.5)
+        hist.observe(1.5)
+        families = parse_prometheus(render_prometheus(registry))
+        assert families["repro_serve_requests"]["type"] == "counter"
+        assert families["repro_serve_requests"]["samples"][
+            "repro_serve_requests"
+        ] == 7
+        assert families["repro_serve_queue_depth"]["type"] == "gauge"
+        wall = families["repro_serve_job_wall_s"]
+        assert wall["type"] == "summary"
+        assert wall["samples"]["repro_serve_job_wall_s_count"] == 2
+        assert wall["samples"]["repro_serve_job_wall_s_sum"] == 2.0
+        assert families["repro_serve_job_wall_s_min"]["samples"][
+            "repro_serve_job_wall_s_min"
+        ] == 0.5
+        assert families["repro_serve_job_wall_s_max"]["samples"][
+            "repro_serve_job_wall_s_max"
+        ] == 1.5
+
+    def test_untouched_histogram_renders_zero_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("cold.hist")
+        families = parse_prometheus(render_prometheus(registry))
+        samples = families["repro_cold_hist"]["samples"]
+        assert samples["repro_cold_hist_count"] == 0
+        assert samples["repro_cold_hist_sum"] == 0.0
+        assert "repro_cold_hist_min" not in families
+
+    def test_process_registry_parses(self, obs_enabled):
+        # The real registry (every instrumented module imported by the
+        # suite so far) must round-trip too — names from the wild.
+        families = parse_prometheus(render_prometheus())
+        assert len(families) > 10
+
+    def test_deterministic_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.two")
+        registry.counter("a.one")
+        text = render_prometheus(registry)
+        assert text == render_prometheus(registry)
+        assert text.index("repro_a_one") < text.index("repro_b_two")
+
+    def test_output_ends_with_newline(self):
+        assert render_prometheus(MetricsRegistry()).endswith("\n")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["repro_a b extra", "no_type_sample 1"],
+)
+def test_parser_is_actually_strict(bad):
+    with pytest.raises(AssertionError):
+        parse_prometheus(bad)

@@ -1,0 +1,106 @@
+"""Trace export formats, drain semantics, and pid/trace-id stamping."""
+
+import json
+import os
+
+from repro import obs
+from repro.obs.trace import SpanEvent, Tracer, load_jsonl
+
+
+def _make_tracer(names):
+    tracer = Tracer()
+    for name in names:
+        with tracer.span(name):
+            pass
+    return tracer
+
+
+class TestExportJson:
+    def test_json_array_loads_directly(self, tmp_path):
+        tracer = _make_tracer(["a", "b", "c"])
+        path = tmp_path / "trace.json"
+        assert tracer.export_json(path) == 3
+        events = json.loads(path.read_text())
+        assert isinstance(events, list)
+        assert [e["name"] for e in events] == ["a", "b", "c"]
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_empty_tracer_exports_valid_empty_array(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert Tracer().export_json(path) == 0
+        assert json.loads(path.read_text()) == []
+
+    def test_jsonl_still_one_event_per_line(self, tmp_path):
+        tracer = _make_tracer(["a", "b"])
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        lines = [l for l in path.read_text().splitlines() if l]
+        assert len(lines) == 2
+        assert all(json.loads(l)["ph"] == "X" for l in lines)
+        assert [e["name"] for e in load_jsonl(path)] == ["a", "b"]
+
+    def test_obs_export_trace_dispatches_on_suffix(self, tmp_path, obs_enabled):
+        with obs.span("stage"):
+            pass
+        as_json = tmp_path / "t.json"
+        as_jsonl = tmp_path / "t.jsonl"
+        obs.export_trace(as_json)
+        obs.export_trace(as_jsonl)
+        assert isinstance(json.loads(as_json.read_text()), list)
+        for line in as_jsonl.read_text().splitlines():
+            if line:
+                json.loads(line)  # every line standalone JSON
+
+
+class TestSpanStamping:
+    def test_chrome_event_carries_recording_pid(self):
+        tracer = _make_tracer(["a"])
+        event = tracer.events()[0]
+        assert event.pid == os.getpid()
+        assert event.to_chrome()["pid"] == os.getpid()
+
+    def test_legacy_event_without_pid_falls_back(self):
+        legacy = SpanEvent(
+            name="old", path="old", depth=0, start_us=0.0,
+            wall_s=0.1, cpu_s=0.1, thread_id=1,
+        )
+        assert legacy.pid == 0
+        assert legacy.to_chrome()["pid"] == os.getpid()
+
+    def test_trace_id_stamped_and_exported(self):
+        obs.set_trace_id("job-trace-1")
+        try:
+            tracer = _make_tracer(["stage"])
+        finally:
+            obs.set_trace_id(None)
+        event = tracer.events()[0]
+        assert event.trace_id == "job-trace-1"
+        assert event.to_chrome()["args"]["trace_id"] == "job-trace-1"
+        # Cleared id: no args key at all.
+        bare = _make_tracer(["stage"]).events()[0]
+        assert bare.trace_id is None
+        assert "trace_id" not in bare.to_chrome()["args"]
+
+    def test_current_trace_id_roundtrip(self):
+        assert obs.current_trace_id() is None
+        obs.set_trace_id("abc")
+        assert obs.current_trace_id() == "abc"
+        obs.set_trace_id(None)
+        assert obs.current_trace_id() is None
+
+
+class TestDrain:
+    def test_drain_removes_and_returns_matches(self):
+        tracer = Tracer()
+        obs.set_trace_id("keep-me")
+        try:
+            with tracer.span("mine"):
+                pass
+        finally:
+            obs.set_trace_id(None)
+        with tracer.span("other"):
+            pass
+        taken = tracer.drain(lambda e: e.trace_id == "keep-me")
+        assert [e.name for e in taken] == ["mine"]
+        assert [e.name for e in tracer.events()] == ["other"]
+        assert tracer.drain(lambda e: e.trace_id == "keep-me") == []

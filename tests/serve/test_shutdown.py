@@ -1,0 +1,102 @@
+"""Graceful-shutdown regression: a real ``python -m repro serve``
+subprocess must drain on SIGTERM, emit the final SSE ``shutdown``
+event, and exit 0."""
+
+import http.client
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from tests.serve.conftest import get_json, post_json, wait_until
+
+_REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO, "src")
+    env["REPRO_HISTORY_DIR"] = str(tmp_path / "history")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--heartbeat", "1", "--tick", "0.5", "--drain-timeout", "10"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=_REPO,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        assert line.startswith("serving on http://"), line
+        base = line[len("serving on "):]
+        yield proc, base
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+def _collect_sse(base, events, stop):
+    host, port = base[len("http://"):].split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=30)
+    conn.request("GET", "/events")
+    resp = conn.getresponse()
+    try:
+        while not stop.is_set():
+            line = resp.readline()
+            if not line:
+                break
+            if line.startswith(b"event: "):
+                events.append(line[len(b"event: "):].strip().decode())
+    finally:
+        conn.close()
+
+
+class TestSigtermShutdown:
+    def test_drains_and_exits_zero(self, serve_process):
+        proc, base = serve_process
+        status, health = get_json(f"{base}/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert get_json(f"{base}/readyz")[0] == 200
+
+        events: list[str] = []
+        stop = threading.Event()
+        collector = threading.Thread(
+            target=_collect_sse, args=(base, events, stop), daemon=True
+        )
+        collector.start()
+
+        status, job = post_json(
+            f"{base}/jobs",
+            {"kind": "campaign", "params": {"stride": 64}},
+        )
+        assert status == 202, job
+        wait_until(
+            lambda: get_json(f"{base}/jobs/{job['id']}")[1]["status"]
+            in ("done", "failed"),
+            timeout=60,
+        )
+        assert get_json(f"{base}/jobs/{job['id']}")[1]["status"] == "done"
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        stdout = proc.stdout.read()
+        assert "shutdown complete" in stdout
+        collector.join(timeout=5)
+        stop.set()
+        assert "shutdown" in events  # final SSE event reached the client
+        assert "job" in events  # lifecycle events flowed while alive
+
+    def test_sigterm_while_idle_exits_zero(self, serve_process):
+        proc, base = serve_process
+        assert get_json(f"{base}/healthz")[0] == 200
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+        assert "shutdown complete" in proc.stdout.read()

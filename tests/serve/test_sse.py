@@ -1,0 +1,169 @@
+"""SSE streaming: framing, lifecycle sequences, bounded slow clients."""
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+
+from repro import obs
+from repro.obs import live
+from repro.serve import sse
+
+from tests.serve.conftest import post_json, wait_until
+
+
+def _parse_frames(raw: bytes):
+    """Split an SSE byte stream into (event, data_dict|None) frames."""
+    frames = []
+    for block in raw.decode().split("\n\n"):
+        if not block.strip():
+            continue
+        event, data = None, None
+        for line in block.splitlines():
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+            elif line.startswith(": "):
+                event = event or f"comment:{line[2:].split(' ')[0]}"
+        frames.append((event, data))
+    return frames
+
+
+class TestFraming:
+    def test_format_event(self):
+        chunk = sse.format_event(
+            {"seq": 7, "ts": 1.0, "kind": "job", "data": {"id": "job-0001"}}
+        )
+        text = chunk.decode()
+        assert text.startswith("event: job\n")
+        assert "id: 7\n" in text
+        assert text.endswith("\n\n")
+        payload = [l for l in text.splitlines() if l.startswith("data: ")][0]
+        assert json.loads(payload[len("data: "):])["data"]["id"] == "job-0001"
+
+    def test_comment(self):
+        assert sse.comment("keepalive") == b": keepalive\n\n"
+
+
+class TestEventStream:
+    def test_stream_opens_then_forwards_events(self, serve_obs):
+        stream = sse.event_stream(serve_obs, heartbeat=0.1)
+        assert next(stream) == b": connected\n\n"
+        serve_obs.publish("job", {"id": "job-0001"})
+        event, data = _parse_frames(next(stream))[0]
+        assert event == "job"
+        assert data["data"]["id"] == "job-0001"
+        stream.close()
+
+    def test_keepalive_on_silence(self, serve_obs):
+        stream = sse.event_stream(serve_obs, heartbeat=0.05)
+        next(stream)  # connected
+        assert next(stream) == b": keepalive\n\n"
+        stream.close()
+
+    def test_kinds_filter(self, serve_obs):
+        stream = sse.event_stream(serve_obs, heartbeat=0.1, kinds=["job"])
+        next(stream)
+        serve_obs.publish("span", {"name": "noise"})
+        serve_obs.publish("job", {"id": "job-0002"})
+        frames = _parse_frames(next(stream))
+        assert [f[0] for f in frames] == ["job"]
+        stream.close()
+
+    def test_replay_serves_ring_to_late_joiner(self, serve_obs):
+        for i in range(3):
+            serve_obs.publish("job", {"i": i})
+        stream = sse.event_stream(serve_obs, heartbeat=0.1, replay=True)
+        next(stream)  # connected
+        replayed = [_parse_frames(next(stream))[0] for _ in range(3)]
+        assert [d["data"]["i"] for _, d in replayed] == [0, 1, 2]
+        stream.close()
+
+    def test_slow_client_drops_are_bounded_and_reported(self, serve_obs):
+        dropped_before = obs.REGISTRY.counter("serve.sse.dropped").value
+        stream = sse.event_stream(serve_obs, heartbeat=0.1, maxlen=4)
+        next(stream)  # connected: subscription now exists
+        # Publish far more than the client's bound before it reads.
+        for i in range(20):
+            serve_obs.publish("span", {"i": i})
+        chunks = [next(stream)]
+        assert chunks[0] == b": dropped 16\n\n"
+        while True:
+            chunk = next(stream)
+            if chunk == b": keepalive\n\n":
+                break
+            chunks.append(chunk)
+        frames = _parse_frames(b"".join(chunks))
+        survivors = [d["data"]["i"] for _, d in frames if d is not None]
+        assert survivors == [16, 17, 18, 19]  # newest kept, oldest dropped
+        assert (
+            obs.REGISTRY.counter("serve.sse.dropped").value
+            == dropped_before + 16
+        )
+        stream.close()
+
+    def test_bus_close_ends_stream(self, serve_obs):
+        stream = sse.event_stream(serve_obs, heartbeat=5.0)
+        next(stream)
+        closer = threading.Timer(0.05, serve_obs.close_all)
+        closer.start()
+        assert list(stream) == []  # returns promptly, no keepalive spin
+        closer.join()
+
+
+class TestOverHttp:
+    def _open_stream(self, base, path="/events?kinds=job"):
+        parsed = urllib.parse.urlparse(base)
+        conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=10
+        )
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.headers["Content-Type"] == "text/event-stream"
+        return conn, resp
+
+    def test_client_sees_full_job_lifecycle(self, server):
+        conn, resp = self._open_stream(server)
+        assert resp.readline() == b": connected\n"
+        status, job = post_json(
+            f"{server}/jobs", {"kind": "echo", "params": {"value": 77}}
+        )
+        assert status == 202
+        statuses = []
+        deadline = time.monotonic() + 10
+        buffer = b""
+        while time.monotonic() < deadline and "done" not in statuses:
+            buffer += resp.readline()
+            if not buffer.endswith(b"\n\n"):
+                continue
+            for event, data in _parse_frames(buffer):
+                if event == "job" and data and data["data"]["id"] == job["id"]:
+                    statuses.append(data["data"]["status"])
+            buffer = b""
+        conn.close()
+        assert statuses == ["queued", "running", "done"]
+
+    def test_two_clients_both_receive(self, server):
+        first = self._open_stream(server)
+        second = self._open_stream(server)
+        for _, resp in (first, second):
+            assert resp.readline() == b": connected\n"
+        status, job = post_json(f"{server}/jobs", {"kind": "echo"})
+        assert status == 202
+        for conn, resp in (first, second):
+            line = resp.readline()
+            while not line.startswith(b"event: job"):
+                line = resp.readline()
+            assert line == b"event: job\n"
+            conn.close()
+
+    def test_metrics_events_flow_from_ticker(self, serve_obs):
+        ticker = live.SnapshotTicker(serve_obs, interval=60)
+        sub = serve_obs.subscribe()
+        obs.counter("serve_test.pulse").inc()
+        assert ticker.tick() is not None
+        kinds = {e["kind"] for e in sub.get(timeout=0.5)}
+        assert "metrics" in kinds
